@@ -1,0 +1,76 @@
+"""Ablation — sizing the head's backup in Kamino-Tx-Chain (§5, Table 1).
+
+Kamino-Tx-Chain's head can run either Kamino-Tx-Simple (α = 1, full
+mirror) or Kamino-Tx-Dynamic with a smaller α — Table 1's
+(f+2+α) × dataSize storage row.  A smaller head backup saves cluster
+storage but puts copy-on-miss back on the head's critical path for cold
+objects.  With a skewed write working set the penalty is small — the
+same trade-off as Figures 14/15, now measured end-to-end through the
+chain.
+"""
+
+import statistics as st
+
+from repro.bench import format_table
+from repro.replication import KAMINO, ChainCluster, run_clients
+from repro.workloads import Op, UPDATE, YCSBWorkload
+
+ALPHAS = [0.1, 0.5, 1.0]
+F_TOLERATED = 2
+NCLIENTS = 4
+
+
+def run(nrecords=150, nops_per_client=80):
+    rows = []
+    data = {}
+    for alpha in ALPHAS:
+        cluster = ChainCluster(
+            f=F_TOLERATED, mode=KAMINO, heap_mb=2, value_size=1024, alpha=alpha
+        )
+        load = [Op(UPDATE, k, bytes([k % 255 + 1]) * 64) for k in range(nrecords)]
+        run_clients(cluster, [load])
+        cluster.write_latencies_ns.clear()
+        workload = YCSBWorkload("A", nrecords, 1024, seed=5)
+        streams = [list(workload.run_ops(nops_per_client)) for _ in range(NCLIENTS)]
+        run_clients(cluster, streams)
+        cluster.assert_replicas_consistent()
+        lat = st.mean(cluster.write_latencies_ns) / 1e3
+        storage = cluster.total_storage_bytes / cluster.head.heap.region.size
+        rows.append([f"alpha={alpha}", lat, storage])
+        data[alpha] = (lat, storage)
+    table = format_table(
+        "Ablation: Kamino-Tx-Chain head backup sizing (YCSB-A writes)",
+        ["head backup", "write latency us", "storage (x dataSize)"],
+        rows,
+        note="Table 1: (f+2+alpha) x dataSize; smaller alpha trades head copy-on-miss",
+    )
+    return table, data
+
+
+def check_shape(data):
+    # storage follows (f+2+alpha) x dataSize
+    for alpha, (_lat, storage) in data.items():
+        expect = F_TOLERATED + 2 + alpha
+        assert abs(storage - expect) / expect < 0.15, (
+            f"alpha={alpha}: storage {storage:.2f}x vs formula {expect:.2f}x"
+        )
+    # the full mirror is never slower than the smallest head backup
+    assert data[1.0][0] <= data[0.1][0] * 1.10, (
+        f"full mirror must not lose: {data[1.0][0]:.1f} vs {data[0.1][0]:.1f}"
+    )
+
+
+def test_ablation_chain_alpha(benchmark):
+    table, data = benchmark.pedantic(
+        run, kwargs=dict(nrecords=100, nops_per_client=50), rounds=1, iterations=1
+    )
+    from conftest import record_result
+
+    record_result(table)
+    check_shape(data)
+
+
+if __name__ == "__main__":
+    table, data = run()
+    print(table)
+    check_shape(data)

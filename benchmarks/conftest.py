@@ -1,0 +1,30 @@
+"""Shared plumbing for the figure-regeneration benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure from the paper's
+evaluation: run it directly (``python benchmarks/bench_fig12_throughput.py``)
+for the full-size table, or via ``pytest benchmarks/ --benchmark-only``
+for a scaled-down run with shape assertions.  Tables are printed to the
+terminal and appended to ``benchmarks/results.txt`` so EXPERIMENTS.md can
+cite them.
+"""
+
+import os
+
+import pytest
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def record_result(table: str) -> None:
+    """Print a result table and append it to the results file."""
+    print("\n" + table)
+    with open(RESULTS_PATH, "a", encoding="utf-8") as fh:
+        fh.write(table + "\n\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    """Truncate the results file once per benchmark session."""
+    with open(RESULTS_PATH, "w", encoding="utf-8") as fh:
+        fh.write("# Benchmark results (regenerated; see EXPERIMENTS.md)\n\n")
+    yield

@@ -1,0 +1,56 @@
+"""Figure 4's running example: a persistent doubly-linked list.
+
+The paper illustrates Kamino-Tx with the four transaction shapes of a
+sorted doubly-linked list (TxInsert / TxDelete / TxLookup / TxUpdate).
+This example builds the list on each engine, runs the same operations,
+and shows what each scheme moved in the transaction's critical path.
+
+Run:  python examples/linked_list_fig4.py
+"""
+
+from repro.heap import PersistentHeap
+from repro.kvstore import PersistentList
+from repro.nvm import NVMDevice, PmemPool
+from repro.tx import UndoLogEngine, kamino_simple
+
+
+def demo(engine_factory, label: str) -> None:
+    device = NVMDevice(16 << 20)
+    pool = PmemPool.create(device)
+    heap = PersistentHeap.create(pool, engine_factory(), heap_size=4 << 20)
+    plist = PersistentList.create(heap)
+
+    # build: 1 <-> 3 <-> 5 <-> 7
+    for key in (5, 1, 7, 3):
+        plist.insert(key, float(key))
+    heap.drain()
+    plist.check_invariants()
+
+    # TxInsert splices node 4 between 3 and 5: a four-object transaction
+    # (new node, prev, current, list root) — measure the critical path
+    before = device.stats.snapshot()
+    plist.insert(4, 4.0)
+    crit = device.stats.delta(before)
+    heap.drain()
+    print(f"{label:>14}: TxInsert(4) copied {crit.copy_bytes:4d} bytes in the "
+          f"critical path ({crit.flushes} flushes)")
+
+    # TxUpdate / TxLookup / TxDelete round out Figure 4
+    plist.update(4, 44.0)
+    assert plist.lookup(4) == 44.0
+    plist.delete(4)
+    heap.drain()
+    plist.check_invariants()
+    assert plist.keys() == [1, 3, 5, 7]
+
+
+def main() -> None:
+    print("Figure 4: the same linked-list transactions under each scheme\n")
+    demo(UndoLogEngine, "undo-logging")
+    demo(kamino_simple, "kamino-tx")
+    print("\nKamino-Tx's critical path copies nothing: the backup absorbs the")
+    print("changes asynchronously after commit (run with drain() above).")
+
+
+if __name__ == "__main__":
+    main()

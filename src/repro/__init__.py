@@ -1,0 +1,43 @@
+"""Kamino-Tx reproduction: atomic in-place updates for simulated NVM.
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.nvm` — simulated NVM device, pools, latency models
+* :mod:`repro.heap` — persistent objects + transactional allocator
+* :mod:`repro.tx` — atomicity engines (Kamino-Tx and baselines)
+* :mod:`repro.kvstore` — persistent B+Tree / KV store / list / hash table
+* :mod:`repro.workloads` — YCSB, TPC-C-lite, synthetic workloads
+* :mod:`repro.sim` — deterministic event simulation
+* :mod:`repro.replication` — chain replication (traditional + Kamino)
+* :mod:`repro.bench` — trace-then-replay benchmark harness
+"""
+
+from .errors import ReproError
+from .heap import PersistentHeap, PersistentStruct
+from .nvm import CrashPolicy, NVMDevice, PmemPool
+from .tx import (
+    CoWEngine,
+    NoLoggingEngine,
+    UndoLogEngine,
+    kamino_dynamic,
+    kamino_simple,
+    make_engine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoWEngine",
+    "CrashPolicy",
+    "NVMDevice",
+    "NoLoggingEngine",
+    "PersistentHeap",
+    "PersistentStruct",
+    "PmemPool",
+    "ReproError",
+    "UndoLogEngine",
+    "__version__",
+    "kamino_dynamic",
+    "kamino_simple",
+    "make_engine",
+]

@@ -1,0 +1,39 @@
+"""Benchmark harness: trace collection, virtual-time replay, reporting."""
+
+from .harness import ReplayResult, TraceCollector, TxRecord, replay
+from .plot import bar_chart, grouped_bar_chart
+from .report import format_table, speedup_note
+from .runners import (
+    DEFAULT_OPS,
+    DEFAULT_RECORDS,
+    DEFAULT_VALUE_SIZE,
+    Stack,
+    build_stack,
+    run_ycsb_matrix,
+    trace_tpcc,
+    trace_ycsb,
+)
+from .tco import CostModel, normalized_ops_per_dollar, ops_per_dollar, provisioned_gb
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_OPS",
+    "DEFAULT_RECORDS",
+    "DEFAULT_VALUE_SIZE",
+    "ReplayResult",
+    "Stack",
+    "bar_chart",
+    "TraceCollector",
+    "TxRecord",
+    "build_stack",
+    "format_table",
+    "grouped_bar_chart",
+    "normalized_ops_per_dollar",
+    "ops_per_dollar",
+    "provisioned_gb",
+    "replay",
+    "run_ycsb_matrix",
+    "speedup_note",
+    "trace_tpcc",
+    "trace_ycsb",
+]

@@ -1,0 +1,71 @@
+"""ASCII bar charts so regenerated figures *look* like figures.
+
+The benchmark scripts print paper-style tables for EXPERIMENTS.md; their
+standalone mode additionally renders the same data as horizontal bar
+charts, which makes who-wins-where legible at a glance in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+_FULL = "█"
+_PART = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    if vmax <= 0:
+        return ""
+    cells = value / vmax * width
+    whole = int(cells)
+    frac = int((cells - whole) * 8)
+    bar = _FULL * whole
+    if frac and whole < width:
+        bar += _PART[frac]
+    return bar
+
+
+def bar_chart(
+    title: str,
+    series: Mapping[str, float],
+    width: int = 44,
+    unit: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """One horizontal bar per (label, value), scaled to the maximum."""
+    if not series:
+        return f"{title}\n(no data)"
+    vmax = max(series.values())
+    label_w = max(len(k) for k in series)
+    lines = [title]
+    for label, value in series.items():
+        lines.append(
+            f"  {label:<{label_w}} {_bar(value, vmax, width):<{width}} "
+            f"{fmt.format(value)}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    title: str,
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 44,
+    unit: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """Figure-12-style grouped bars: one block per group, one bar per
+    series within it, all sharing a common scale."""
+    values = [v for g in groups.values() for v in g.values()]
+    if not values:
+        return f"{title}\n(no data)"
+    vmax = max(values)
+    series_w = max(len(s) for g in groups.values() for s in g)
+    lines = [title]
+    for group, series in groups.items():
+        lines.append(f" {group}")
+        for name, value in series.items():
+            lines.append(
+                f"  {name:<{series_w}} {_bar(value, vmax, width):<{width}} "
+                f"{fmt.format(value)}{unit}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Fixed-width table rendering so benchmark output mirrors the paper.
+
+Every benchmark prints one table per figure with the same rows/series
+the paper reports, and EXPERIMENTS.md records paper-vs-measured from
+exactly this output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence],
+    note: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table with a title rule."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} ==",
+             " | ".join(c.ljust(w) for c, w in zip(columns, widths)),
+             sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell >= 100:
+            return f"{cell:.0f}"
+        if cell >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def speedup_note(base: str, series: Dict[str, float]) -> str:
+    """'X is N.NNx over Y' annotations for the headline comparisons."""
+    if base not in series or series[base] == 0:
+        return ""
+    parts = []
+    for name, value in series.items():
+        if name == base:
+            continue
+        parts.append(f"{name} = {value / series[base]:.2f}x of {base}")
+    return "; ".join(parts)

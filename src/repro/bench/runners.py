@@ -1,0 +1,145 @@
+"""Shared setup glue for the benchmark scripts.
+
+Builds a (device, heap, KVStore) stack for a named engine, loads a
+workload, and traces its operation stream — the part every figure's
+benchmark has in common.  Scaled defaults keep each figure's regeneration
+in the tens of seconds while preserving the paper's ratios: record count
+shrinks from 10 M to a few thousand, but value size, operation mixes,
+key skew, and data-structure shapes are the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..heap import PersistentHeap
+from ..kvstore import KVStore
+from ..nvm.device import NVMDevice
+from ..nvm.latency import NVDIMM, LatencyModel
+from ..nvm.pool import PmemPool
+from ..tx import make_engine
+from ..workloads import TPCCLite, YCSBWorkload
+from .harness import ReplayResult, TraceCollector, TxRecord, replay
+
+#: scaled-down benchmark defaults (paper: 10 M records, 1 KB values)
+DEFAULT_RECORDS = 2000
+DEFAULT_OPS = 4000
+DEFAULT_VALUE_SIZE = 1024
+
+
+@dataclass
+class Stack:
+    """One engine's full stack, ready for tracing."""
+
+    device: NVMDevice
+    heap: PersistentHeap
+    kv: KVStore
+    engine_name: str
+
+    @property
+    def engine(self):
+        return self.heap.engine
+
+
+def build_stack(
+    engine_name: str,
+    value_size: int = DEFAULT_VALUE_SIZE,
+    heap_mb: int = 48,
+    model: LatencyModel = NVDIMM,
+    fanout: int = 32,
+    **engine_kwargs,
+) -> Stack:
+    """Device + pool + heap + KV store for ``engine_name``.
+
+    The pool is sized for the worst-case engine footprint (full mirror +
+    logs), so every engine sees an identically sized heap.
+    """
+    heap_bytes = heap_mb << 20
+    pool_bytes = heap_bytes * 2 + (32 << 20)
+    device = NVMDevice(pool_bytes, model=model, seed=0)
+    pool = PmemPool.create(device)
+    engine = make_engine(engine_name, **engine_kwargs)
+    heap = PersistentHeap.create(pool, engine, heap_size=heap_bytes)
+    kv = KVStore.create(heap, value_size=value_size, fanout=fanout)
+    return Stack(device=device, heap=heap, kv=kv, engine_name=engine_name)
+
+
+def trace_ycsb(
+    engine_name: str,
+    workload_name: str,
+    nrecords: int = DEFAULT_RECORDS,
+    nops: int = DEFAULT_OPS,
+    value_size: int = DEFAULT_VALUE_SIZE,
+    seed: int = 0,
+    model: LatencyModel = NVDIMM,
+    **engine_kwargs,
+) -> List[TxRecord]:
+    """Load + trace one YCSB workload on one engine."""
+    stack = build_stack(engine_name, value_size=value_size, model=model, **engine_kwargs)
+    workload = YCSBWorkload(workload_name, nrecords, value_size, seed=seed)
+    workload.load(stack.kv)
+    stack.device.stats.reset()
+    collector = TraceCollector(stack.device, stack.engine, model)
+    collector.run_ops(
+        workload.run_ops(nops), lambda op: workload.execute(stack.kv, op)
+    )
+    return collector.records
+
+
+def trace_tpcc(
+    engine_name: str,
+    nops: int = 600,
+    seed: int = 0,
+    model: LatencyModel = NVDIMM,
+    **engine_kwargs,
+) -> List[TxRecord]:
+    """Load + trace the TPC-C-lite mix on one engine."""
+    stack = build_stack(engine_name, value_size=64, heap_mb=24, model=model, **engine_kwargs)
+    tpcc = TPCCLite(seed=seed)
+    tpcc.load(stack.kv)
+    stack.device.stats.reset()
+    collector = TraceCollector(stack.device, stack.engine, model)
+    names = []
+
+    def one(_ignored) -> None:
+        names.append(tpcc.run_op(stack.kv))
+
+    collector.run_ops(range(nops), one, kind_of=lambda _i: "tpcc")
+    return collector.records
+
+
+def run_ycsb_matrix(
+    engines: Sequence[str],
+    workloads: Sequence[str],
+    nthreads_list: Sequence[int] = (4,),
+    nrecords: int = DEFAULT_RECORDS,
+    nops: int = DEFAULT_OPS,
+    value_size: int = DEFAULT_VALUE_SIZE,
+    model: LatencyModel = NVDIMM,
+    engine_kwargs: Optional[Dict[str, dict]] = None,
+) -> Dict[Tuple[str, str, int], ReplayResult]:
+    """The full cross product used by Figures 12–15: trace once per
+    (engine, workload), replay once per thread count."""
+    engine_kwargs = engine_kwargs or {}
+    results: Dict[Tuple[str, str, int], ReplayResult] = {}
+    for engine_name in engines:
+        for workload_name in workloads:
+            records = trace_ycsb(
+                engine_name,
+                workload_name,
+                nrecords=nrecords,
+                nops=nops,
+                value_size=value_size,
+                model=model,
+                **engine_kwargs.get(engine_name, {}),
+            )
+            for nthreads in nthreads_list:
+                results[(engine_name, workload_name, nthreads)] = replay(
+                    records,
+                    nthreads,
+                    engine_name,
+                    workload=workload_name,
+                    model=model,
+                )
+    return results

@@ -1,0 +1,70 @@
+"""Total-cost-of-ownership model for Figure 16 (ops/sec/dollar).
+
+The paper prices Azure A9-class machines via the AWS TCO calculator and
+normalises throughput per dollar across backup configurations.  We keep
+the same structure: a machine has a base cost plus an NVM cost
+proportional to provisioned capacity, and each scheme provisions a
+different multiple of the data size:
+
+=====================  =======================
+Scheme                 Provisioned NVM
+=====================  =======================
+undo-logging           1 × dataSize (+ log)
+Kamino-Tx-Dynamic(α)   (1+α) × dataSize
+Kamino-Tx-Simple       2 × dataSize
+=====================  =======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Machine pricing: 3-year TCO split into base and per-GB NVM cost.
+
+    Defaults approximate the paper's A9-class machine (112 GB, ~half the
+    machine cost attributable to memory).
+    """
+
+    base_dollars: float = 4000.0
+    dollars_per_gb: float = 60.0
+
+    def machine_cost(self, nvm_gb: float) -> float:
+        return self.base_dollars + self.dollars_per_gb * nvm_gb
+
+
+def provisioned_gb(data_gb: float, scheme: str, alpha: float = 0.0) -> float:
+    """NVM capacity each scheme must provision for ``data_gb`` of data."""
+    if scheme == "undo" or scheme == "nolog" or scheme == "cow":
+        return data_gb
+    if scheme == "kamino-simple":
+        return 2.0 * data_gb
+    if scheme.startswith("kamino-dynamic"):
+        return (1.0 + alpha) * data_gb
+    raise ValueError(f"unknown scheme '{scheme}'")
+
+
+def ops_per_dollar(
+    throughput_kops: float, data_gb: float, scheme: str, alpha: float = 0.0,
+    cost_model: CostModel = CostModel(),
+) -> float:
+    """Throughput per TCO dollar (the Figure 16 metric, unnormalised)."""
+    gb = provisioned_gb(data_gb, scheme, alpha)
+    return throughput_kops * 1e3 / cost_model.machine_cost(gb)
+
+
+def normalized_ops_per_dollar(
+    series: Dict[str, float], data_gb: float,
+    alphas: Dict[str, float], base: str = "undo",
+    cost_model: CostModel = CostModel(),
+) -> Dict[str, float]:
+    """Normalise a {scheme: throughput_kops} series to ``base`` = 1.0."""
+    raw = {
+        name: ops_per_dollar(kops, data_gb, name, alphas.get(name, 0.0), cost_model)
+        for name, kops in series.items()
+    }
+    denom = raw[base]
+    return {name: value / denom for name, value in raw.items()}

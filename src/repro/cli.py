@@ -1,0 +1,224 @@
+"""Command-line interface: run the paper's experiments without writing code.
+
+Subcommands::
+
+    python -m repro ycsb   --workload A --engines undo,kamino-simple --threads 2,4,8
+    python -m repro tpcc   --engines undo,kamino-simple --ops 400
+    python -m repro chain  --workload A --f 2 --clients 4
+    python -m repro crash  --engine kamino-simple --policy random
+    python -m repro info   --engine kamino-dynamic --alpha 0.3
+
+Each prints the same fixed-width tables the benchmark suite records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics as st
+import sys
+from typing import List, Optional
+
+from .bench import format_table, replay, trace_tpcc, trace_ycsb
+from .nvm.inspect import format_report
+from .nvm.latency import PROFILES
+
+
+def _parse_list(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def cmd_ycsb(args) -> int:
+    engines = _parse_list(args.engines)
+    threads = [int(t) for t in _parse_list(args.threads)]
+    model = PROFILES[args.medium]
+    rows = []
+    for engine in engines:
+        kwargs = {"alpha": args.alpha} if engine == "kamino-dynamic" else {}
+        records = trace_ycsb(
+            engine, args.workload, nrecords=args.records, nops=args.ops,
+            value_size=args.value_size, model=model, **kwargs,
+        )
+        for n in threads:
+            r = replay(records, n, engine, args.workload, model=model)
+            rows.append([
+                engine, n, r.throughput_kops, r.mean_latency_us,
+                r.percentile_latency_us(99),
+            ])
+    print(format_table(
+        f"YCSB-{args.workload}: {args.records} records, {args.ops} ops, "
+        f"{model.name} medium",
+        ["engine", "threads", "K ops/s", "mean us", "p99 us"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_tpcc(args) -> int:
+    engines = _parse_list(args.engines)
+    rows = []
+    for engine in engines:
+        records = trace_tpcc(engine, nops=args.ops)
+        r = replay(records, args.threads, engine, "tpcc")
+        rows.append([engine, r.throughput_kops, r.mean_latency_us])
+    print(format_table(
+        f"TPC-C-lite: {args.ops} transactions, {args.threads} threads",
+        ["engine", "K tx/s", "mean us"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_chain(args) -> int:
+    from .replication import KAMINO, TRADITIONAL, ChainCluster, run_clients
+    from .workloads import Op, UPDATE, YCSBWorkload
+
+    rows = []
+    for mode in (TRADITIONAL, KAMINO):
+        cluster = ChainCluster(f=args.f, mode=mode, heap_mb=16, value_size=1024)
+        load = [Op(UPDATE, k, bytes([k % 255 + 1]) * 64) for k in range(args.records)]
+        run_clients(cluster, [load])
+        cluster.write_latencies_ns.clear()
+        workload = YCSBWorkload(args.workload, args.records, 1024, seed=1)
+        streams = [list(workload.run_ops(args.ops)) for _ in range(args.clients)]
+        run_clients(cluster, streams)
+        cluster.assert_replicas_consistent()
+        writes = cluster.write_latencies_ns
+        rows.append([
+            mode, len(cluster.chain),
+            st.mean(writes) / 1e3 if writes else 0.0,
+            st.mean(cluster.read_latencies_ns) / 1e3 if cluster.read_latencies_ns else 0.0,
+            cluster.total_storage_bytes >> 20,
+        ])
+    print(format_table(
+        f"Chain replication, f={args.f}, YCSB-{args.workload}, {args.clients} clients",
+        ["mode", "replicas", "write us", "read us", "storage MiB"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_crash(args) -> int:
+    from .errors import DeviceCrashedError
+    from .heap import PersistentHeap
+    from .kvstore import KVStore
+    from .nvm import CrashPolicy, NVMDevice, PmemPool
+    from .tx import make_engine, reopen_after_crash
+
+    policy = {
+        "drop": CrashPolicy.DROP_ALL,
+        "keep": CrashPolicy.KEEP_ALL,
+        "random": CrashPolicy.RANDOM,
+    }[args.policy]
+    device = NVMDevice(64 << 20, seed=args.seed)
+    pool = PmemPool.create(device)
+    kwargs = {"alpha": args.alpha} if args.engine == "kamino-dynamic" else {}
+    heap = PersistentHeap.create(pool, make_engine(args.engine, **kwargs), heap_size=24 << 20)
+    kv = KVStore.create(heap, value_size=128)
+    committed = {}
+    for k in range(100):
+        kv.put(k, bytes([k]) * 16)
+        committed[k] = bytes([k]) * 16
+    kv.drain()
+    device.schedule_crash(args.after, policy)
+    survived = 0
+    try:
+        for k in range(100, 200):
+            kv.put(k, bytes([k % 256]) * 16)
+            survived = k
+        kv.drain()
+    except DeviceCrashedError:
+        print(f"power failed at device op budget {args.after} "
+              f"(~key {survived + 1} in flight)")
+    device.cancel_scheduled_crash()
+    if not device.crashed:
+        device.crash(policy)
+
+    def factory():
+        return make_engine(args.engine, **kwargs)
+
+    heap2, _engine, report = reopen_after_crash(device, factory)
+    kv2 = KVStore.open(heap2)
+    kv2.tree.check_invariants()
+    ok = sum(1 for k, v in committed.items() if kv2.get(k)[: len(v)] == v)
+    print(f"recovery: {report}")
+    print(f"all {ok}/100 pre-crash records intact; B+Tree invariants hold")
+    return 0
+
+
+def cmd_info(args) -> int:
+    from .heap import PersistentHeap
+    from .kvstore import KVStore
+    from .nvm import NVMDevice, PmemPool
+    from .tx import make_engine
+
+    device = NVMDevice(args.mb << 20)
+    pool = PmemPool.create(device)
+    kwargs = {"alpha": args.alpha} if args.engine == "kamino-dynamic" else {}
+    heap = PersistentHeap.create(pool, make_engine(args.engine, **kwargs),
+                                 heap_size=(args.mb // 3) << 20)
+    kv = KVStore.create(heap, value_size=256)
+    for k in range(args.records):
+        kv.put(k, bytes([k % 256]) * 100)
+    kv.drain()
+    print(format_report(heap))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Kamino-Tx reproduction: run experiments from the command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("ycsb", help="YCSB throughput/latency comparison")
+    p.add_argument("--workload", default="A", choices=list("ABCDEF"))
+    p.add_argument("--engines", default="undo,kamino-simple",
+                   help="comma-separated engine names")
+    p.add_argument("--threads", default="4", help="comma-separated thread counts")
+    p.add_argument("--records", type=int, default=500)
+    p.add_argument("--ops", type=int, default=1000)
+    p.add_argument("--value-size", type=int, default=1008)
+    p.add_argument("--alpha", type=float, default=0.5)
+    p.add_argument("--medium", default="nvdimm", choices=sorted(PROFILES))
+    p.set_defaults(fn=cmd_ycsb)
+
+    p = sub.add_parser("tpcc", help="TPC-C-lite comparison")
+    p.add_argument("--engines", default="undo,kamino-simple")
+    p.add_argument("--ops", type=int, default=300)
+    p.add_argument("--threads", type=int, default=4)
+    p.set_defaults(fn=cmd_tpcc)
+
+    p = sub.add_parser("chain", help="replicated chain comparison")
+    p.add_argument("--workload", default="A", choices=list("ABCDEF"))
+    p.add_argument("--f", type=int, default=2, help="failures to tolerate")
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--records", type=int, default=200)
+    p.add_argument("--ops", type=int, default=100, help="ops per client")
+    p.set_defaults(fn=cmd_chain)
+
+    p = sub.add_parser("crash", help="crash-injection + recovery demo")
+    p.add_argument("--engine", default="kamino-simple")
+    p.add_argument("--policy", default="random", choices=["drop", "keep", "random"])
+    p.add_argument("--after", type=int, default=500, help="device ops until power fail")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--alpha", type=float, default=0.5)
+    p.set_defaults(fn=cmd_crash)
+
+    p = sub.add_parser("info", help="inspect a pool/heap layout")
+    p.add_argument("--engine", default="kamino-simple")
+    p.add_argument("--mb", type=int, default=64, help="device size in MiB")
+    p.add_argument("--records", type=int, default=200)
+    p.add_argument("--alpha", type=float, default=0.5)
+    p.set_defaults(fn=cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Exception hierarchy for the Kamino-Tx reproduction.
+
+Every package-specific error derives from :class:`ReproError` so callers can
+catch the whole family with one clause.  Errors are grouped by subsystem:
+device-level faults, heap/allocator faults, transaction faults, and
+replication faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# NVM device / pool errors
+# ---------------------------------------------------------------------------
+
+
+class NVMError(ReproError):
+    """Base class for simulated-device failures."""
+
+
+class OutOfBoundsError(NVMError):
+    """An access touched bytes outside the device or region."""
+
+
+class DeviceCrashedError(NVMError):
+    """The device is in the crashed state; reopen the pool to recover."""
+
+
+class PoolCorruptionError(NVMError):
+    """Pool header failed validation (bad magic, version, or checksum)."""
+
+
+# ---------------------------------------------------------------------------
+# Heap / allocator errors
+# ---------------------------------------------------------------------------
+
+
+class HeapError(ReproError):
+    """Base class for persistent-heap failures."""
+
+
+class OutOfMemoryError(HeapError):
+    """The allocator could not satisfy an allocation request."""
+
+
+class InvalidPointerError(HeapError):
+    """A persistent pointer does not reference a live allocation."""
+
+
+class DoubleFreeError(HeapError):
+    """An allocation was freed twice."""
+
+
+class SchemaError(HeapError):
+    """Persistent struct schema is malformed or violated."""
+
+
+# ---------------------------------------------------------------------------
+# Transaction errors
+# ---------------------------------------------------------------------------
+
+
+class TxError(ReproError):
+    """Base class for transaction failures."""
+
+
+class TxAborted(TxError):
+    """Raised inside a transaction body to abort it; also the state after."""
+
+
+class NoActiveTransactionError(TxError):
+    """A transactional operation was attempted outside a transaction."""
+
+
+class NestedTransactionError(TxError):
+    """A transaction was begun while another is active on the same thread."""
+
+
+class WriteIntentError(TxError):
+    """An object was written without a prior declared write intent (TX_ADD)."""
+
+
+class LogFullError(TxError):
+    """The intent/undo log ran out of space for this transaction."""
+
+
+class LockTimeoutError(TxError):
+    """Could not acquire an object lock within the configured timeout."""
+
+
+class RecoveryError(TxError):
+    """Crash recovery detected an inconsistency it cannot repair."""
+
+
+# ---------------------------------------------------------------------------
+# Replication errors
+# ---------------------------------------------------------------------------
+
+
+class ReplicationError(ReproError):
+    """Base class for replication failures."""
+
+
+class StaleViewError(ReplicationError):
+    """A message carried a viewID older than the replica's current view."""
+
+
+class ChainConfigError(ReplicationError):
+    """The chain was configured with too few replicas for its fault target."""
+
+
+class NodeFailedError(ReplicationError):
+    """An operation was routed to a failed replica."""

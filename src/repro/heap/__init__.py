@@ -1,0 +1,44 @@
+"""Persistent heap manager: typed objects, allocator, NVML-style API."""
+
+from .alloc import MAX_BLOCK, MIN_BLOCK, SIZE_CLASSES, SlabAllocator, class_for
+from .heap import HEAP_REGION, PersistentHeap
+from .layout import (
+    PNULL,
+    Array,
+    Bytes,
+    FieldType,
+    FixedStr,
+    Float64,
+    Int32,
+    Int64,
+    PPtr,
+    UInt64,
+)
+from .object import OBJ_HEADER_SIZE, PersistentStruct
+from .schema import GLOBAL_REGISTRY, FieldInfo, SchemaRegistry, StructSchema
+
+__all__ = [
+    "Array",
+    "Bytes",
+    "FieldInfo",
+    "FieldType",
+    "FixedStr",
+    "Float64",
+    "GLOBAL_REGISTRY",
+    "HEAP_REGION",
+    "Int32",
+    "Int64",
+    "MAX_BLOCK",
+    "MIN_BLOCK",
+    "OBJ_HEADER_SIZE",
+    "PNULL",
+    "PPtr",
+    "PersistentHeap",
+    "PersistentStruct",
+    "SIZE_CLASSES",
+    "SchemaRegistry",
+    "SlabAllocator",
+    "StructSchema",
+    "UInt64",
+    "class_for",
+]

@@ -1,0 +1,318 @@
+"""The persistent heap facade: objects + allocator + atomicity engine.
+
+This is the component marked "persistent heap manager" in the paper's
+Figure 3.  It owns the heap region, routes every persistent store through
+the active :class:`~repro.tx.base.AtomicityEngine`, and enforces the
+NVML-style programming discipline: writes only inside a transaction, and
+only to ranges with a declared write intent.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional, Type, TypeVar
+
+from ..errors import (
+    InvalidPointerError,
+    NoActiveTransactionError,
+    SchemaError,
+    WriteIntentError,
+)
+from ..nvm.device import NVMDevice
+from ..nvm.pool import PmemPool, PmemRegion
+from ..tx.base import AtomicityEngine, IntentKind, Transaction, TxState
+from .alloc import SlabAllocator, class_for
+from .layout import PNULL
+from .object import OBJ_HEADER_SIZE, PersistentStruct
+from .schema import GLOBAL_REGISTRY, FieldInfo
+
+T = TypeVar("T", bound=PersistentStruct)
+
+HEAP_REGION = "heap"
+
+_OBJ_HDR_FMT = "<IIQ"  # type_id, data_size, reserved
+
+
+class PersistentHeap:
+    """A transactional object heap on one pool, bound to one engine.
+
+    Use :meth:`create` for a fresh pool and :meth:`open` after a restart
+    (the open path runs the engine's crash recovery).
+    """
+
+    def __init__(self, pool: PmemPool, engine: AtomicityEngine, region: PmemRegion):
+        self.pool = pool
+        self.engine = engine
+        self.region = region
+        self.allocator = SlabAllocator(region, writer=self)
+        self._tls = threading.local()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        pool: PmemPool,
+        engine: AtomicityEngine,
+        heap_size: Optional[int] = None,
+        chunk_size: int = 64 * 1024,
+    ) -> "PersistentHeap":
+        """Format a heap on ``pool``; ``heap_size`` defaults to the space
+        left after the engine reserves its own regions is *not* known yet,
+        so by default the heap takes half the pool (Kamino-Simple needs an
+        equal-sized backup)."""
+        if heap_size is None:
+            heap_size = pool.free_bytes // 2 - 4096
+        region = pool.create_region(HEAP_REGION, heap_size)
+        heap = cls(pool, engine, region)
+        heap.allocator = SlabAllocator(region, writer=heap, chunk_size=chunk_size)
+        heap.allocator.format()
+        engine.attach(pool, region)
+        engine.register_free_handler(heap._apply_free)
+        return heap
+
+    @classmethod
+    def open(cls, pool: PmemPool, engine: AtomicityEngine) -> "PersistentHeap":
+        """Reopen after restart: attach, recover, rebuild volatile state."""
+        region = pool.region(HEAP_REGION)
+        heap = cls(pool, engine, region)
+        engine.attach(pool, region)
+        engine.register_free_handler(heap._apply_free)
+        engine.last_recovery_report = engine.recover()
+        heap.allocator.open()
+        return heap
+
+    def _apply_free(self, tx: Transaction, block_off: int, size: int) -> None:
+        self.allocator.apply_free(tx, block_off, size)
+
+    # -- transactions ----------------------------------------------------------
+
+    @property
+    def current_tx(self) -> Optional[Transaction]:
+        tx = getattr(self._tls, "tx", None)
+        if tx is not None and tx.state is not TxState.ACTIVE:
+            return None
+        return tx
+
+    def begin(self) -> Transaction:
+        """Begin (or flat-nest into) a transaction on this thread."""
+        tx = self.current_tx
+        if tx is not None:
+            tx.depth += 1
+            return tx
+        tx = self.engine.begin()
+        self._tls.tx = tx
+        return tx
+
+    @contextmanager
+    def transaction(self) -> Iterator[Transaction]:
+        """``with heap.transaction() as tx:`` — commit on success, abort
+        on any exception (NVML's TX_BEGIN/TX_END block)."""
+        tx = self.begin()
+        try:
+            yield tx
+        except BaseException:
+            if tx.state is TxState.ACTIVE:
+                tx.depth = 1  # an exception unwinds every nesting level
+                tx.abort()
+            raise
+        else:
+            if tx.state is TxState.ACTIVE:
+                tx.commit()
+
+    def _require_tx(self) -> Transaction:
+        tx = self.current_tx
+        if tx is None:
+            raise NoActiveTransactionError("operation requires an active transaction")
+        return tx
+
+
+    # -- translated data path ----------------------------------------------------
+
+    def read_bytes(self, offset: int, size: int) -> bytes:
+        """Load heap bytes, honouring the engine's read translation
+        (copy-on-write transactions must observe their own shadows)."""
+        dest = self.engine.translate_read(self.current_tx, offset, size)
+        if dest is None:
+            return self.region.read(offset, size)
+        region, off = dest
+        return region.read(off, size)
+
+    # -- allocation ---------------------------------------------------------------
+
+    def alloc(self, struct_cls: Type[T]) -> T:
+        """Allocate and zero-initialise a typed object (TX_ZALLOC)."""
+        schema = struct_cls._schema
+        if schema is None:
+            raise SchemaError(f"{struct_cls.__name__} declares no fields")
+        tx = self._require_tx()
+        block = self.allocator.alloc(tx, OBJ_HEADER_SIZE + schema.size)
+        header = struct.pack(_OBJ_HDR_FMT, schema.type_id, schema.size, 0)
+        self.tx_raw_write(tx, block, header, declared=True)
+        return struct_cls(self, block + OBJ_HEADER_SIZE)
+
+    def alloc_blob(self, nbytes: int) -> int:
+        """Allocate an untyped blob; returns its oid (data offset)."""
+        if nbytes <= 0:
+            raise ValueError("blob size must be positive")
+        tx = self._require_tx()
+        block = self.allocator.alloc(tx, OBJ_HEADER_SIZE + nbytes)
+        header = struct.pack(_OBJ_HDR_FMT, 0, nbytes, 0)
+        self.tx_raw_write(tx, block, header, declared=True)
+        return block + OBJ_HEADER_SIZE
+
+    def free(self, obj_or_oid) -> None:
+        """Transactionally deallocate an object (TX_FREE, applied at commit)."""
+        oid = obj_or_oid.oid if isinstance(obj_or_oid, PersistentStruct) else obj_or_oid
+        tx = self._require_tx()
+        self.allocator.defer_free(tx, oid - OBJ_HEADER_SIZE)
+
+    # -- object access ---------------------------------------------------------------
+
+    def object_header(self, oid: int) -> tuple:
+        """(type_id, data_size) of the object at ``oid``."""
+        raw = self.read_bytes(oid - OBJ_HEADER_SIZE, OBJ_HEADER_SIZE)
+        type_id, size, _ = struct.unpack(_OBJ_HDR_FMT, raw)
+        return type_id, size
+
+    def deref(self, oid: int, struct_cls: Optional[Type[T]] = None):
+        """Resurrect a handle from a persistent pointer value.
+
+        Returns ``None`` for ``PNULL``.  With ``struct_cls`` the header's
+        type id is checked against it; without, the registry decides.
+        """
+        if oid == PNULL:
+            return None
+        type_id, _size = self.object_header(oid)
+        if struct_cls is not None:
+            if struct_cls._schema is None or type_id != struct_cls._schema.type_id:
+                raise InvalidPointerError(
+                    f"object at {oid:#x} has type id {type_id:#x}, "
+                    f"not {struct_cls.__name__}"
+                )
+            return struct_cls(self, oid)
+        _schema, cls2 = GLOBAL_REGISTRY.lookup(type_id)
+        return cls2(self, oid)
+
+    def tx_add(self, obj: PersistentStruct) -> None:
+        """Declare a write intent covering the whole object (TX_ADD)."""
+        tx = self._require_tx()
+        block = obj.block_offset
+        size = self.allocator.block_size_of(block)
+        if not tx.has_intent(block):
+            tx.add(block, size, IntentKind.WRITE)
+
+    def read_object_field(self, obj: PersistentStruct, info: FieldInfo) -> bytes:
+        """Load one field's bytes; takes a read lock inside a transaction."""
+        tx = self.current_tx
+        block = obj.block_offset
+        if tx is not None and block not in tx.read_set and block not in tx.write_set:
+            tx.note_read(block, self.allocator.block_size_of(block))
+        return self.read_bytes(obj.oid + info.offset, info.ftype.size)
+
+    def write_object_field(self, obj: PersistentStruct, info: FieldInfo, data: bytes) -> None:
+        """Store one field's bytes; requires a declared write intent."""
+        tx = self._require_tx()
+        block = obj.block_offset
+        if not tx.has_intent(block):
+            raise WriteIntentError(
+                f"write to {type(obj).__name__}.{info.name} without TX_ADD; "
+                f"call obj.tx_add() first"
+            )
+        self.tx_raw_write(tx, obj.oid + info.offset, data, declared=True)
+
+    # -- blob access --------------------------------------------------------------------
+
+    def read_blob(self, oid: int, size: Optional[int] = None) -> bytes:
+        """Read an untyped blob's contents (read-locked inside a tx)."""
+        type_id, data_size = self.object_header(oid)
+        if size is None:
+            size = data_size
+        tx = self.current_tx
+        block = oid - OBJ_HEADER_SIZE
+        if tx is not None and block not in tx.read_set and block not in tx.write_set:
+            tx.note_read(block, self.allocator.block_size_of(block))
+        return self.read_bytes(oid, size)
+
+    def read_blob_at(self, oid: int, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes at ``offset`` inside a blob."""
+        _type_id, data_size = self.object_header(oid)
+        if offset < 0 or offset + size > data_size:
+            raise ValueError(
+                f"blob read [{offset}, {offset + size}) outside {data_size} bytes"
+            )
+        tx = self.current_tx
+        block = oid - OBJ_HEADER_SIZE
+        if tx is not None and block not in tx.read_set and block not in tx.write_set:
+            tx.note_read(block, self.allocator.block_size_of(block))
+        return self.read_bytes(oid + offset, size)
+
+    def write_blob_at(self, oid: int, offset: int, data: bytes) -> None:
+        """Overwrite part of a blob; the intent still covers the whole
+        block (object-granular logging, as in NVML)."""
+        _type_id, data_size = self.object_header(oid)
+        if offset < 0 or offset + len(data) > data_size:
+            raise ValueError(
+                f"blob write [{offset}, {offset + len(data)}) outside {data_size} bytes"
+            )
+        tx = self._require_tx()
+        block = oid - OBJ_HEADER_SIZE
+        if not tx.has_intent(block):
+            tx.add(block, self.allocator.block_size_of(block), IntentKind.WRITE)
+        self.tx_raw_write(tx, oid + offset, data, declared=True)
+
+    def write_blob(self, oid: int, data: bytes) -> None:
+        """Overwrite a blob's contents; declares the intent if needed."""
+        tx = self._require_tx()
+        block = oid - OBJ_HEADER_SIZE
+        if not tx.has_intent(block):
+            tx.add(block, self.allocator.block_size_of(block), IntentKind.WRITE)
+        self.tx_raw_write(tx, oid, data, declared=True)
+
+    # -- raw transactional writes (allocator + internal) -----------------------------------
+
+    def tx_raw_write(
+        self, tx: Transaction, offset: int, data: bytes, declared: bool = False
+    ) -> None:
+        """Write raw bytes under transactional protection.
+
+        When ``declared`` is false a word-granular ``WRITE`` intent is
+        registered first (the allocator-metadata path).  The engine is
+        given a chance to make its log durable before the first in-place
+        store (Kamino's "intents durable before writes" rule).
+        """
+        if not declared and not tx.covers_write(offset, len(data)):
+            tx.add(offset, len(data), IntentKind.WRITE)
+        self.engine.before_data_write(tx)
+        dest = self.engine.translate_write(tx, offset, len(data))
+        if dest is None:
+            self.region.write(offset, data)
+        else:
+            region, off = dest
+            region.write(off, data)
+
+    # -- root object ------------------------------------------------------------------------
+
+    def set_root(self, obj: PersistentStruct) -> None:
+        """Publish ``obj`` as the pool's root (durable immediately)."""
+        self.pool.set_root_offset(obj.oid)
+
+    def root(self, struct_cls: Optional[Type[T]] = None):
+        """Fetch the root object, or ``None`` if unset."""
+        oid = self.pool.root_offset
+        if oid == PNULL:
+            return None
+        return self.deref(oid, struct_cls)
+
+    # -- maintenance ---------------------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Block until the engine has no deferred (async) work left."""
+        while self.engine.sync_pending() > 0:
+            pass
+
+    @property
+    def device(self) -> NVMDevice:
+        return self.pool.device

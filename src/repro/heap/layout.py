@@ -1,0 +1,198 @@
+"""Field types for persistent structs.
+
+Persistent objects in the paper's heap "store native types such as
+integers, floats, doubles, strings and also persistent pointers to other
+persistent objects" (§3).  Each :class:`FieldType` maps one such native
+type to a fixed-size byte encoding so object layouts are deterministic
+and byte-addressable — transactions touch exact byte ranges, which is
+the granularity the whole evaluation is about.
+"""
+
+from __future__ import annotations
+
+import struct
+from abc import ABC, abstractmethod
+from typing import Any
+
+from ..errors import SchemaError
+
+#: The null persistent pointer (offset 0 is the pool header, never data).
+PNULL = 0
+
+
+class FieldType(ABC):
+    """A fixed-size, byte-encodable field of a persistent struct."""
+
+    size: int
+
+    @abstractmethod
+    def pack(self, value: Any) -> bytes:
+        """Encode ``value`` into exactly ``self.size`` bytes."""
+
+    @abstractmethod
+    def unpack(self, data: bytes) -> Any:
+        """Decode ``self.size`` bytes back into a Python value."""
+
+    def default(self) -> Any:
+        """The zero value a freshly allocated field reads as."""
+        return self.unpack(b"\0" * self.size)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Int64(FieldType):
+    """Signed 64-bit integer."""
+
+    size = 8
+
+    def pack(self, value: int) -> bytes:
+        try:
+            return struct.pack("<q", value)
+        except struct.error as exc:
+            raise SchemaError(f"Int64 out of range: {value!r}") from exc
+
+    def unpack(self, data: bytes) -> int:
+        return struct.unpack("<q", data)[0]
+
+
+class UInt64(FieldType):
+    """Unsigned 64-bit integer."""
+
+    size = 8
+
+    def pack(self, value: int) -> bytes:
+        try:
+            return struct.pack("<Q", value)
+        except struct.error as exc:
+            raise SchemaError(f"UInt64 out of range: {value!r}") from exc
+
+    def unpack(self, data: bytes) -> int:
+        return struct.unpack("<Q", data)[0]
+
+
+class Int32(FieldType):
+    """Signed 32-bit integer."""
+
+    size = 4
+
+    def pack(self, value: int) -> bytes:
+        try:
+            return struct.pack("<i", value)
+        except struct.error as exc:
+            raise SchemaError(f"Int32 out of range: {value!r}") from exc
+
+    def unpack(self, data: bytes) -> int:
+        return struct.unpack("<i", data)[0]
+
+
+class Float64(FieldType):
+    """IEEE-754 double."""
+
+    size = 8
+
+    def pack(self, value: float) -> bytes:
+        return struct.pack("<d", value)
+
+    def unpack(self, data: bytes) -> float:
+        return struct.unpack("<d", data)[0]
+
+
+class FixedStr(FieldType):
+    """UTF-8 string in a fixed-size, NUL-padded buffer."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise SchemaError("FixedStr size must be positive")
+        self.size = size
+
+    def pack(self, value: str) -> bytes:
+        raw = value.encode("utf-8")
+        if len(raw) > self.size:
+            raise SchemaError(
+                f"string of {len(raw)} bytes exceeds FixedStr({self.size})"
+            )
+        return raw.ljust(self.size, b"\0")
+
+    def unpack(self, data: bytes) -> str:
+        return data.rstrip(b"\0").decode("utf-8")
+
+    def __repr__(self) -> str:
+        return f"FixedStr({self.size})"
+
+
+class Bytes(FieldType):
+    """Raw bytes in a fixed-size, NUL-padded buffer."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise SchemaError("Bytes size must be positive")
+        self.size = size
+
+    def pack(self, value: bytes) -> bytes:
+        if len(value) > self.size:
+            raise SchemaError(f"{len(value)} bytes exceed Bytes({self.size})")
+        return bytes(value).ljust(self.size, b"\0")
+
+    def unpack(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def __repr__(self) -> str:
+        return f"Bytes({self.size})"
+
+
+class Array(FieldType):
+    """A fixed-count array of one element type, read/written as a list.
+
+    Reading yields a list of ``count`` values; writing accepts any
+    sequence of exactly ``count`` values.  Used by the B+Tree for key
+    and child arrays — one field write updates the whole array, matching
+    the object-granular logging the paper measures against.
+    """
+
+    def __init__(self, element: "FieldType", count: int):
+        if count <= 0:
+            raise SchemaError("Array count must be positive")
+        if not isinstance(element, FieldType):
+            raise SchemaError("Array element must be a FieldType instance")
+        self.element = element
+        self.count = count
+        self.size = element.size * count
+
+    def pack(self, value) -> bytes:
+        values = list(value)
+        if len(values) != self.count:
+            raise SchemaError(
+                f"Array({self.count}) got {len(values)} elements"
+            )
+        return b"".join(self.element.pack(v) for v in values)
+
+    def unpack(self, data: bytes):
+        es = self.element.size
+        return [
+            self.element.unpack(data[i * es : (i + 1) * es]) for i in range(self.count)
+        ]
+
+    def __repr__(self) -> str:
+        return f"Array({self.element!r}, {self.count})"
+
+
+class PPtr(FieldType):
+    """Persistent pointer: a heap-region offset, 0 (``PNULL``) = null.
+
+    Persistent pointers are offsets rather than virtual addresses so the
+    heap is position-independent across reopens — the same design as
+    NVML's ``PMEMoid``.
+    """
+
+    size = 8
+
+    def pack(self, value: int) -> bytes:
+        if value is None:
+            value = PNULL
+        if value < 0:
+            raise SchemaError(f"persistent pointer cannot be negative: {value}")
+        return struct.pack("<Q", value)
+
+    def unpack(self, data: bytes) -> int:
+        return struct.unpack("<Q", data)[0]

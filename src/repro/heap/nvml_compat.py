@@ -1,0 +1,126 @@
+"""NVML/PMDK-style macro API (paper Figure 10, Table 2).
+
+The paper's implementation is "a user-level library ... that redefines
+the functionality of a set of interfaces defined by NVML", so that "any
+application that works with NVML just needs to be re-linked to work with
+Kamino-Tx".  This module reproduces that surface in Python: code written
+against these names runs unchanged on any engine, and swapping the
+engine swaps the atomicity scheme — the exact experimental methodology
+of the paper.
+
+==================  =========================================================
+NVML name           Behaviour here (Table 2's Kamino column)
+==================  =========================================================
+``TX_BEGIN(pop)``   context manager opening a transaction on the pool
+``TX_ADD(obj)``     declare a write intent (Kamino: a 32-byte log entry,
+                    no data copied; undo: copies the object to the log)
+``TX_ZALLOC``       allocate a zeroed object/blob inside the transaction
+``TX_FREE(obj)``    transactionally deallocate (applied at commit)
+``TX_COMMIT()``     explicit early commit of the enclosing block
+``TX_ABORT()``      roll back the enclosing block
+``D_RW(obj)``       "direct read-write" pointer — the typed handle itself
+``D_RO(obj)``       read-only view raising on attribute writes
+``POBJ_ROOT``       fetch/assign the pool's root object
+==================  =========================================================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Type, TypeVar
+
+from ..errors import TxAborted
+from .heap import PersistentHeap
+from .object import PersistentStruct
+
+T = TypeVar("T", bound=PersistentStruct)
+
+
+@contextmanager
+def TX_BEGIN(pop: PersistentHeap) -> Iterator:
+    """``TX_BEGIN(pop) { ... } TX_END``: commit on exit, abort on raise."""
+    with pop.transaction() as tx:
+        yield tx
+
+
+def TX_ADD(obj: PersistentStruct) -> None:
+    """Declare a write intent for the whole object.
+
+    In unmodified NVML this copies the object into the undo log; under a
+    Kamino engine only the object's address is logged (§6.1, Table 2).
+    """
+    obj.tx_add()
+
+
+def TX_ZALLOC(pop: PersistentHeap, struct_cls: Type[T]) -> T:
+    """Allocate a zeroed object of ``struct_cls`` (reports to the Log
+    Manager via the ALLOC intent)."""
+    return pop.alloc(struct_cls)
+
+
+def TX_ZALLOC_BYTES(pop: PersistentHeap, nbytes: int) -> int:
+    """Allocate a zeroed untyped blob; returns its persistent pointer."""
+    return pop.alloc_blob(nbytes)
+
+
+def TX_FREE(obj_or_oid) -> None:
+    """Transactionally deallocate; the bitmap clear lands at commit."""
+    heap = obj_or_oid._heap if isinstance(obj_or_oid, PersistentStruct) else None
+    if heap is None:
+        raise TypeError(
+            "TX_FREE needs a typed handle; use heap.free(oid) for raw pointers"
+        )
+    heap.free(obj_or_oid)
+
+
+def TX_COMMIT(pop: PersistentHeap) -> None:
+    """Commit the current transaction immediately (before block exit)."""
+    tx = pop.current_tx
+    if tx is not None:
+        tx.depth = 1
+        tx.commit()
+
+
+def TX_ABORT() -> None:
+    """Abort the enclosing ``TX_BEGIN`` block (raises ``TxAborted``)."""
+    raise TxAborted()
+
+
+def D_RW(obj: T) -> T:
+    """Direct read-write pointer.
+
+    NVML's ``D_RW`` converts a PMEMoid into a typed virtual-memory
+    pointer; our typed handles already *are* that, so this is the
+    identity — kept for source compatibility with Figure 10.
+    """
+    return obj
+
+
+class _ReadOnlyView:
+    """Attribute reads pass through; writes raise (NVML's const pointer)."""
+
+    __slots__ = ("_obj",)
+
+    def __init__(self, obj: PersistentStruct):
+        object.__setattr__(self, "_obj", obj)
+
+    def __getattr__(self, name):
+        return getattr(object.__getattribute__(self, "_obj"), name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"D_RO view is read-only (writing '{name}')")
+
+
+def D_RO(obj: PersistentStruct) -> _ReadOnlyView:
+    """Read-only pointer: attribute writes raise ``AttributeError``."""
+    return _ReadOnlyView(obj)
+
+
+def POBJ_ROOT(pop: PersistentHeap, struct_cls: Optional[Type[T]] = None):
+    """The pool's root object handle (None if unset)."""
+    return pop.root(struct_cls)
+
+
+def POBJ_SET_ROOT(pop: PersistentHeap, obj: PersistentStruct) -> None:
+    """Publish the root object (durable immediately, as in pmemobj)."""
+    pop.set_root(obj)

@@ -1,0 +1,103 @@
+"""Persistent struct schemas and the type registry.
+
+A schema gives each persistent object class a deterministic byte layout
+and a stable ``type_id`` stored in the object header, so pointers can be
+resurrected after a pool reopen without pickling anything.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from ..errors import SchemaError
+from .layout import FieldType
+
+
+class FieldInfo:
+    """One field's resolved position within a struct."""
+
+    __slots__ = ("name", "ftype", "offset")
+
+    def __init__(self, name: str, ftype: FieldType, offset: int):
+        self.name = name
+        self.ftype = ftype
+        self.offset = offset
+
+    def __repr__(self) -> str:
+        return f"FieldInfo({self.name!r}, {self.ftype!r}, off={self.offset})"
+
+
+class StructSchema:
+    """Resolved layout of a persistent struct: field order is layout order."""
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, FieldType]]):
+        if not fields:
+            raise SchemaError(f"struct '{name}' has no fields")
+        self.name = name
+        self.fields: List[FieldInfo] = []
+        self._by_name: Dict[str, FieldInfo] = {}
+        offset = 0
+        for fname, ftype in fields:
+            if fname in self._by_name:
+                raise SchemaError(f"duplicate field '{fname}' in struct '{name}'")
+            if not isinstance(ftype, FieldType):
+                raise SchemaError(
+                    f"field '{fname}' of '{name}' must be a FieldType instance, "
+                    f"got {ftype!r}"
+                )
+            info = FieldInfo(fname, ftype, offset)
+            self.fields.append(info)
+            self._by_name[fname] = info
+            offset += ftype.size
+        self.size = offset
+        self.type_id = self._compute_type_id()
+
+    def _compute_type_id(self) -> int:
+        signature = self.name + "|" + "|".join(
+            f"{f.name}:{f.ftype!r}" for f in self.fields
+        )
+        # never 0: 0 means "untyped blob" in headers
+        return (zlib.crc32(signature.encode("utf-8")) & 0xFFFFFFFF) or 1
+
+    def field(self, name: str) -> FieldInfo:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"struct '{self.name}' has no field '{name}'") from None
+
+    def __repr__(self) -> str:
+        return f"<StructSchema {self.name} size={self.size} id={self.type_id:#x}>"
+
+
+class SchemaRegistry:
+    """Maps type ids to (schema, python class) for pointer resurrection.
+
+    The registry is volatile by design: classes must be imported before a
+    reopened pool is traversed, the same requirement any native persistent
+    heap has.
+    """
+
+    def __init__(self):
+        self._by_id: Dict[int, Tuple[StructSchema, type]] = {}
+
+    def register(self, schema: StructSchema, cls: type) -> None:
+        existing = self._by_id.get(schema.type_id)
+        if existing is not None and existing[1] is not cls:
+            raise SchemaError(
+                f"type id collision: {schema.name} vs {existing[0].name}"
+            )
+        self._by_id[schema.type_id] = (schema, cls)
+
+    def lookup(self, type_id: int) -> Tuple[StructSchema, type]:
+        try:
+            return self._by_id[type_id]
+        except KeyError:
+            raise SchemaError(f"unknown type id {type_id:#x}; import its class first") from None
+
+    def known(self, type_id: int) -> bool:
+        return type_id in self._by_id
+
+
+#: Process-wide registry; sufficient because type ids are content-derived.
+GLOBAL_REGISTRY = SchemaRegistry()

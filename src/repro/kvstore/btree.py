@@ -1,0 +1,310 @@
+"""Persistent B+Tree — the index under the paper's key-value store (§7).
+
+Nodes are persistent structs with fixed-fanout key/pointer arrays; leaves
+are chained for range scans.  Every mutation runs inside a transaction on
+the owning heap, declaring write intents per touched node — with the undo
+baseline each touched node's whole block is copied in the critical path,
+with Kamino only a 32-byte intent is logged, which is precisely the
+asymmetry Figures 12–13 measure.
+
+Deletes are lazy at the structural level: keys are removed from leaves
+but empty leaves stay linked (and internal separators stay in place), a
+common simplification that keeps every operation's write set small and
+bounded.  Space is reclaimed for the *values*; index nodes are recycled
+only on drop.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+from ..errors import SchemaError
+from ..heap import Array, Int64, PNULL, PPtr, PersistentHeap, PersistentStruct
+
+DEFAULT_FANOUT = 32
+
+_node_classes: Dict[int, Type[PersistentStruct]] = {}
+
+
+def node_class(fanout: int) -> Type[PersistentStruct]:
+    """The persistent node struct for a given fanout (cached per fanout)."""
+    cls = _node_classes.get(fanout)
+    if cls is None:
+        if not 4 <= fanout <= 128:
+            raise SchemaError(f"fanout must be in [4, 128], got {fanout}")
+        cls = type(
+            f"BTreeNode{fanout}",
+            (PersistentStruct,),
+            {
+                "fields": [
+                    ("is_leaf", Int64()),
+                    ("count", Int64()),
+                    ("next", PPtr()),
+                    ("keys", Array(Int64(), fanout)),
+                    ("ptrs", Array(PPtr(), fanout + 1)),
+                ]
+            },
+        )
+        _node_classes[fanout] = cls
+    return cls
+
+
+class BTreeMeta(PersistentStruct):
+    """Persistent tree header: root pointer, entry count, fanout."""
+
+    fields = [("root", PPtr()), ("count", Int64()), ("fanout", Int64())]
+
+
+class BPlusTree:
+    """A persistent B+Tree mapping int64 keys to persistent pointers.
+
+    Values are opaque oids (usually value blobs); the tree itself never
+    touches them, so the KV layer decides value lifetime.
+    """
+
+    def __init__(self, heap: PersistentHeap, meta: BTreeMeta):
+        self.heap = heap
+        self.meta = meta
+        self.fanout = meta.fanout
+        self._node_cls = node_class(self.fanout)
+
+    @classmethod
+    def create(cls, heap: PersistentHeap, fanout: int = DEFAULT_FANOUT) -> "BPlusTree":
+        node_class(fanout)  # validate before allocating
+        with heap.transaction():
+            meta = heap.alloc(BTreeMeta)
+            meta.fanout = fanout
+        return cls(heap, meta)
+
+    @classmethod
+    def open(cls, heap: PersistentHeap, meta_oid: int) -> "BPlusTree":
+        return cls(heap, heap.deref(meta_oid, BTreeMeta))
+
+    # -- node helpers -------------------------------------------------------
+
+    def _node(self, oid: int):
+        return self._node_cls(self.heap, oid)
+
+    def _new_node(self, is_leaf: bool):
+        node = self.heap.alloc(self._node_cls)
+        node.is_leaf = 1 if is_leaf else 0
+        return node
+
+    def _store(self, node, keys: List[int], ptrs: List[int]) -> None:
+        """Write back a node's logical contents, padding to the arrays."""
+        f = self.fanout
+        node.keys = keys + [0] * (f - len(keys))
+        node.ptrs = ptrs + [PNULL] * (f + 1 - len(ptrs))
+        node.count = len(keys)
+
+    def _load(self, node) -> Tuple[List[int], List[int]]:
+        count = node.count
+        keys = node.keys[:count]
+        nptrs = count + (0 if node.is_leaf else 1)
+        ptrs = node.ptrs[:nptrs]
+        return keys, ptrs
+
+    # -- reads -------------------------------------------------------------------
+
+    def get(self, key: int) -> Optional[int]:
+        """Value pointer for ``key``, or None (read-only transaction)."""
+        with self.heap.transaction():
+            leaf = self._descend(key)
+            if leaf is None:
+                return None
+            keys, ptrs = self._load(leaf)
+            idx = bisect_left(keys, key)
+            if idx < len(keys) and keys[idx] == key:
+                return ptrs[idx]
+            return None
+
+    def _descend(self, key: int):
+        oid = self.meta.root
+        if oid == PNULL:
+            return None
+        node = self._node(oid)
+        while not node.is_leaf:
+            keys, ptrs = self._load(node)
+            node = self._node(ptrs[bisect_right(keys, key)])
+        return node
+
+    def scan(self, start_key: int, limit: int) -> List[Tuple[int, int]]:
+        """Up to ``limit`` (key, ptr) pairs with key >= start_key."""
+        out: List[Tuple[int, int]] = []
+        with self.heap.transaction():
+            leaf = self._descend(start_key)
+            while leaf is not None and len(out) < limit:
+                keys, ptrs = self._load(leaf)
+                idx = bisect_left(keys, start_key)
+                for i in range(idx, len(keys)):
+                    out.append((keys[i], ptrs[i]))
+                    if len(out) >= limit:
+                        break
+                leaf = self.heap.deref(leaf.next, self._node_cls)
+        return out
+
+    # -- writes -------------------------------------------------------------------
+
+    def put(self, key: int, vptr: int) -> Optional[int]:
+        """Insert or replace; returns the previous pointer if replaced."""
+        with self.heap.transaction():
+            root_oid = self.meta.root
+            if root_oid == PNULL:
+                leaf = self._new_node(is_leaf=True)
+                self._store(leaf, [key], [vptr])
+                self.meta.tx_add()
+                self.meta.root = leaf.oid
+                self.meta.count = 1
+                return None
+            split, old = self._insert(self._node(root_oid), key, vptr)
+            if split is not None:
+                sep, right_oid = split
+                new_root = self._new_node(is_leaf=False)
+                self._store(new_root, [sep], [root_oid, right_oid])
+                self.meta.tx_add()
+                self.meta.root = new_root.oid
+            if old is None:
+                self.meta.tx_add()
+                self.meta.count = self.meta.count + 1
+            return old
+
+    def _insert(self, node, key: int, vptr: int):
+        """Recursive insert; returns ((sep, new_node_oid) | None, old_ptr)."""
+        keys, ptrs = self._load(node)
+        if node.is_leaf:
+            idx = bisect_left(keys, key)
+            if idx < len(keys) and keys[idx] == key:
+                old = ptrs[idx]
+                ptrs[idx] = vptr
+                node.tx_add()
+                self._store(node, keys, ptrs)
+                return None, old
+            keys.insert(idx, key)
+            ptrs.insert(idx, vptr)
+            if len(keys) <= self.fanout:
+                node.tx_add()
+                self._store(node, keys, ptrs)
+                return None, None
+            return self._split_leaf(node, keys, ptrs), None
+        child_idx = bisect_right(keys, key)
+        split, old = self._insert(self._node(ptrs[child_idx]), key, vptr)
+        if split is None:
+            return None, old
+        sep, right_oid = split
+        keys.insert(child_idx, sep)
+        ptrs.insert(child_idx + 1, right_oid)
+        if len(keys) <= self.fanout:
+            node.tx_add()
+            self._store(node, keys, ptrs)
+            return None, old
+        return self._split_internal(node, keys, ptrs), old
+
+    def _split_leaf(self, node, keys: List[int], ptrs: List[int]):
+        mid = len(keys) // 2
+        right = self._new_node(is_leaf=True)
+        self._store(right, keys[mid:], ptrs[mid:])
+        right.next = node.next
+        node.tx_add()
+        self._store(node, keys[:mid], ptrs[:mid])
+        node.next = right.oid
+        return keys[mid], right.oid
+
+    def _split_internal(self, node, keys: List[int], ptrs: List[int]):
+        mid = len(keys) // 2
+        sep = keys[mid]
+        right = self._new_node(is_leaf=False)
+        self._store(right, keys[mid + 1 :], ptrs[mid + 1 :])
+        node.tx_add()
+        self._store(node, keys[:mid], ptrs[: mid + 1])
+        return sep, right.oid
+
+    def delete(self, key: int) -> Optional[int]:
+        """Remove ``key``; returns its pointer, or None if absent."""
+        with self.heap.transaction():
+            leaf = self._descend(key)
+            if leaf is None:
+                return None
+            keys, ptrs = self._load(leaf)
+            idx = bisect_left(keys, key)
+            if idx >= len(keys) or keys[idx] != key:
+                return None
+            old = ptrs[idx]
+            del keys[idx]
+            del ptrs[idx]
+            leaf.tx_add()
+            self._store(leaf, keys, ptrs)
+            self.meta.tx_add()
+            self.meta.count = self.meta.count - 1
+            return old
+
+    # -- introspection ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.meta.count
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """All (key, ptr) pairs in key order (leaf-chain walk)."""
+        oid = self.meta.root
+        if oid == PNULL:
+            return
+        node = self._node(oid)
+        while not node.is_leaf:
+            _keys, ptrs = self._load(node)
+            node = self._node(ptrs[0])
+        while node is not None:
+            keys, ptrs = self._load(node)
+            for k, p in zip(keys, ptrs):
+                yield k, p
+            node = self.heap.deref(node.next, self._node_cls)
+
+    def height(self) -> int:
+        h = 0
+        oid = self.meta.root
+        if oid == PNULL:
+            return 0
+        node = self._node(oid)
+        h = 1
+        while not node.is_leaf:
+            _keys, ptrs = self._load(node)
+            node = self._node(ptrs[0])
+            h += 1
+        return h
+
+    def check_invariants(self) -> None:
+        """Assert sortedness, separator bounds, counts, and chain order."""
+        root_oid = self.meta.root
+        if root_oid == PNULL:
+            assert self.meta.count == 0
+            return
+        leaves: List[int] = []
+        total = self._check_node(self._node(root_oid), None, None, leaves)
+        assert total == self.meta.count, (
+            f"count mismatch: counted {total}, meta says {self.meta.count}"
+        )
+        # the leaf chain must visit exactly the leaves, left to right
+        chain = []
+        node = self._node(root_oid)
+        while not node.is_leaf:
+            _k, ptrs = self._load(node)
+            node = self._node(ptrs[0])
+        while node is not None:
+            chain.append(node.oid)
+            node = self.heap.deref(node.next, self._node_cls)
+        assert chain == leaves, "leaf chain disagrees with tree structure"
+
+    def _check_node(self, node, lo, hi, leaves: List[int]) -> int:
+        keys, ptrs = self._load(node)
+        assert keys == sorted(keys), "unsorted node"
+        for k in keys:
+            assert lo is None or k >= lo, "key below separator bound"
+            assert hi is None or k < hi, "key above separator bound"
+        if node.is_leaf:
+            leaves.append(node.oid)
+            return len(keys)
+        assert len(ptrs) == len(keys) + 1
+        total = 0
+        bounds = [lo] + keys + [hi]
+        for i, p in enumerate(ptrs):
+            total += self._check_node(self._node(p), bounds[i], bounds[i + 1], leaves)
+        return total

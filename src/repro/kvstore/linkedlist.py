@@ -1,0 +1,163 @@
+"""Persistent doubly-linked list — the paper's running example (Figure 4).
+
+Each node is a persistent object with native fields and persistent
+pointers; every mutation is a transaction touching the small set of
+neighbouring nodes, which is exactly the fine-grained multi-object
+update pattern Kamino-Tx targets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..heap import FixedStr, Float64, Int64, PNULL, PPtr, PersistentHeap, PersistentStruct
+
+
+class ListNode(PersistentStruct):
+    """Mirror of the paper's node: type, key, value, next, prev."""
+
+    fields = [
+        ("type", Int64()),
+        ("key", Int64()),
+        ("value", Float64()),
+        ("next", PPtr()),
+        ("prev", PPtr()),
+    ]
+
+
+class ListRoot(PersistentStruct):
+    """Heap root holding the list's head/tail pointers and length."""
+
+    fields = [("head", PPtr()), ("tail", PPtr()), ("length", Int64())]
+
+
+class PersistentList:
+    """A sorted (by key) doubly-linked list of :class:`ListNode`.
+
+    All operations are transactions; the caller may also open an outer
+    transaction to compose several operations atomically (flat nesting).
+    """
+
+    def __init__(self, heap: PersistentHeap, root: ListRoot):
+        self.heap = heap
+        self.root = root
+
+    @classmethod
+    def create(cls, heap: PersistentHeap) -> "PersistentList":
+        with heap.transaction():
+            root = heap.alloc(ListRoot)
+        return cls(heap, root)
+
+    @classmethod
+    def open(cls, heap: PersistentHeap, root_oid: int) -> "PersistentList":
+        return cls(heap, heap.deref(root_oid, ListRoot))
+
+    # -- operations (the four transaction shapes of Figure 4) ----------------
+
+    def insert(self, key: int, value: float) -> ListNode:
+        """TxInsert: splice a new node in sorted position."""
+        with self.heap.transaction():
+            prev, current = self._find_position(key)
+            new = self.heap.alloc(ListNode)
+            new.key = key
+            new.value = value
+            new.next = current.oid if current is not None else PNULL
+            new.prev = prev.oid if prev is not None else PNULL
+            if prev is not None:
+                prev.tx_add()
+                prev.next = new.oid
+            if current is not None:
+                current.tx_add()
+                current.prev = new.oid
+            self.root.tx_add()
+            if prev is None:
+                self.root.head = new.oid
+            if current is None:
+                self.root.tail = new.oid
+            self.root.length = self.root.length + 1
+        return new
+
+    def delete(self, key: int) -> bool:
+        """TxDelete: unlink and free the first node with ``key``."""
+        with self.heap.transaction():
+            node = self._find(key)
+            if node is None:
+                return False
+            prev = self.heap.deref(node.prev, ListNode)
+            nxt = self.heap.deref(node.next, ListNode)
+            self.root.tx_add()
+            if prev is not None:
+                prev.tx_add()
+                prev.next = node.next
+            else:
+                self.root.head = node.next
+            if nxt is not None:
+                nxt.tx_add()
+                nxt.prev = node.prev
+            else:
+                self.root.tail = node.prev
+            self.root.length = self.root.length - 1
+            self.heap.free(node)
+            return True
+
+    def lookup(self, key: int) -> Optional[float]:
+        """TxLookup: read-only transaction (takes read locks)."""
+        with self.heap.transaction():
+            node = self._find(key)
+            return node.value if node is not None else None
+
+    def update(self, key: int, value: float) -> bool:
+        """TxUpdate: modify one node's value field in place."""
+        with self.heap.transaction():
+            node = self._find(key)
+            if node is None:
+                return False
+            node.tx_add()
+            node.value = value
+            return True
+
+    # -- traversal --------------------------------------------------------------
+
+    def _find(self, key: int) -> Optional[ListNode]:
+        node = self.heap.deref(self.root.head, ListNode)
+        while node is not None:
+            if node.key == key:
+                return node
+            if node.key > key:
+                return None
+            node = self.heap.deref(node.next, ListNode)
+        return None
+
+    def _find_position(self, key: int):
+        """(prev, current) such that prev.key <= key < current.key."""
+        prev = None
+        node = self.heap.deref(self.root.head, ListNode)
+        while node is not None and node.key <= key:
+            prev = node
+            node = self.heap.deref(node.next, ListNode)
+        return prev, node
+
+    def keys(self) -> List[int]:
+        return [n.key for n in self]
+
+    def __iter__(self) -> Iterator[ListNode]:
+        node = self.heap.deref(self.root.head, ListNode)
+        while node is not None:
+            yield node
+            node = self.heap.deref(node.next, ListNode)
+
+    def __len__(self) -> int:
+        return self.root.length
+
+    def check_invariants(self) -> None:
+        """Assert forward/backward consistency and sortedness (tests)."""
+        forward = [n.oid for n in self]
+        backward = []
+        node = self.heap.deref(self.root.tail, ListNode)
+        while node is not None:
+            backward.append(node.oid)
+            node = self.heap.deref(node.prev, ListNode)
+        assert forward == list(reversed(backward)), "next/prev links disagree"
+        keys = self.keys()
+        assert keys == sorted(keys), "list not sorted"
+        assert len(forward) == self.root.length, "length counter wrong"

@@ -1,0 +1,169 @@
+"""Crash-consistent persistent ring buffer of variable-size records.
+
+Chain replicas "buffer such calls in an input queue in non-volatile
+memory before the receipt is acknowledged upstream" (§5.1); this is that
+queue as a reusable structure.  It is engine-independent — the ring *is*
+its own atomicity mechanism:
+
+* a record is ``[length u32][crc u32][payload][pad to 8]``, written and
+  flushed *before* the producer index advances;
+* the producer/consumer indices are 8-byte words, each updated with a
+  single power-fail-atomic durable store;
+* on reopen, a record at the tail whose CRC fails (torn append) is
+  simply not visible, because the durable tail still points before it.
+
+Wraparound uses a ``SKIP`` sentinel record when a record does not fit
+contiguously before the end of the data area.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator, List, Optional
+
+from ..errors import HeapError, PoolCorruptionError
+from ..nvm.pool import PmemRegion
+
+RING_MAGIC = 0x52494E47  # "RING"
+
+_HDR_FMT = "<IIQQ"  # magic, reserved, produce_off, consume_off
+_HDR_SIZE = 64  # one cache line: indices are word-atomic
+_REC_HDR = struct.Struct("<II")  # length, crc32
+_SKIP = 0xFFFFFFFF
+
+
+def _pad(n: int) -> int:
+    return (n + 7) // 8 * 8
+
+
+class PersistentRing:
+    """Single-producer/single-consumer durable FIFO over one region."""
+
+    def __init__(self, region: PmemRegion):
+        if region.size < _HDR_SIZE + 64:
+            raise HeapError("ring region too small")
+        self.region = region
+        self._data_size = region.size - _HDR_SIZE
+        self._produce = 0  # logical offsets into the data area
+        self._consume = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    def create(cls, region: PmemRegion) -> "PersistentRing":
+        ring = cls(region)
+        region.write_and_flush(0, struct.pack(_HDR_FMT, RING_MAGIC, 0, 0, 0))
+        return ring
+
+    @classmethod
+    def open(cls, region: PmemRegion) -> "PersistentRing":
+        raw = region.read(0, struct.calcsize(_HDR_FMT))
+        magic, _r, produce, consume = struct.unpack(_HDR_FMT, raw)
+        if magic != RING_MAGIC:
+            raise PoolCorruptionError("region holds no ring header")
+        ring = cls(region)
+        ring._produce = produce
+        ring._consume = consume
+        return ring
+
+    # -- geometry ---------------------------------------------------------------
+
+    def _addr(self, logical: int) -> int:
+        return _HDR_SIZE + logical % self._data_size
+
+    @property
+    def used_bytes(self) -> int:
+        return self._produce - self._consume
+
+    @property
+    def free_bytes(self) -> int:
+        return self._data_size - self.used_bytes
+
+    def __len__(self) -> int:
+        n = 0
+        for _ in self.peek_all():
+            n += 1
+        return n
+
+    # -- producer ----------------------------------------------------------------
+
+    def append(self, payload: bytes) -> None:
+        """Durably enqueue ``payload``; visible only once fully written."""
+        need = _pad(_REC_HDR.size + len(payload))
+        if need > self._data_size // 2:
+            raise HeapError(f"record of {len(payload)} bytes too large for this ring")
+        room_to_end = self._data_size - (self._produce % self._data_size)
+        total = need + (room_to_end if room_to_end < need else 0)
+        if total > self.free_bytes:
+            raise HeapError("ring full; consumer has fallen behind")
+        if room_to_end < need:
+            self._write_skip(room_to_end)
+        addr = self._addr(self._produce)
+        record = _REC_HDR.pack(len(payload), zlib.crc32(payload)) + payload
+        self.region.write(addr, record)
+        self.region.flush(addr, len(record))
+        self.region.pool.device.fence()
+        self._advance_produce(need)
+
+    def _write_skip(self, room: int) -> None:
+        """Burn the space to the end of the data area with a sentinel."""
+        addr = self._addr(self._produce)
+        self.region.write(addr, _REC_HDR.pack(_SKIP, 0))
+        self.region.flush(addr, _REC_HDR.size)
+        self.region.pool.device.fence()
+        self._advance_produce(room)
+
+    def _advance_produce(self, by: int) -> None:
+        self._produce += by
+        self.region.write(8, struct.pack("<Q", self._produce))
+        self.region.flush(8, 8)
+        self.region.pool.device.fence()
+
+    # -- consumer ------------------------------------------------------------------
+
+    def _read_record(self, logical: int) -> Optional[tuple]:
+        """(payload, next_logical) at ``logical``, or None for torn data."""
+        if logical >= self._produce:
+            return None
+        addr = self._addr(logical)
+        length, crc = _REC_HDR.unpack(self.region.read(addr, _REC_HDR.size))
+        if length == _SKIP:
+            room = self._data_size - logical % self._data_size
+            return self._read_record(logical + room)
+        if length > self._data_size:
+            raise PoolCorruptionError("ring record length corrupt")
+        payload = self.region.read(addr + _REC_HDR.size, length)
+        if zlib.crc32(payload) != crc:
+            raise PoolCorruptionError("ring record failed its checksum")
+        return payload, logical + _pad(_REC_HDR.size + length)
+
+    def consume(self) -> Optional[bytes]:
+        """Dequeue the oldest record durably; None if empty."""
+        rec = self._read_record(self._consume)
+        if rec is None:
+            return None
+        payload, nxt = rec
+        self._consume = nxt
+        self.region.write(16, struct.pack("<Q", self._consume))
+        self.region.flush(16, 8)
+        self.region.pool.device.fence()
+        return payload
+
+    def peek_all(self) -> Iterator[bytes]:
+        """Iterate pending records without consuming them."""
+        logical = self._consume
+        while True:
+            rec = self._read_record(logical)
+            if rec is None:
+                return
+            payload, logical = rec
+            yield payload
+
+    def drain(self) -> List[bytes]:
+        out = []
+        while True:
+            item = self.consume()
+            if item is None:
+                return out
+            out.append(item)

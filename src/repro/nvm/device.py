@@ -1,0 +1,309 @@
+"""Simulated byte-addressable non-volatile memory device.
+
+The device models the hardware contract Kamino-Tx is built on:
+
+* CPU stores land in a **volatile cache-line overlay**, not on the media.
+* A line becomes durable only when explicitly flushed (``clwb`` +
+  ``sfence``), modelled by :meth:`NVMDevice.flush` / :meth:`NVMDevice.fence`.
+* On a **crash**, unflushed lines are lost — except that the cache may have
+  evicted any of them at any earlier moment, so each dirty 8-byte word
+  independently may or may not have reached the media.  This reproduces the
+  torn-write / reordering failure window that the paper's recovery protocol
+  must tolerate.
+
+Python cannot control real persistence ordering (the reason this paper is
+hard to reproduce natively), so all durability semantics in this repository
+flow through this class; see DESIGN.md §1 for the substitution argument.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from ..errors import DeviceCrashedError, OutOfBoundsError
+from .latency import CACHE_LINE, WORD, NVDIMM, LatencyModel
+from .stats import NVMStats
+
+_WORDS_PER_LINE = CACHE_LINE // WORD
+_FULL_MASK = (1 << _WORDS_PER_LINE) - 1
+
+
+class CrashPolicy(Enum):
+    """What happens to unflushed dirty words at crash time.
+
+    ``DROP_ALL`` — no unflushed data survives (cache never evicted).
+    ``KEEP_ALL`` — everything survives (cache evicted everything just
+    before power loss); equivalent to eADR platforms.
+    ``RANDOM`` — each dirty 8-byte word survives independently with a
+    configurable probability; the adversarial case recovery must handle.
+    """
+
+    DROP_ALL = "drop_all"
+    KEEP_ALL = "keep_all"
+    RANDOM = "random"
+
+
+class NVMDevice:
+    """A fixed-size region of simulated NVM with cache semantics.
+
+    Args:
+        size: device capacity in bytes.
+        model: latency model used by cost accounting (stored for
+            convenience; the device itself only counts primitives).
+        seed: seed for the crash-survival RNG, making torn-write
+            experiments reproducible.
+    """
+
+    def __init__(self, size: int, model: LatencyModel = NVDIMM, seed: Optional[int] = None):
+        if size <= 0:
+            raise ValueError("device size must be positive")
+        self.size = size
+        self.model = model
+        self.stats = NVMStats()
+        self._durable = bytearray(size)
+        # line index -> (line buffer, dirty-word bitmask)
+        self._dirty: Dict[int, Tuple[bytearray, int]] = {}
+        self._crashed = False
+        self._rng = random.Random(seed)
+        # one mutex serialises all device access: worker threads and the
+        # background syncer share the overlay dictionaries (cheap under
+        # the GIL; the benchmarks run single-threaded traces anyway)
+        self._mutex = threading.RLock()
+        # scheduled fail-point: crash after N more mutating operations
+        self._crash_countdown: Optional[int] = None
+        self._crash_policy = CrashPolicy.DROP_ALL
+        self._crash_survival = 0.5
+
+    # -- helpers -----------------------------------------------------------
+
+    def _check(self, addr: int, size: int) -> None:
+        if self._crashed:
+            raise DeviceCrashedError("device crashed; call restart() first")
+        if addr < 0 or size < 0 or addr + size > self.size:
+            raise OutOfBoundsError(
+                f"access [{addr}, {addr + size}) outside device of {self.size} bytes"
+            )
+
+    def _tick_failpoint(self) -> None:
+        """Count down a scheduled crash; fires *before* the current op."""
+        if self._crash_countdown is None:
+            return
+        if self._crash_countdown <= 0:
+            self._crash_countdown = None
+            self.crash(self._crash_policy, self._crash_survival)
+            raise DeviceCrashedError("scheduled fail-point reached")
+        self._crash_countdown -= 1
+
+    def schedule_crash(
+        self,
+        after_ops: int,
+        policy: CrashPolicy = CrashPolicy.DROP_ALL,
+        survival_prob: float = 0.5,
+    ) -> None:
+        """Arm a fail-point: the device power-fails after ``after_ops``
+        more mutating operations (stores, flushes, fences, copies).
+
+        This lets tests crash *inside* an engine's commit or sync code at
+        a deterministic, enumerable point — the property-based crash
+        suites sweep ``after_ops`` across a whole transaction.
+        """
+        if after_ops < 0:
+            raise ValueError("after_ops must be non-negative")
+        self._crash_countdown = after_ops
+        self._crash_policy = policy
+        self._crash_survival = survival_prob
+
+    def cancel_scheduled_crash(self) -> None:
+        self._crash_countdown = None
+
+    def _line_buffer(self, line: int) -> Tuple[bytearray, int]:
+        """Return (buffer, mask) for ``line``, faulting it in if clean."""
+        entry = self._dirty.get(line)
+        if entry is None:
+            base = line * CACHE_LINE
+            entry = (bytearray(self._durable[base : base + CACHE_LINE]), 0)
+            self._dirty[line] = entry
+        return entry
+
+    # -- data path ---------------------------------------------------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Load ``size`` bytes at ``addr``, observing unflushed stores."""
+        with self._mutex:
+            return self._read_locked(addr, size)
+
+    def _read_locked(self, addr: int, size: int) -> bytes:
+        self._check(addr, size)
+        self.stats.loads += 1
+        self.stats.load_bytes += size
+        if not self._dirty:
+            return bytes(self._durable[addr : addr + size])
+        out = bytearray(self._durable[addr : addr + size])
+        first = addr // CACHE_LINE
+        last = (addr + size - 1) // CACHE_LINE
+        for line in range(first, last + 1):
+            entry = self._dirty.get(line)
+            if entry is None:
+                continue
+            base = line * CACHE_LINE
+            lo = max(addr, base)
+            hi = min(addr + size, base + CACHE_LINE)
+            out[lo - addr : hi - addr] = entry[0][lo - base : hi - base]
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Store ``data`` at ``addr`` into the volatile overlay."""
+        with self._mutex:
+            self._write_locked(addr, data)
+
+    def _write_locked(self, addr: int, data: bytes) -> None:
+        size = len(data)
+        self._tick_failpoint()
+        self._check(addr, size)
+        self.stats.stores += 1
+        self.stats.store_bytes += size
+        pos = 0
+        while pos < size:
+            at = addr + pos
+            line = at // CACHE_LINE
+            base = line * CACHE_LINE
+            off = at - base
+            take = min(CACHE_LINE - off, size - pos)
+            buf, mask = self._line_buffer(line)
+            buf[off : off + take] = data[pos : pos + take]
+            first_word = off // WORD
+            last_word = (off + take - 1) // WORD
+            for w in range(first_word, last_word + 1):
+                mask |= 1 << w
+            self._dirty[line] = (buf, mask)
+            pos += take
+
+    def copy(self, dst: int, src: int, size: int) -> None:
+        """Device-internal memcpy; charged to the copy counters.
+
+        The copy reads through the overlay (sees unflushed stores) and
+        writes into the overlay like ordinary stores; callers must still
+        flush the destination for durability.
+        """
+        with self._mutex:
+            self._check(src, size)
+            self._check(dst, size)
+            data = self._read_locked(src, size)
+            # Undo the read accounting: copies are charged separately so
+            # the cost model can price bulk moves by bandwidth, not per
+            # line.
+            self.stats.loads -= 1
+            self.stats.load_bytes -= size
+            self._write_locked(dst, data)
+            self.stats.stores -= 1
+            self.stats.store_bytes -= size
+            self.stats.copies += 1
+            self.stats.copy_bytes += size
+
+    # -- persistence -------------------------------------------------------
+
+    def flush(self, addr: int, size: int) -> None:
+        """Flush all cache lines covering ``[addr, addr+size)`` to media."""
+        if size <= 0:
+            return
+        with self._mutex:
+            self._flush_locked(addr, size)
+
+    def _flush_locked(self, addr: int, size: int) -> None:
+        self._tick_failpoint()
+        self._check(addr, size)
+        first = addr // CACHE_LINE
+        last = (addr + size - 1) // CACHE_LINE
+        flushed = 0
+        for line in range(first, last + 1):
+            entry = self._dirty.pop(line, None)
+            if entry is None:
+                continue
+            base = line * CACHE_LINE
+            self._durable[base : base + CACHE_LINE] = entry[0]
+            flushed += 1
+        self.stats.flushes += 1
+        self.stats.flushed_lines += flushed
+
+    def fence(self) -> None:
+        """Ordering fence; a cost-model event (flushes persist eagerly)."""
+        with self._mutex:
+            self._tick_failpoint()
+            if self._crashed:
+                raise DeviceCrashedError("device crashed; call restart() first")
+            self.stats.fences += 1
+
+    def persist_all(self) -> None:
+        """Flush every dirty line (used at pool close / test setup)."""
+        if self._crashed:
+            raise DeviceCrashedError("device crashed; call restart() first")
+        flushed = 0
+        for line, (buf, _mask) in self._dirty.items():
+            base = line * CACHE_LINE
+            self._durable[base : base + CACHE_LINE] = buf
+            flushed += 1
+        self._dirty.clear()
+        self.stats.flushes += 1
+        self.stats.flushed_lines += flushed
+
+    @property
+    def dirty_lines(self) -> int:
+        """Number of cache lines with unflushed stores."""
+        return len(self._dirty)
+
+    # -- failure injection ---------------------------------------------------
+
+    def crash(
+        self,
+        policy: CrashPolicy = CrashPolicy.DROP_ALL,
+        survival_prob: float = 0.5,
+    ) -> None:
+        """Power-fail the device.
+
+        Unflushed dirty words are resolved according to ``policy``; the
+        volatile overlay is then discarded and the device refuses access
+        until :meth:`restart`.
+        """
+        if self._crashed:
+            return
+        for line, (buf, mask) in self._dirty.items():
+            base = line * CACHE_LINE
+            for w in range(_WORDS_PER_LINE):
+                if not mask & (1 << w):
+                    continue
+                if policy is CrashPolicy.DROP_ALL:
+                    survives = False
+                elif policy is CrashPolicy.KEEP_ALL:
+                    survives = True
+                else:
+                    survives = self._rng.random() < survival_prob
+                if survives:
+                    off = w * WORD
+                    self._durable[base + off : base + off + WORD] = buf[off : off + WORD]
+        self._dirty.clear()
+        self._crashed = True
+
+    def restart(self) -> None:
+        """Bring the device back after a crash; durable state is intact."""
+        self._crashed = False
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    # -- introspection (tests) ----------------------------------------------
+
+    def durable_read(self, addr: int, size: int) -> bytes:
+        """Read the media directly, ignoring the volatile overlay.
+
+        Used by tests to assert what would survive a crash; not part of
+        the programming model.
+        """
+        if addr < 0 or size < 0 or addr + size > self.size:
+            raise OutOfBoundsError(
+                f"access [{addr}, {addr + size}) outside device of {self.size} bytes"
+            )
+        return bytes(self._durable[addr : addr + size])

@@ -1,0 +1,117 @@
+"""Latency cost models for the simulated NVM device.
+
+The paper evaluates on DRAM-emulated NVM (NVDIMM-like) and argues the
+benefits of Kamino-Tx grow on slower media because copying costs more.
+A :class:`LatencyModel` assigns a nanosecond cost to each primitive the
+device exposes; :class:`~repro.nvm.stats.NVMStats` counts primitives and
+this model converts counts into simulated time.
+
+Costs are first-order: a load/store touches whole cache lines, a flush
+(clwb + eventual drain) has a fixed cost per line, a fence has a fixed
+cost, and bulk copies are dominated by per-byte bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CACHE_LINE = 64
+"""Cache line size in bytes; the granularity of flushes and dirtiness."""
+
+WORD = 8
+"""Power-fail atomic store granularity in bytes (x86 guarantees 8-byte)."""
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Nanosecond costs of NVM primitives.
+
+    Attributes:
+        read_line_ns: cost of loading one cache line.
+        write_line_ns: cost of storing into one cache line (to the cache).
+        flush_line_ns: cost of flushing one dirty line to the media.
+        fence_ns: cost of an ordering fence (sfence / drain).
+        byte_copy_ns: marginal cost per byte of bulk memcpy between two
+            NVM locations (covers the load+store pipeline).
+        bandwidth_gbps: sustained media bandwidth, used by the simulator's
+            shared-bandwidth resource to model contention across threads.
+    """
+
+    name: str
+    read_line_ns: float
+    write_line_ns: float
+    flush_line_ns: float
+    fence_ns: float
+    byte_copy_ns: float
+    bandwidth_gbps: float
+
+    def copy_ns(self, nbytes: int) -> float:
+        """Cost of copying ``nbytes`` between two NVM locations."""
+        return nbytes * self.byte_copy_ns
+
+    def flush_ns(self, nbytes: int) -> float:
+        """Cost of flushing a dirty range covering ``nbytes``."""
+        lines = (nbytes + CACHE_LINE - 1) // CACHE_LINE
+        return lines * self.flush_line_ns
+
+
+#: Battery-backed DRAM / NVDIMM-N: the fastest NVM available today and the
+#: configuration the paper measures (DRAM emulation on Azure A9).
+NVDIMM = LatencyModel(
+    name="nvdimm",
+    read_line_ns=80.0,
+    write_line_ns=86.0,
+    flush_line_ns=100.0,
+    fence_ns=30.0,
+    byte_copy_ns=0.25,
+    bandwidth_gbps=30.0,
+)
+
+#: Plain DRAM (no persistence cost beyond caches) — lower bound.
+DRAM = LatencyModel(
+    name="dram",
+    read_line_ns=70.0,
+    write_line_ns=70.0,
+    flush_line_ns=60.0,
+    fence_ns=20.0,
+    byte_copy_ns=0.2,
+    bandwidth_gbps=40.0,
+)
+
+#: PCM / 3D-XPoint-like media with asymmetric, slower writes.  The paper
+#: predicts Kamino-Tx's advantage grows here because critical-path copies
+#: take longer.
+PCM_LIKE = LatencyModel(
+    name="pcm",
+    read_line_ns=150.0,
+    write_line_ns=500.0,
+    flush_line_ns=700.0,
+    fence_ns=30.0,
+    byte_copy_ns=1.5,
+    bandwidth_gbps=8.0,
+)
+
+#: Persistent CPU caches / whole-system persistence (paper §2, "Hardware
+#: Support"): ``clwb`` becomes a near-free hint and the fence trivial,
+#: because the platform guarantees cached stores survive power loss
+#: (eADR).  "It also eliminates the overhead of flushing caches for
+#: persistence.  However, atomicity is still necessary" — Kamino-Tx
+#: "does not require but can reap the same benefits from such novel
+#: hardware support".  Pair this profile with
+#: ``CrashPolicy.KEEP_ALL`` in crash experiments.
+EADR = LatencyModel(
+    name="eadr",
+    read_line_ns=80.0,
+    write_line_ns=86.0,
+    flush_line_ns=2.0,
+    fence_ns=2.0,
+    byte_copy_ns=0.25,
+    bandwidth_gbps=30.0,
+)
+
+PROFILES = {m.name: m for m in (NVDIMM, DRAM, PCM_LIKE, EADR)}
+
+
+def profile(name: str) -> LatencyModel:
+    """Look up a latency profile by name, raising ``KeyError`` if unknown."""
+    return PROFILES[name]

@@ -1,0 +1,103 @@
+"""Primitive-operation counters for the simulated NVM device.
+
+The device increments these counters on every access; the benchmark
+harness snapshots them around a transaction and converts the delta into
+simulated nanoseconds with a :class:`~repro.nvm.latency.LatencyModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .latency import CACHE_LINE, LatencyModel
+
+
+@dataclass
+class NVMStats:
+    """Counters of device primitives since construction (or last reset)."""
+
+    loads: int = 0
+    load_bytes: int = 0
+    stores: int = 0
+    store_bytes: int = 0
+    flushes: int = 0
+    flushed_lines: int = 0
+    fences: int = 0
+    copies: int = 0
+    copy_bytes: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        self.loads = 0
+        self.load_bytes = 0
+        self.stores = 0
+        self.store_bytes = 0
+        self.flushes = 0
+        self.flushed_lines = 0
+        self.fences = 0
+        self.copies = 0
+        self.copy_bytes = 0
+
+    def snapshot(self) -> "NVMStats":
+        """Return an independent copy of the current counters."""
+        return NVMStats(
+            loads=self.loads,
+            load_bytes=self.load_bytes,
+            stores=self.stores,
+            store_bytes=self.store_bytes,
+            flushes=self.flushes,
+            flushed_lines=self.flushed_lines,
+            fences=self.fences,
+            copies=self.copies,
+            copy_bytes=self.copy_bytes,
+        )
+
+    def delta(self, since: "NVMStats") -> "NVMStats":
+        """Return counters accumulated since the ``since`` snapshot."""
+        return NVMStats(
+            loads=self.loads - since.loads,
+            load_bytes=self.load_bytes - since.load_bytes,
+            stores=self.stores - since.stores,
+            store_bytes=self.store_bytes - since.store_bytes,
+            flushes=self.flushes - since.flushes,
+            flushed_lines=self.flushed_lines - since.flushed_lines,
+            fences=self.fences - since.fences,
+            copies=self.copies - since.copies,
+            copy_bytes=self.copy_bytes - since.copy_bytes,
+        )
+
+    def simulated_ns(self, model: LatencyModel) -> float:
+        """Convert these counters into simulated nanoseconds.
+
+        Loads and stores are charged per touched cache line; flushes per
+        flushed line; copies per byte.  This is a serial-time estimate; the
+        event simulator layers queueing for shared bandwidth on top.
+        """
+        load_lines = (self.load_bytes + CACHE_LINE - 1) // CACHE_LINE if self.load_bytes else 0
+        store_lines = (self.store_bytes + CACHE_LINE - 1) // CACHE_LINE if self.store_bytes else 0
+        return (
+            load_lines * model.read_line_ns
+            + store_lines * model.write_line_ns
+            + self.flushed_lines * model.flush_line_ns
+            + self.fences * model.fence_ns
+            + self.copy_bytes * model.byte_copy_ns
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes moved to or from the media (loads+stores+copies)."""
+        return self.load_bytes + self.store_bytes + self.copy_bytes
+
+
+@dataclass
+class StatsStack:
+    """A small helper for nested snapshot/delta accounting."""
+
+    stats: NVMStats
+    _marks: list = field(default_factory=list)
+
+    def push(self) -> None:
+        self._marks.append(self.stats.snapshot())
+
+    def pop(self) -> NVMStats:
+        return self.stats.delta(self._marks.pop())

@@ -1,0 +1,43 @@
+"""Chain replication: traditional baseline and Kamino-Tx-Chain (§5)."""
+
+from .chain import KAMINO, TRADITIONAL, ChainCluster
+from .client import ChainClient, run_clients
+from .inplace_engine import IntentOnlyEngine
+from .membership import MembershipManager, ViewInfo
+from .messages import (
+    CleanupAck,
+    ClientReply,
+    ReadReply,
+    ReadRequest,
+    TailAck,
+    TxForward,
+    TxRequest,
+)
+from .node import ROLE_HEAD, ROLE_MID, ROLE_TAIL, ReplicaNode, engine_for
+from .recovery import fail_stop, join_new_replica, quick_reboot
+
+__all__ = [
+    "ChainClient",
+    "ChainCluster",
+    "CleanupAck",
+    "ClientReply",
+    "IntentOnlyEngine",
+    "KAMINO",
+    "MembershipManager",
+    "ROLE_HEAD",
+    "ROLE_MID",
+    "ROLE_TAIL",
+    "ReadReply",
+    "ReadRequest",
+    "ReplicaNode",
+    "TRADITIONAL",
+    "TailAck",
+    "TxForward",
+    "TxRequest",
+    "ViewInfo",
+    "engine_for",
+    "fail_stop",
+    "join_new_replica",
+    "quick_reboot",
+    "run_clients",
+]

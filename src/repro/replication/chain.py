@@ -1,0 +1,354 @@
+"""Chain replication: the traditional baseline and Kamino-Tx-Chain (§5).
+
+Both deployments share the message flow of Figure 8:
+
+1. every write enters at the **head**, which admission-controls
+   dependent transactions (an operation touching a key still held by an
+   in-flight transaction queues at the head);
+2. the head executes the transaction locally; only *committed*
+   transactions are forwarded down the chain as named-procedure RPCs;
+3. each replica durably buffers the call, executes it, and forwards it;
+4. the **tail** acknowledges completion to the head (the client lives on
+   the head, §5.1) and sends clean-up acks upstream;
+5. the head releases the transaction's locks when (a) the tail ack
+   arrived and (b) — Kamino only — the head's backup sync for the
+   transaction has landed.
+
+Differences:
+
+=================  =====================  ============================
+                   traditional            kamino
+=================  =====================  ============================
+replicas           f + 1                  f + 2
+per-replica undo   yes (copies in the     none; head keeps the only
+                   critical path at       backup, others are in-place
+                   every replica)         with intent logs
+storage            (f+1) × dataSize       (f+2+α) × dataSize
+                   (+ undo logs)
+=================  =====================  ============================
+
+Reads execute at the tail (linearizability, as in van Renesse &
+Schneider's original protocol).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ChainConfigError, NodeFailedError, StaleViewError, TxAborted
+from ..nvm.device import CrashPolicy
+from ..nvm.latency import NVDIMM, LatencyModel
+from ..sim.events import EventSimulator
+from ..sim.network import DEFAULT_HOP_NS, SimNetwork
+from ..sim.resources import FIFOServer
+from .membership import MembershipManager
+from .messages import CleanupAck, ClientReply, ReadReply, ReadRequest, TailAck, TxForward
+from .node import ROLE_HEAD, ROLE_MID, ROLE_TAIL, ReplicaNode
+
+TRADITIONAL = "traditional"
+KAMINO = "kamino"
+
+
+class _PendingWrite:
+    """A client write queued at the head (admission or execution)."""
+
+    __slots__ = ("proc", "args", "keys", "callback", "submitted_at", "seq", "result")
+
+    def __init__(self, proc, args, keys, callback, submitted_at):
+        self.proc = proc
+        self.args = args
+        self.keys = tuple(keys)
+        self.callback = callback
+        self.submitted_at = submitted_at
+        self.seq: Optional[int] = None
+        self.result: Any = None
+
+
+class ChainCluster:
+    """A full chain deployment over the event simulator.
+
+    Args:
+        f: failures to tolerate; traditional builds f+1 replicas,
+            kamino f+2 (§5's impossibility argument).
+        mode: ``"traditional"`` or ``"kamino"``.
+        alpha: head backup sizing for kamino (1.0 = full mirror).
+    """
+
+    def __init__(
+        self,
+        f: int = 2,
+        mode: str = KAMINO,
+        heap_mb: int = 8,
+        value_size: int = 128,
+        alpha: float = 1.0,
+        sim: Optional[EventSimulator] = None,
+        hop_ns: float = DEFAULT_HOP_NS,
+        model: LatencyModel = NVDIMM,
+    ):
+        if f < 1:
+            raise ChainConfigError("f must be at least 1")
+        if mode not in (TRADITIONAL, KAMINO):
+            raise ChainConfigError(f"unknown mode '{mode}'")
+        self.f = f
+        self.mode = mode
+        self.sim = sim or EventSimulator()
+        self.net = SimNetwork(self.sim, hop_latency_ns=hop_ns)
+        n = f + 2 if mode == KAMINO else f + 1
+        self.chain: List[ReplicaNode] = []
+        for i in range(n):
+            role = ROLE_HEAD if i == 0 else (ROLE_TAIL if i == n - 1 else ROLE_MID)
+            node = ReplicaNode(
+                f"r{i}", mode, role, heap_mb=heap_mb, value_size=value_size,
+                alpha=alpha, model=model, seed=i,
+            )
+            self.chain.append(node)
+            self.net.register(node.node_id, self._make_handler(node))
+        self._servers: Dict[str, FIFOServer] = {
+            node.node_id: FIFOServer(node.node_id) for node in self.chain
+        }
+        # the Zookeeper stand-in (§5.3): owns views and chain order
+        self.membership = MembershipManager([node.node_id for node in self.chain])
+        # head protocol state
+        self._next_seq = 1
+        self._busy_keys: Dict[Any, int] = {}
+        self._admission_queue: Deque[_PendingWrite] = deque()
+        self._inflight_writes: Dict[int, _PendingWrite] = {}
+        self._tail_acked: Dict[int, float] = {}
+        # metrics
+        self.write_latencies_ns: List[float] = []
+        self.read_latencies_ns: List[float] = []
+        self.aborted = 0
+        self.committed = 0
+        self.dependent_queued = 0
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def view_id(self) -> int:
+        """Current view, owned by the membership manager."""
+        return self.membership.view_id
+
+    @property
+    def head(self) -> ReplicaNode:
+        return self.chain[0]
+
+    @property
+    def tail(self) -> ReplicaNode:
+        return self.chain[-1]
+
+    def successor(self, node: ReplicaNode) -> Optional[ReplicaNode]:
+        idx = self.chain.index(node)
+        return self.chain[idx + 1] if idx + 1 < len(self.chain) else None
+
+    def predecessor(self, node: ReplicaNode) -> Optional[ReplicaNode]:
+        idx = self.chain.index(node)
+        return self.chain[idx - 1] if idx > 0 else None
+
+    @property
+    def total_storage_bytes(self) -> int:
+        """Cluster-wide provisioned NVM (Table 1's storage column)."""
+        return sum(node.storage_bytes for node in self.chain)
+
+    # -- client API -----------------------------------------------------------------
+
+    def submit_write(
+        self,
+        proc: str,
+        args: Tuple[Any, ...],
+        keys: Sequence[Any],
+        callback: Optional[Callable[[Any, float], None]] = None,
+    ) -> None:
+        """Submit a write transaction at the head.
+
+        ``keys`` is the transaction's object footprint, used for the
+        head's admission control of dependent transactions.  The
+        callback receives (result, latency_ns) at chain-wide commit.
+        """
+        op = _PendingWrite(proc, args, keys, callback, self.sim.now)
+        self._try_admit(op)
+
+    def submit_read(
+        self, proc: str, args: Tuple[Any, ...],
+        callback: Optional[Callable[[Any, float], None]] = None,
+    ) -> None:
+        """Linearizable read at the tail (one hop there, one back)."""
+        submitted = self.sim.now
+        tail = self.tail
+
+        def deliver() -> None:
+            result, cost = tail.execute(proc, args)
+            done = self._servers[tail.node_id].request(self.sim.now, cost)
+
+            def reply() -> None:
+                latency = self.sim.now - submitted
+                self.read_latencies_ns.append(latency)
+                if callback is not None:
+                    callback(result, latency)
+
+            self.sim.at(done + self.net.hop_latency_ns, reply)
+
+        self.sim.schedule(self.net.hop_latency_ns, deliver)
+
+    # -- head: admission + execution ---------------------------------------------------
+
+    def _try_admit(self, op: _PendingWrite) -> None:
+        if any(k in self._busy_keys for k in op.keys):
+            self.dependent_queued += 1
+            self._admission_queue.append(op)
+            return
+        seq = self._next_seq
+        self._next_seq += 1
+        op.seq = seq
+        for k in op.keys:
+            self._busy_keys[k] = seq
+        self._execute_at_head(op)
+
+    def _execute_at_head(self, op: _PendingWrite) -> None:
+        head = self.head
+        try:
+            result, cost = head.execute(op.proc, op.args)
+        except TxAborted:
+            # aborts are resolved locally at the head (Figure 8, right):
+            # the backup (or undo log) rolls the head back; nothing is
+            # ever forwarded downstream.
+            self.aborted += 1
+            self._release_keys(op)
+            if op.callback is not None:
+                op.callback(None, self.sim.now - op.submitted_at)
+            return
+        self._inflight_writes[op.seq] = op
+        op.result = result  # type: ignore[attr-defined]
+        done = self._servers[head.node_id].request(self.sim.now, cost)
+        msg = TxForward(self.view_id, op.seq, op.proc, op.args)
+        successor = self.successor(head)
+        head.inflight[op.seq] = (op.seq, msg)
+        if successor is None:  # degenerate single-node chain (tests)
+            self.sim.at(done, self._on_tail_ack, TailAck(self.view_id, op.seq))
+        else:
+            self.sim.at(done, self.net.send, head.node_id, successor.node_id, msg)
+
+    def _release_keys(self, op: _PendingWrite) -> None:
+        for k in op.keys:
+            if self._busy_keys.get(k) == op.seq or op.seq is None:
+                self._busy_keys.pop(k, None)
+        self._drain_admission_queue()
+
+    def _drain_admission_queue(self) -> None:
+        requeue = list(self._admission_queue)
+        self._admission_queue.clear()
+        for op in requeue:
+            self._try_admit(op)
+
+    # -- replica message handling -----------------------------------------------------------
+
+    def _make_handler(self, node: ReplicaNode):
+        def handler(src: str, msg: Any) -> None:
+            if isinstance(msg, TxForward):
+                self._on_forward(node, msg)
+            elif isinstance(msg, TailAck):
+                self._on_tail_ack(msg)
+            elif isinstance(msg, CleanupAck):
+                self._on_cleanup(node, msg)
+        return handler
+
+    def _on_forward(self, node: ReplicaNode, msg: TxForward) -> None:
+        if msg.view_id < self.view_id:
+            return  # stale view: reject (§5.3)
+        qcost = node.persist_to_input_queue(64 + 8 * len(msg.args))
+        if msg.seq > node.applied_seq:
+            _result, cost = node.execute(msg.proc, msg.args)
+            node.applied_seq = msg.seq
+        else:
+            cost = 0.0  # replayed during chain repair: already applied
+        done = self._servers[node.node_id].request(self.sim.now, qcost + cost)
+        successor = self.successor(node)
+        if successor is not None:
+            node.inflight[msg.seq] = (msg.seq, msg)
+            self.sim.at(done, self.net.send, node.node_id, successor.node_id, msg)
+        else:
+            # tail: completion ack to the head, clean-up acks upstream;
+            # the tail's own intent log is freed at its commit point
+            release = getattr(node.engine, "release_oldest_committed", None)
+            if release is not None:
+                release()
+            head = self.head
+            self.sim.at(done, self.net.send, node.node_id, head.node_id,
+                        TailAck(self.view_id, msg.seq))
+            pred = self.predecessor(node)
+            if pred is not None:
+                self.sim.at(done, self.net.send, node.node_id, pred.node_id,
+                            CleanupAck(self.view_id, msg.seq))
+
+    def _on_tail_ack(self, msg: TailAck) -> None:
+        if msg.view_id < self.view_id:
+            return
+        op = self._inflight_writes.pop(msg.seq, None)
+        if op is None:
+            return
+        self._tail_acked[msg.seq] = self.sim.now
+        head = self.head
+        # the final call to the client is a local up-call on the head
+        # (§5.1) — it happens at the tail ack, not after the backup sync
+        self.committed += 1
+        head.inflight.pop(msg.seq, None)
+        latency = self.sim.now - op.submitted_at
+        self.write_latencies_ns.append(latency)
+        if op.callback is not None:
+            op.callback(getattr(op, "result", None), latency)
+        if self.mode == KAMINO:
+            # §5.1's two lock-release conditions: tail ack received AND
+            # the head's backup has absorbed the transaction — dependent
+            # transactions stay queued until then
+            cost = head.sync_backup(limit=1)
+            done = self._servers[head.node_id].request(self.sim.now, cost)
+            self.sim.at(done, self._release_keys, op)
+        else:
+            self._release_keys(op)
+
+    def _on_cleanup(self, node: ReplicaNode, msg: CleanupAck) -> None:
+        if msg.view_id < self.view_id:
+            return
+        node.inflight.pop(msg.seq, None)
+        release = getattr(node.engine, "release_oldest_committed", None)
+        if release is not None:
+            release()
+        pred = self.predecessor(node)
+        if pred is not None:
+            self.net.send(node.node_id, pred.node_id, msg)
+
+    # -- execution driver ---------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    def drain(self) -> None:
+        """Run the simulator dry and flush any head backup backlog."""
+        self.sim.run()
+        while self.head.engine.pending_count:
+            self.head.engine.sync_pending()
+
+    # -- verification ----------------------------------------------------------------------------
+
+    def kv_states(self) -> List[Dict[int, bytes]]:
+        """Every replica's logical KV contents (tests/verification)."""
+        states = []
+        for node in self.chain:
+            state = {}
+            for key, ptr in node.kv.tree.items():
+                state[key] = node.heap.read_blob(ptr)
+            states.append(state)
+        return states
+
+    def assert_replicas_consistent(self) -> None:
+        states = self.kv_states()
+        for i, state in enumerate(states[1:], start=1):
+            if state != states[0]:
+                diff = {
+                    k
+                    for k in set(state) | set(states[0])
+                    if state.get(k) != states[0].get(k)
+                }
+                raise AssertionError(
+                    f"replica {i} diverges from head on keys {sorted(diff)[:10]}"
+                )

@@ -1,0 +1,67 @@
+"""Closed-loop chain clients for benchmarks and examples.
+
+The paper's replicated experiments drive YCSB operations through the
+chain: writes enter at the head, reads hit the tail.  A closed-loop
+client issues its next operation the moment the previous one completes,
+so N clients model N application threads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from ..workloads.ycsb import INSERT, READ, RMW, SCAN, SCAN_LENGTH, UPDATE, Op
+from .chain import ChainCluster
+
+
+class ChainClient:
+    """Feeds a deterministic operation stream through the cluster."""
+
+    def __init__(self, cluster: ChainCluster, client_id: str, ops: List[Op]):
+        self.cluster = cluster
+        self.client_id = client_id
+        self.ops = ops
+        self._cursor = 0
+        self.completed = 0
+        self.latencies_ns: List[float] = []
+
+    def start(self) -> None:
+        self._issue_next()
+
+    def _issue_next(self) -> None:
+        if self._cursor >= len(self.ops):
+            return
+        op = self.ops[self._cursor]
+        self._cursor += 1
+        if op.kind == READ:
+            self.cluster.submit_read("get", (op.key,), self._on_done)
+        elif op.kind in (UPDATE, INSERT):
+            self.cluster.submit_write("put", (op.key, op.value), [op.key], self._on_done)
+        elif op.kind == RMW:
+            self.cluster.submit_write(
+                "rmw_const", (op.key, op.value), [op.key], self._on_done
+            )
+        elif op.kind == SCAN:
+            self.cluster.submit_read("scan", (op.key, SCAN_LENGTH), self._on_done)
+        else:
+            raise ValueError(f"unsupported op kind {op.kind}")
+
+    def _on_done(self, _result, latency_ns: float) -> None:
+        self.completed += 1
+        self.latencies_ns.append(latency_ns)
+        self._issue_next()
+
+    @property
+    def done(self) -> bool:
+        return self.completed >= len(self.ops)
+
+
+def run_clients(cluster: ChainCluster, streams: List[List[Op]]) -> List[ChainClient]:
+    """Start one closed-loop client per stream and run to completion."""
+    clients = [
+        ChainClient(cluster, f"c{i}", ops) for i, ops in enumerate(streams)
+    ]
+    for client in clients:
+        client.start()
+    cluster.drain()
+    return clients

@@ -1,0 +1,134 @@
+"""The non-head replica engine: in-place updates, intent log, no backup.
+
+§5's storage argument hinges on this: replicas other than the head
+"modify the objects in place without creating any copies of data or
+maintaining backup versions of data".  They still keep a Log Manager —
+the intent logs identify the write sets of incomplete transactions after
+a quick reboot, which the chain protocol then repairs by copying those
+ranges from a neighbour (roll forward from the predecessor, or roll back
+from the successor when acting as the new head).
+
+Consequences, faithfully reproduced:
+
+* local aborts are impossible (the head never forwards aborts, so this
+  never happens in normal operation);
+* commit durably marks the slot ``COMMITTED``; the slot is only freed
+  when the chain's clean-up acknowledgment arrives;
+* recovery cannot repair the heap alone — it *reports* the incomplete
+  ranges for the chain recovery protocol (Figure 9) to fix.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from ..errors import TxError
+from ..tx._common import LockingLogEngine
+from ..tx.base import IntentKind, RecoveryReport, Transaction
+from ..tx.intent_log import SlotState, TxLog
+
+
+class IntentOnlyEngine(LockingLogEngine):
+    """In-place updates guarded only by a persistent intent log."""
+
+    name = "intent-only"
+    copies_in_critical_path = False
+    uses_log = True
+    log_data_bytes = 0
+
+    def __init__(self, n_slots: int = 128, max_entries: int = 256, lock_timeout: float = 10.0):
+        super().__init__(n_slots, max_entries, lock_timeout)
+        #: committed transactions whose chain clean-up has not arrived
+        self._awaiting_cleanup: Dict[int, TxLog] = {}
+        self._cleanup_order: Deque[int] = deque()
+        #: write ranges of transactions that were in flight at the crash
+        self.incomplete_ranges: List[Tuple[int, int]] = []
+
+    # -- intents ---------------------------------------------------------------
+
+    def on_add(self, tx: Transaction, offset: int, size: int, kind: IntentKind) -> None:
+        self._record_intent(tx, offset, size, kind, 0)
+
+    # -- outcomes -----------------------------------------------------------------
+
+    def commit(self, tx: Transaction) -> None:
+        log = self._txlog(tx)
+        self._apply_deferred_frees(tx)
+        log.make_durable()
+        self._flush_modified_ranges(tx)
+        log.set_state(SlotState.COMMITTED)
+        if tx.intents:
+            # the slot outlives the transaction until the clean-up ack
+            self._awaiting_cleanup[tx.txid] = log
+            self._cleanup_order.append(tx.txid)
+        else:
+            # read-only transaction: nothing for the chain to clean up
+            log.release()
+        self._release_all(tx)
+
+    def abort(self, tx: Transaction) -> None:
+        raise TxError(
+            "a chain replica without a backup cannot roll back locally; "
+            "aborts are decided at the head and never forwarded"
+        )
+
+    def release_committed(self, txid: int) -> None:
+        """Clean-up ack for the transaction arrived: drop its intent log."""
+        log = self._awaiting_cleanup.pop(txid, None)
+        if log is not None:
+            try:
+                self._cleanup_order.remove(txid)
+            except ValueError:
+                pass
+            log.release()
+
+    def release_all_committed(self) -> None:
+        """Drop every awaiting slot — used for setup-time transactions
+        committed before the replica enters the chain protocol."""
+        while self._cleanup_order:
+            self.release_committed(self._cleanup_order[0])
+
+    def release_oldest_committed(self) -> None:
+        """Clean-up acks arrive in commit order (FIFO links); drop the
+        oldest awaiting slot.  The tail calls this for itself at commit
+        time — it originates the clean-up acks and receives none."""
+        if self._cleanup_order:
+            self.release_committed(self._cleanup_order[0])
+
+    @property
+    def cleanup_backlog(self) -> int:
+        return len(self._awaiting_cleanup)
+
+    # -- recovery --------------------------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Classify surviving slots; repair is the chain's job.
+
+        ``COMMITTED`` slots are locally complete (their data was flushed
+        before the commit record) and are freed.  ``RUNNING`` slots are
+        incomplete: their write ranges are published via
+        ``incomplete_ranges`` so the node can roll them forward/back from
+        a neighbour, after which :meth:`ack_repaired` frees the slots.
+        """
+        report = RecoveryReport()
+        self.incomplete_ranges = []
+        self._repair_slots: List[int] = []
+        for rec in self.log.scan():
+            if rec.state is SlotState.COMMITTED:
+                self.log.free_slot_by_index(rec.index)
+                report.rolled_forward += 1
+                continue
+            for entry in rec.entries:
+                if entry.kind is not IntentKind.FREE:
+                    self.incomplete_ranges.append((entry.offset, entry.size))
+            self._repair_slots.append(rec.index)
+            report.incomplete += 1
+        return report
+
+    def ack_repaired(self) -> None:
+        """The chain repaired every incomplete range: free their slots."""
+        for index in getattr(self, "_repair_slots", []):
+            self.log.free_slot_by_index(index)
+        self._repair_slots = []
+        self.incomplete_ranges = []

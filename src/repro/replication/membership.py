@@ -1,0 +1,107 @@
+"""Membership management: views, failure declaration, chain order.
+
+Stands in for the paper's Zookeeper instance (§5.3): it owns the
+``viewID``, decides when a replica is *failed* (vs merely rebooting
+quickly), and answers a rejoining replica's "who are my neighbours?"
+query.  Chain repair itself is orchestrated by
+:mod:`repro.replication.recovery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReplicationError, StaleViewError
+
+
+@dataclass
+class ViewInfo:
+    """One concrete chain instance."""
+
+    view_id: int
+    order: Tuple[str, ...]
+
+
+class MembershipManager:
+    """Authoritative view of which replicas form the chain, in order."""
+
+    def __init__(self, initial_order: List[str], failure_timeout_ns: float = 50_000_000.0):
+        if not initial_order:
+            raise ReplicationError("chain cannot be empty")
+        self.failure_timeout_ns = failure_timeout_ns
+        self._views: List[ViewInfo] = [ViewInfo(1, tuple(initial_order))]
+        self._last_seen: Dict[str, float] = {n: 0.0 for n in initial_order}
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def current(self) -> ViewInfo:
+        return self._views[-1]
+
+    @property
+    def view_id(self) -> int:
+        return self.current.view_id
+
+    def order(self) -> Tuple[str, ...]:
+        return self.current.order
+
+    def neighbours(self, node_id: str) -> Tuple[Optional[str], Optional[str]]:
+        """(predecessor, successor) in the current view."""
+        order = self.current.order
+        if node_id not in order:
+            raise ReplicationError(f"{node_id} is not in the current view")
+        idx = order.index(node_id)
+        pred = order[idx - 1] if idx > 0 else None
+        succ = order[idx + 1] if idx + 1 < len(order) else None
+        return pred, succ
+
+    def validate_view(self, view_id: int) -> None:
+        if view_id < self.view_id:
+            raise StaleViewError(
+                f"message from view {view_id}, current view is {self.view_id}"
+            )
+
+    # -- transitions ---------------------------------------------------------------
+
+    def declare_failed(self, node_id: str) -> ViewInfo:
+        """Remove a failed replica; bumps the view."""
+        order = list(self.current.order)
+        if node_id not in order:
+            raise ReplicationError(f"{node_id} is not in the chain")
+        order.remove(node_id)
+        if not order:
+            raise ReplicationError("cannot remove the last replica")
+        view = ViewInfo(self.view_id + 1, tuple(order))
+        self._views.append(view)
+        self._last_seen.pop(node_id, None)
+        return view
+
+    def add_at_tail(self, node_id: str) -> ViewInfo:
+        """Join protocol: new replicas always enter as the tail."""
+        if node_id in self.current.order:
+            raise ReplicationError(f"{node_id} is already in the chain")
+        view = ViewInfo(self.view_id + 1, self.current.order + (node_id,))
+        self._views.append(view)
+        self._last_seen[node_id] = 0.0
+        return view
+
+    # -- failure detection --------------------------------------------------------------
+
+    def heartbeat(self, node_id: str, now_ns: float) -> None:
+        self._last_seen[node_id] = now_ns
+
+    def is_quick_reboot(self, node_id: str, went_down_at_ns: float, now_ns: float) -> bool:
+        """True if the replica recovered before the detector fired —
+        the §5.3 case that must repair in place instead of rejoining."""
+        return (now_ns - went_down_at_ns) < self.failure_timeout_ns
+
+    def rejoin_request(self, node_id: str, claimed_view: int) -> ViewInfo:
+        """A rebooted replica asks to rejoin with the view it remembers.
+
+        If the view moved on while it was down, the caller must run the
+        fail-stop repair path instead of the quick-reboot path.
+        """
+        if node_id not in self.current.order:
+            raise ReplicationError(f"{node_id} was removed; rejoin as a new tail")
+        return self.current

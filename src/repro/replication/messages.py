@@ -1,0 +1,72 @@
+"""Typed messages of the chain protocols (§5.1).
+
+All chain traffic is view-stamped: replicas reject messages from an
+older view, which is what makes chain repair safe ("All messages carry
+a viewID and replicas reject messages with an older viewID", §5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+
+@dataclass(frozen=True)
+class TxRequest:
+    """Client → head: run ``proc(*args)`` as one atomic transaction."""
+
+    client_id: str
+    request_id: int
+    proc: str
+    args: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class TxForward:
+    """Replica → successor: the named-procedure RPC of §5.1."""
+
+    view_id: int
+    seq: int
+    proc: str
+    args: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class TailAck:
+    """Tail → head: transaction ``seq`` committed chain-wide."""
+
+    view_id: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class CleanupAck:
+    """Tail → ... → head: drop in-flight state for ``seq``."""
+
+    view_id: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """Client/head → tail: linearizable read at the tail."""
+
+    client_id: str
+    request_id: int
+    proc: str
+    args: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class ReadReply:
+    tail_id: str
+    request_id: int
+    result: Any
+
+
+@dataclass(frozen=True)
+class ClientReply:
+    """Head → client: the transaction's chain-wide completion."""
+
+    request_id: int
+    result: Any

@@ -1,0 +1,201 @@
+"""Chain repair: fail-stop handling, quick reboots, joins (§5.2–5.3).
+
+These functions orchestrate the recovery protocols over a
+:class:`~repro.replication.chain.ChainCluster`:
+
+* **fail-stop** (§5.2) — the chain shrinks, the view bumps, neighbours
+  re-forward in-flight transactions; a failed head is replaced by its
+  successor, which first rolls incomplete items back from *its*
+  successor and only then builds a local backup; a failed tail's
+  predecessor completes the in-flight acknowledgments.
+* **quick reboot** (§5.3, Figure 9) — the rebooted replica keeps its
+  place: it identifies incomplete write ranges from its intent logs and
+  repairs them from a neighbour (roll forward from the predecessor for
+  non-head nodes, roll back from the local backup for the head), then
+  replays whatever in-flight transactions it missed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import ReplicationError
+from ..nvm.device import CrashPolicy
+from ..nvm.pool import PmemPool
+from ..heap import PersistentHeap
+from ..kvstore import KVStore
+from ..sim.resources import FIFOServer
+from .chain import KAMINO, ChainCluster
+from .messages import TailAck, TxForward
+from .node import ROLE_HEAD, ROLE_MID, ROLE_TAIL, ReplicaNode, engine_for
+
+
+def _copy_ranges(dst: ReplicaNode, src: ReplicaNode, ranges: List[Tuple[int, int]]) -> int:
+    """Overwrite ``dst``'s heap bytes with ``src``'s for each range."""
+    copied = 0
+    for offset, size in ranges:
+        dst.write_heap_bytes(offset, src.read_heap_bytes(offset, size))
+        copied += size
+    return copied
+
+
+def _reload_volatile(node: ReplicaNode) -> None:
+    """Refresh allocator mirrors + KV handles after byte-level repair."""
+    node.heap.allocator.open()
+    node.kv = KVStore.open(node.heap)
+
+
+def quick_reboot(
+    cluster: ChainCluster,
+    index: int,
+    policy: CrashPolicy = CrashPolicy.RANDOM,
+    survival: float = 0.5,
+) -> int:
+    """Crash + immediately recover the replica at ``index`` (Figure 9).
+
+    Returns the number of bytes repaired from a neighbour/backup.
+    The caller must ensure the chain is otherwise quiescent for the
+    repair window (the head holds dependent transactions anyway).
+    """
+    node = cluster.chain[index]
+    node.crash(policy, survival)
+    node.reopen()
+    # §5.3: the rebooted replica asks the membership manager to rejoin
+    # with the view it believes is current; a removed replica must take
+    # the join-as-new-tail path instead
+    cluster.membership.rejoin_request(node.node_id, node.view_id)
+    node.view_id = cluster.view_id
+    repaired = 0
+    if cluster.mode == KAMINO and node.role != ROLE_HEAD:
+        # roll forward from the assigned predecessor (case 1 of §5.3)
+        pred = cluster.predecessor(node)
+        if pred is None:
+            raise ReplicationError("non-head replica must have a predecessor")
+        ranges = list(node.engine.incomplete_ranges)
+        repaired = _copy_ranges(node, pred, ranges)
+        node.engine.ack_repaired()
+        _reload_volatile(node)
+    else:
+        # head (kamino: rolled back from its local backup during reopen;
+        # traditional: undo logs restored everything) — case 2 of §5.3
+        _reload_volatile(node)
+    _replay_missed(cluster, node)
+    return repaired
+
+
+def _replay_missed(cluster: ChainCluster, node: ReplicaNode) -> None:
+    """Replay in-flight transactions the replica missed while down."""
+    pred = cluster.predecessor(node)
+    if pred is None:
+        return
+    for seq in sorted(pred.inflight):
+        _txid, msg = pred.inflight[seq]
+        if msg.seq > node.applied_seq:
+            node.persist_to_input_queue(64)
+            node.execute(msg.proc, msg.args)
+            node.applied_seq = msg.seq
+            node.inflight[msg.seq] = (msg.seq, msg)
+
+
+def fail_stop(cluster: ChainCluster, index: int) -> None:
+    """Remove a fail-stopped replica and repair the chain (§5.2)."""
+    if len(cluster.chain) <= 2 and cluster.mode == KAMINO:
+        raise ReplicationError("kamino chain needs at least two replicas to repair")
+    node = cluster.chain[index]
+    cluster.net.fail_node(node.node_id)
+    cluster.net.unregister(node.node_id)
+    was_head = node.role == ROLE_HEAD
+    was_tail = node.role == ROLE_TAIL
+    pred = cluster.predecessor(node)
+    succ = cluster.successor(node)
+    cluster.chain.pop(index)
+    cluster.membership.declare_failed(node.node_id)
+
+    if was_head:
+        _promote_new_head(cluster)
+    elif was_tail:
+        _promote_new_tail(cluster, pred)
+    else:
+        _bridge_mid_failure(cluster, pred, succ)
+
+
+def _promote_new_head(cluster: ChainCluster) -> None:
+    """§5.2 head failure: the successor becomes head.
+
+    The new head first rolls incomplete transactions back from *its*
+    successor (case 3 of Figure 9 — the successor has strictly older
+    state), then constructs a local backup and the conservative lock
+    set; pending client state at the old head is lost with it (clients
+    live on the head)."""
+    new_head = cluster.chain[0]
+    if cluster.mode == KAMINO and new_head.role != ROLE_HEAD:
+        succ = cluster.successor(new_head)
+        incomplete = list(getattr(new_head.engine, "incomplete_ranges", ()))
+        # any still-running local transaction state is volatile; scan the
+        # durable intent log state via a clean engine restart instead
+        new_head.role = ROLE_HEAD
+        pool = PmemPool.open(new_head.device)
+        new_head.engine = engine_for(cluster.mode, ROLE_HEAD, new_head.alpha)
+        if succ is not None and incomplete:
+            _copy_ranges(new_head, succ, incomplete)
+        new_head.heap = PersistentHeap.open(pool, new_head.engine)
+        _reload_volatile(new_head)
+    else:
+        new_head.role = ROLE_HEAD
+    # conservative lock reconstruction: quiesce by clearing client state
+    cluster._busy_keys.clear()
+    cluster._inflight_writes.clear()
+    cluster._admission_queue.clear()
+    # query the (new) tail for the last acknowledged transaction and
+    # adopt its sequence numbering
+    cluster._next_seq = cluster.tail.applied_seq + 1
+
+
+def _promote_new_tail(cluster: ChainCluster, new_tail: Optional[ReplicaNode]) -> None:
+    """§5.2 tail failure: the predecessor is the new tail and sends the
+    head completion acks for everything it forwarded but saw no
+    clean-up ack for."""
+    if new_tail is None:
+        raise ReplicationError("tail failure left no predecessor")
+    new_tail.role = ROLE_TAIL
+    head = cluster.head
+    for seq in sorted(new_tail.inflight):
+        cluster.net.send(new_tail.node_id, head.node_id, TailAck(cluster.view_id, seq))
+
+
+def _bridge_mid_failure(
+    cluster: ChainCluster, pred: Optional[ReplicaNode], succ: Optional[ReplicaNode]
+) -> None:
+    """Mid failure: the predecessor re-forwards its in-flight window to
+    its new successor under the new view."""
+    if pred is None or succ is None:
+        return
+    for seq in sorted(pred.inflight):
+        _txid, msg = pred.inflight[seq]
+        fresh = TxForward(cluster.view_id, msg.seq, msg.proc, msg.args)
+        cluster.net.send(pred.node_id, succ.node_id, fresh)
+
+
+def join_new_replica(cluster: ChainCluster, heap_mb: int = 8, value_size: int = 128) -> ReplicaNode:
+    """Grow the chain: a fresh replica joins as the tail after state
+    transfer from the current tail (§5.2)."""
+    old_tail = cluster.tail
+    node_id = f"r{cluster.view_id}x{len(cluster.chain)}"
+    node = ReplicaNode(
+        node_id,
+        cluster.mode,
+        ROLE_TAIL,
+        heap_mb=old_tail.heap.region.size >> 20,
+        value_size=value_size,
+        alpha=old_tail.alpha,
+        model=old_tail.model,
+    )
+    node.load_heap_image(old_tail.heap_image())
+    node.kv = KVStore.open(node.heap)
+    node.applied_seq = old_tail.applied_seq
+    old_tail.role = ROLE_MID
+    cluster.chain.append(node)
+    cluster.membership.add_at_tail(node.node_id)
+    cluster.net.register(node.node_id, cluster._make_handler(node))
+    cluster._servers[node.node_id] = FIFOServer(node.node_id)
+    return node

@@ -1,0 +1,27 @@
+"""Deterministic simulation: events, shared resources, network, failures."""
+
+from .events import Event, EventSimulator
+from .failure import crash_points, run_until_crash, sweep_crashes
+from .network import DEFAULT_HOP_NS, SimNetwork
+from .resources import (
+    ENGINE_COST_MODELS,
+    BandwidthResource,
+    EngineCostModel,
+    FIFOServer,
+    cost_model_for,
+)
+
+__all__ = [
+    "BandwidthResource",
+    "DEFAULT_HOP_NS",
+    "ENGINE_COST_MODELS",
+    "EngineCostModel",
+    "Event",
+    "EventSimulator",
+    "FIFOServer",
+    "SimNetwork",
+    "cost_model_for",
+    "crash_points",
+    "run_until_crash",
+    "sweep_crashes",
+]

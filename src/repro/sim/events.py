@@ -1,0 +1,86 @@
+"""A deterministic discrete-event simulator.
+
+Used by the benchmark harness (replaying transaction cost traces under
+N concurrent clients) and by the replication layer (message-passing
+replica state machines).  Determinism: events at equal timestamps fire
+in scheduling order (a monotonic sequence number breaks ties), so every
+run with the same inputs produces identical timelines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: Tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventSimulator:
+    """Priority-queue event loop over virtual nanoseconds."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` ``delay`` ns from now; returns the event."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self.now + delay, next(self._seq), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def at(self, time: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn`` at an absolute virtual time >= now."""
+        return self.schedule(max(0.0, time - self.now), fn, *args)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drain the queue (optionally bounded by time or event count).
+
+        Returns the number of events processed.
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args)
+            processed += 1
+        if until is not None and (not self._queue or self._queue[0].time > until):
+            self.now = max(self.now, until)
+        self._processed += processed
+        return processed
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        return self._processed

@@ -1,0 +1,55 @@
+"""Failure injectors shared by crash and replication tests.
+
+Small composable helpers that arm the failure modes the paper's recovery
+protocols must survive: device power-failure at a chosen operation,
+replica fail-stop, and the "quick reboot" that recovers before the
+failure detector notices (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from ..errors import DeviceCrashedError
+from ..nvm.device import CrashPolicy, NVMDevice
+
+
+def crash_points(run: Callable[[NVMDevice], None], device_factory: Callable[[], NVMDevice],
+                 max_points: int = 10_000) -> int:
+    """Count the device operations a workload performs.
+
+    Run the workload once against a fresh device with an unreachable
+    fail-point armed, then read back how many ops ticked — the sweep
+    bound for exhaustive crash-point tests.
+    """
+    device = device_factory()
+    device.schedule_crash(max_points, CrashPolicy.DROP_ALL)
+    try:
+        run(device)
+    except DeviceCrashedError:
+        raise RuntimeError("workload hit the sweep bound; raise max_points") from None
+    remaining = device._crash_countdown
+    device.cancel_scheduled_crash()
+    if remaining is None:
+        raise RuntimeError("workload hit the sweep bound; raise max_points")
+    return max_points - remaining
+
+
+def sweep_crashes(
+    nops: int,
+    stride: int = 1,
+    policies: Iterable[CrashPolicy] = (CrashPolicy.DROP_ALL, CrashPolicy.RANDOM),
+) -> Iterator[tuple]:
+    """Yield (crash_after, policy) pairs covering a workload's ops."""
+    for point in range(0, nops, stride):
+        for policy in policies:
+            yield point, policy
+
+
+def run_until_crash(fn: Callable[[], None]) -> bool:
+    """Execute ``fn``; returns True if a scheduled crash fired inside."""
+    try:
+        fn()
+        return False
+    except DeviceCrashedError:
+        return True

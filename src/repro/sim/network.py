@@ -1,0 +1,81 @@
+"""Simulated message-passing network for the replication layer.
+
+Point-to-point links with configurable one-way latency (the ``ln`` of
+Table 1), FIFO ordering per link, and failure injection (drops and
+partitions) for the chain-repair tests.  Delivery is an event on the
+shared :class:`~repro.sim.events.EventSimulator`, so replica processing
+interleaves deterministically with client activity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from .events import EventSimulator
+
+#: default one-way hop latency: ~2 µs, RDMA-class (paper: 32 Gbps IB)
+DEFAULT_HOP_NS = 2_000.0
+
+
+class SimNetwork:
+    """Routes messages between named nodes over the event simulator."""
+
+    def __init__(self, sim: EventSimulator, hop_latency_ns: float = DEFAULT_HOP_NS):
+        self.sim = sim
+        self.hop_latency_ns = hop_latency_ns
+        self._handlers: Dict[str, Callable[[str, Any], None]] = {}
+        self._down: Set[str] = set()
+        self._cut_links: Set[Tuple[str, str]] = set()
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    # -- membership -----------------------------------------------------------
+
+    def register(self, node_id: str, handler: Callable[[str, Any], None]) -> None:
+        """Attach a node; ``handler(src, msg)`` runs at delivery time."""
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: str) -> None:
+        self._handlers.pop(node_id, None)
+
+    # -- failure injection -------------------------------------------------------
+
+    def fail_node(self, node_id: str) -> None:
+        """Fail-stop: the node receives nothing until revived."""
+        self._down.add(node_id)
+
+    def revive_node(self, node_id: str) -> None:
+        self._down.discard(node_id)
+
+    def cut_link(self, src: str, dst: str) -> None:
+        """Drop all traffic src→dst (one direction)."""
+        self._cut_links.add((src, dst))
+
+    def heal_link(self, src: str, dst: str) -> None:
+        self._cut_links.discard((src, dst))
+
+    def is_down(self, node_id: str) -> bool:
+        return node_id in self._down
+
+    # -- transport ------------------------------------------------------------------
+
+    def send(self, src: str, dst: str, msg: Any, extra_delay_ns: float = 0.0) -> None:
+        """One-way send; silently dropped if the destination is down or
+        the link is cut (the sender learns via timeouts, as in reality)."""
+        self.sent += 1
+        if (src, dst) in self._cut_links:
+            self.dropped += 1
+            return
+        self.sim.schedule(self.hop_latency_ns + extra_delay_ns, self._deliver, src, dst, msg)
+
+    def _deliver(self, src: str, dst: str, msg: Any) -> None:
+        if dst in self._down or (src, dst) in self._cut_links:
+            self.dropped += 1
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.dropped += 1
+            return
+        self.delivered += 1
+        handler(src, msg)

@@ -1,0 +1,66 @@
+"""Atomicity engines: undo, copy-on-write, no-logging, and Kamino-Tx."""
+
+from .backup import BACKUP_REGION, BackupStrategy, BackupSyncer, FullBackup
+from .base import (
+    AtomicityEngine,
+    IntentKind,
+    RecoveryReport,
+    Transaction,
+    TxState,
+    run_transaction,
+)
+from .cow import CoWEngine
+from .dynamic import DynamicBackup, kamino_dynamic
+from .intent_log import ENTRY_SIZE, IntentEntry, LogManager, SlotState, TxLog
+from .kamino import KaminoEngine, kamino_simple
+from .locks import LockStats, ObjectLockTable
+from .recovery import reopen_after_crash, verify_backup_consistency
+from .undo import NoLoggingEngine, UndoLogEngine
+
+__all__ = [
+    "AtomicityEngine",
+    "BACKUP_REGION",
+    "BackupStrategy",
+    "BackupSyncer",
+    "CoWEngine",
+    "DynamicBackup",
+    "ENTRY_SIZE",
+    "FullBackup",
+    "IntentEntry",
+    "IntentKind",
+    "KaminoEngine",
+    "LockStats",
+    "LogManager",
+    "NoLoggingEngine",
+    "ObjectLockTable",
+    "RecoveryReport",
+    "SlotState",
+    "Transaction",
+    "TxLog",
+    "TxState",
+    "UndoLogEngine",
+    "kamino_dynamic",
+    "kamino_simple",
+    "reopen_after_crash",
+    "run_transaction",
+    "verify_backup_consistency",
+]
+
+ENGINE_FACTORIES = {
+    "nolog": NoLoggingEngine,
+    "undo": UndoLogEngine,
+    "cow": CoWEngine,
+    "kamino-simple": kamino_simple,
+    "kamino-dynamic": kamino_dynamic,
+}
+
+
+def make_engine(name: str, **kwargs) -> AtomicityEngine:
+    """Build an engine by its benchmark name (see ``ENGINE_FACTORIES``)."""
+    try:
+        factory = ENGINE_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine '{name}'; choose from {sorted(ENGINE_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,163 @@
+"""Backup strategies: the full mirror (Kamino-Tx-Simple) and the
+strategy interface the dynamic variant also implements.
+
+The backup is the other half of Kamino-Tx's bargain: transactions write
+the main heap in place, and this component holds the consistent copy
+used to roll back aborts/crashes and is rolled forward asynchronously
+after commits.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from ..nvm.pool import PmemPool, PmemRegion
+
+BACKUP_REGION = "backup"
+
+
+class BackupSyncer:
+    """A background thread draining an engine's deferred backup syncs.
+
+    This is the Transaction Coordinator's "background thread which
+    utilizes the information maintained by Log Manager to keep backup
+    version consistent with the main version" (§6.3).  The benchmark
+    harness instead pumps :meth:`~repro.tx.base.AtomicityEngine.
+    sync_pending` from virtual-time events; this thread exists for
+    *live* (real-thread) deployments and the threaded integration tests.
+
+    Use as a context manager::
+
+        with BackupSyncer(engine):
+            ... transactions on other threads ...
+    """
+
+    def __init__(self, engine, poll_interval: float = 0.0005):
+        self.engine = engine
+        self.poll_interval = poll_interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.synced = 0
+
+    def start(self) -> "BackupSyncer":
+        if self._thread is not None:
+            raise RuntimeError("syncer already started")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, name="backup-syncer", daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            done = self.engine.sync_pending(limit=16)
+            self.synced += done
+            if done == 0:
+                self._stop.wait(self.poll_interval)
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the thread; by default drain remaining work first."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if drain:
+            self.synced += self.engine.sync_pending()
+
+    def __enter__(self) -> "BackupSyncer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+class BackupStrategy(ABC):
+    """What a Kamino engine needs from its backup copy.
+
+    Offsets are heap-region-relative; implementations map them to their
+    own storage (identity for the full mirror, slot lookup for the
+    dynamic partial backup).
+    """
+
+    @abstractmethod
+    def attach(self, pool: PmemPool, heap_region: PmemRegion, fresh: bool) -> None:
+        """Reserve/reopen backing regions; seed the mirror when fresh."""
+
+    @abstractmethod
+    def ensure_copy(self, offset: int, size: int) -> None:
+        """Guarantee a consistent copy of ``[offset, offset+size)`` exists
+        *before* the caller modifies the main heap in place.
+
+        Free for the full mirror (the invariant always holds); for the
+        dynamic backup a miss costs a critical-path copy — the price the
+        paper pays for (1+α)× instead of 2× storage.
+        """
+
+    @abstractmethod
+    def absorb(self, offset: int, size: int) -> None:
+        """Roll the backup forward: copy main → backup (post-commit)."""
+
+    @abstractmethod
+    def restore(self, offset: int, size: int) -> None:
+        """Roll the main heap back: copy backup → main (abort/recovery)."""
+
+    def on_free_synced(self, offset: int, size: int) -> None:
+        """A freed block's commit has fully synced; drop any copy of it."""
+
+    def pin(self, offset: int) -> None:
+        """Forbid eviction of the copy at ``offset`` (object is locked)."""
+
+    def unpin(self, offset: int) -> None:
+        """Allow eviction again (lock released, backup consistent)."""
+
+    @property
+    @abstractmethod
+    def storage_bytes(self) -> int:
+        """Provisioned NVM the strategy consumes (for the TCO model)."""
+
+
+class FullBackup(BackupStrategy):
+    """A byte-for-byte mirror of the heap region (Kamino-Tx-Simple).
+
+    Storage requirement: 2 × dataSize.  ``ensure_copy`` is a no-op — the
+    mirror is consistent for every object whose lock is free, which is
+    exactly the paper's invariant.
+    """
+
+    def __init__(self):
+        self.region: Optional[PmemRegion] = None
+        self.heap_region: Optional[PmemRegion] = None
+
+    def attach(self, pool: PmemPool, heap_region: PmemRegion, fresh: bool) -> None:
+        self.heap_region = heap_region
+        self.region = pool.region_or_create(BACKUP_REGION, heap_region.size)
+        if fresh:
+            # seed the mirror with the freshly formatted heap image
+            device = pool.device
+            device.copy(self.region.offset, heap_region.offset, heap_region.size)
+            device.flush(self.region.offset, heap_region.size)
+            device.fence()
+
+    def ensure_copy(self, offset: int, size: int) -> None:
+        """No-op: the mirror always holds a consistent copy."""
+
+    def absorb(self, offset: int, size: int) -> None:
+        device = self.region.pool.device
+        device.copy(self.region.offset + offset, self.heap_region.offset + offset, size)
+        self.region.flush(offset, size)
+
+    def restore(self, offset: int, size: int) -> None:
+        device = self.region.pool.device
+        device.copy(self.heap_region.offset + offset, self.region.offset + offset, size)
+        self.heap_region.flush(offset, size)
+
+    @property
+    def storage_bytes(self) -> int:
+        return self.region.size if self.region else 0
+
+    # -- test hooks ---------------------------------------------------------
+
+    def mirror_equals_main(self, offset: int, size: int) -> bool:
+        """True if backup and main agree on the given range (tests)."""
+        return self.region.read(offset, size) == self.heap_region.read(offset, size)

@@ -1,0 +1,36 @@
+"""Workload generators: YCSB A–F, TPC-C-lite, and §7.1 synthetics."""
+
+from .keydist import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv1a_64,
+    make_generator,
+)
+from .synthetic import DependentTxWorkload, WorstCaseWorkload
+from .tpcc import MIX, TPCCLite, TPCCStats
+from .ycsb import INSERT, MIXES, READ, RMW, SCAN, UPDATE, Op, YCSBWorkload, all_workloads
+
+__all__ = [
+    "DependentTxWorkload",
+    "INSERT",
+    "LatestGenerator",
+    "MIX",
+    "MIXES",
+    "Op",
+    "READ",
+    "RMW",
+    "SCAN",
+    "ScrambledZipfianGenerator",
+    "TPCCLite",
+    "TPCCStats",
+    "UPDATE",
+    "UniformGenerator",
+    "WorstCaseWorkload",
+    "YCSBWorkload",
+    "ZipfianGenerator",
+    "all_workloads",
+    "fnv1a_64",
+    "make_generator",
+]

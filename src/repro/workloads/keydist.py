@@ -1,0 +1,128 @@
+"""Key-distribution generators used by the YCSB driver.
+
+Implements the three request distributions YCSB's core workloads need:
+
+* **uniform** — every record equally likely;
+* **zipfian** — Gray et al.'s rejection-free zipfian generator (the same
+  algorithm YCSB uses), plus the *scrambled* variant that hashes ranks so
+  hot keys are spread across the key space rather than clustered at 0;
+* **latest** — zipfian over recency, favouring recently inserted records
+  (workload D's read distribution).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+ZIPFIAN_CONSTANT = 0.99
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a over the 8 little-endian bytes of ``value`` (YCSB's hash)."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        h ^= value & 0xFF
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+        value >>= 8
+    return h
+
+
+class UniformGenerator:
+    """Uniform integers in [0, nitems)."""
+
+    def __init__(self, nitems: int, seed: Optional[int] = None):
+        if nitems <= 0:
+            raise ValueError("nitems must be positive")
+        self.nitems = nitems
+        self._rng = random.Random(seed)
+
+    def next(self) -> int:
+        return self._rng.randrange(self.nitems)
+
+
+class ZipfianGenerator:
+    """Gray et al. "Quickly generating billion-record synthetic databases".
+
+    Draws ranks in [0, nitems) with P(rank) ∝ 1/rank^θ.  ``zeta`` is
+    computed once per item count (O(n) at construction, O(1) per draw).
+    """
+
+    def __init__(self, nitems: int, theta: float = ZIPFIAN_CONSTANT, seed: Optional[int] = None):
+        if nitems <= 0:
+            raise ValueError("nitems must be positive")
+        self.nitems = nitems
+        self.theta = theta
+        self._rng = random.Random(seed)
+        self._zetan = self._zeta(nitems, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1 - (2.0 / nitems) ** (1 - theta)) / (1 - self._zeta2 / self._zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.nitems * ((self._eta * u - self._eta + 1) ** self._alpha))
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian ranks scattered over the key space by FNV hashing.
+
+    This is what YCSB actually uses: the *popularity* distribution is
+    zipfian but the popular keys are spread out, so hot keys do not share
+    B+Tree leaves — important for a fair dependent-transaction rate.
+    """
+
+    def __init__(self, nitems: int, seed: Optional[int] = None):
+        self.nitems = nitems
+        self._zipf = ZipfianGenerator(nitems, seed=seed)
+
+    def next(self) -> int:
+        return fnv1a_64(self._zipf.next()) % self.nitems
+
+
+class LatestGenerator:
+    """Zipfian over recency: the most recent insert is the hottest.
+
+    ``max_key`` grows as the workload inserts records (workload D).
+    """
+
+    def __init__(self, nitems: int, seed: Optional[int] = None):
+        self.nitems = nitems
+        self._zipf = ZipfianGenerator(nitems, seed=seed)
+
+    def advance(self) -> None:
+        """Record that a new item was inserted (shifts the hot spot)."""
+        self.nitems += 1
+        # re-deriving zeta incrementally: zeta(n+1) = zeta(n) + 1/(n+1)^θ
+        z = self._zipf
+        z._zetan += 1.0 / ((self.nitems) ** z.theta)
+        z.nitems = self.nitems
+        z._eta = (1 - (2.0 / z.nitems) ** (1 - z.theta)) / (1 - z._zeta2 / z._zetan)
+
+    def next(self) -> int:
+        return self.nitems - 1 - self._zipf.next()
+
+
+def make_generator(name: str, nitems: int, seed: Optional[int] = None):
+    """Factory: 'uniform' | 'zipfian' | 'scrambled' | 'latest'."""
+    if name == "uniform":
+        return UniformGenerator(nitems, seed)
+    if name == "zipfian":
+        return ZipfianGenerator(nitems, seed=seed)
+    if name == "scrambled":
+        return ScrambledZipfianGenerator(nitems, seed)
+    if name == "latest":
+        return LatestGenerator(nitems, seed)
+    raise ValueError(f"unknown distribution '{name}'")

@@ -1,0 +1,42 @@
+"""ASCII chart rendering."""
+
+from repro.bench import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_longest_bar_is_max(self):
+        out = bar_chart("t", {"a": 1.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        bar_a = lines[1].count("█")
+        bar_b = lines[2].count("█")
+        assert bar_b == 10
+        assert bar_a == 5
+
+    def test_values_printed(self):
+        out = bar_chart("t", {"x": 3.14159}, unit="us")
+        assert "3.14us" in out
+
+    def test_empty_series(self):
+        assert "(no data)" in bar_chart("t", {})
+
+    def test_zero_values_do_not_crash(self):
+        out = bar_chart("t", {"a": 0.0, "b": 0.0})
+        assert "a" in out
+
+
+class TestGroupedBarChart:
+    def test_shared_scale_across_groups(self):
+        out = grouped_bar_chart(
+            "t", {"g1": {"s": 1.0}, "g2": {"s": 4.0}}, width=8
+        )
+        lines = out.splitlines()
+        assert lines[2].count("█") == 2   # g1.s = 1/4 of scale
+        assert lines[4].count("█") == 8   # g2.s = max
+
+    def test_group_headers_present(self):
+        out = grouped_bar_chart("t", {"alpha": {"s": 1.0}})
+        assert " alpha" in out
+
+    def test_empty(self):
+        assert "(no data)" in grouped_bar_chart("t", {})

@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.heap import FixedStr, Int64, PPtr, PersistentHeap, PersistentStruct, UInt64
+from repro.nvm import NVMDevice, PmemPool
+from repro.tx import CoWEngine, UndoLogEngine, kamino_dynamic, kamino_simple
+
+POOL_SIZE = 8 << 20
+HEAP_SIZE = 2 << 20
+
+ENGINES = {
+    "undo": UndoLogEngine,
+    "cow": CoWEngine,
+    "kamino-simple": kamino_simple,
+    "kamino-dynamic": lambda: kamino_dynamic(alpha=0.5),
+}
+
+
+class Pair(PersistentStruct):
+    """A tiny two-field struct shared by many tests."""
+
+    fields = [("key", Int64()), ("value", FixedStr(48))]
+
+
+class Cell(PersistentStruct):
+    """A linked cell for pointer-chasing tests."""
+
+    fields = [("value", Int64()), ("next", PPtr())]
+
+
+def build_heap(engine_factory, pool_size=POOL_SIZE, heap_size=HEAP_SIZE, seed=0):
+    """Create a fresh device + pool + heap bound to a new engine."""
+    device = NVMDevice(pool_size, seed=seed)
+    pool = PmemPool.create(device)
+    engine = engine_factory()
+    heap = PersistentHeap.create(pool, engine, heap_size=heap_size)
+    return heap, engine, device
+
+
+@pytest.fixture(params=sorted(ENGINES))
+def any_engine_heap(request):
+    """(heap, engine, device) parametrised over every recoverable engine."""
+    heap, engine, device = build_heap(ENGINES[request.param])
+    return heap, engine, device
+
+
+@pytest.fixture
+def kamino_heap():
+    heap, engine, device = build_heap(kamino_simple)
+    return heap, engine, device
+
+
+@pytest.fixture
+def undo_heap():
+    heap, engine, device = build_heap(UndoLogEngine)
+    return heap, engine, device

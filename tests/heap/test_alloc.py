@@ -1,0 +1,208 @@
+"""Allocator behaviour: size classes, rollback, frees, exhaustion, reopen."""
+
+import pytest
+
+from repro.errors import DoubleFreeError, InvalidPointerError, OutOfMemoryError
+from repro.heap import PersistentHeap, SIZE_CLASSES, class_for
+from repro.heap.object import OBJ_HEADER_SIZE
+from repro.nvm import NVMDevice, PmemPool
+from repro.tx import UndoLogEngine, kamino_simple
+
+from ..conftest import Cell, Pair, build_heap
+
+
+class TestClassFor:
+    def test_exact_class(self):
+        for c in SIZE_CLASSES:
+            assert class_for(c) == c
+
+    def test_rounds_up(self):
+        assert class_for(33) == 64
+        assert class_for(1) == 32
+
+    def test_too_large(self):
+        with pytest.raises(OutOfMemoryError):
+            class_for(4097)
+
+
+class TestAllocation:
+    def test_blocks_do_not_overlap(self, undo_heap):
+        heap, _, _ = undo_heap
+        offs = []
+        with heap.transaction():
+            for _ in range(100):
+                offs.append(heap.alloc(Pair).block_offset)
+        sizes = {o: heap.allocator.block_size_of(o) for o in offs}
+        offs.sort()
+        for a, b in zip(offs, offs[1:]):
+            assert a + sizes[a] <= b
+
+    def test_fresh_object_reads_defaults(self, any_engine_heap):
+        heap, _, _ = any_engine_heap
+        with heap.transaction():
+            p = heap.alloc(Pair)
+            assert p.key == 0
+            assert p.value == ""
+
+    def test_alloc_requires_transaction(self, undo_heap):
+        heap, _, _ = undo_heap
+        from repro.errors import NoActiveTransactionError
+
+        with pytest.raises(NoActiveTransactionError):
+            heap.alloc(Pair)
+
+    def test_alloc_rolls_back_on_abort(self, any_engine_heap):
+        heap, _, _ = any_engine_heap
+        before = heap.allocator.allocated_bytes
+        with pytest.raises(RuntimeError):
+            with heap.transaction():
+                heap.alloc(Pair)
+                raise RuntimeError("boom")
+        heap.drain()
+        assert heap.allocator.allocated_bytes == before
+
+    def test_abort_then_realloc_reuses_slot(self, undo_heap):
+        heap, _, _ = undo_heap
+        with pytest.raises(RuntimeError):
+            with heap.transaction():
+                first = heap.alloc(Pair).block_offset
+                raise RuntimeError("boom")
+        with heap.transaction():
+            second = heap.alloc(Pair).block_offset
+        assert second == first
+
+    def test_blob_alloc(self, undo_heap):
+        heap, _, _ = undo_heap
+        with heap.transaction():
+            oid = heap.alloc_blob(100)
+            heap.write_blob(oid, b"x" * 100)
+        assert heap.read_blob(oid) == b"x" * 100
+
+    def test_blob_zero_size_rejected(self, undo_heap):
+        heap, _, _ = undo_heap
+        with heap.transaction():
+            with pytest.raises(ValueError):
+                heap.alloc_blob(0)
+
+    def test_exhaustion_raises(self):
+        heap, _, _ = build_heap(
+            lambda: UndoLogEngine(n_slots=4, log_data_bytes=16 * 1024),
+            pool_size=2 << 20,
+            heap_size=256 * 1024,
+        )
+        with pytest.raises(OutOfMemoryError):
+            with heap.transaction():
+                for _ in range(100000):
+                    heap.alloc_blob(4000)
+
+    def test_many_size_classes_coexist(self, undo_heap):
+        heap, _, _ = undo_heap
+        with heap.transaction():
+            oids = [heap.alloc_blob(n) for n in (10, 60, 120, 250, 500, 1000, 2000, 4000)]
+        for oid, n in zip(oids, (10, 60, 120, 250, 500, 1000, 2000, 4000)):
+            blk = oid - OBJ_HEADER_SIZE
+            assert heap.allocator.block_size_of(blk) >= n + OBJ_HEADER_SIZE
+
+
+class TestFree:
+    def test_free_returns_space(self, any_engine_heap):
+        heap, _, _ = any_engine_heap
+        with heap.transaction():
+            p = heap.alloc(Pair)
+        used = heap.allocator.allocated_bytes
+        with heap.transaction():
+            heap.free(p)
+        heap.drain()
+        assert heap.allocator.allocated_bytes < used
+
+    def test_free_takes_effect_at_commit_not_before(self, undo_heap):
+        heap, _, _ = undo_heap
+        with heap.transaction():
+            p = heap.alloc(Pair)
+        with heap.transaction():
+            heap.free(p)
+            # still allocated inside the transaction
+            assert heap.allocator.is_allocated(p.block_offset)
+        assert not heap.allocator.is_allocated(p.block_offset)
+
+    def test_free_rolled_back_on_abort(self, any_engine_heap):
+        heap, _, _ = any_engine_heap
+        with heap.transaction():
+            p = heap.alloc(Pair)
+            p.key = 5
+        heap.drain()
+        with pytest.raises(RuntimeError):
+            with heap.transaction():
+                heap.free(p)
+                raise RuntimeError("boom")
+        heap.drain()
+        assert heap.allocator.is_allocated(p.block_offset)
+        assert p.key == 5
+
+    def test_double_free_same_tx_rejected(self, undo_heap):
+        heap, _, _ = undo_heap
+        with heap.transaction():
+            p = heap.alloc(Pair)
+        with heap.transaction():
+            heap.free(p)
+            with pytest.raises(DoubleFreeError):
+                heap.free(p)
+
+    def test_double_free_across_tx_rejected(self, undo_heap):
+        heap, _, _ = undo_heap
+        with heap.transaction():
+            p = heap.alloc(Pair)
+        with heap.transaction():
+            heap.free(p)
+        with heap.transaction():
+            with pytest.raises(DoubleFreeError):
+                heap.free(p)
+            raise_cleanup = True
+
+    def test_freed_slot_reused(self, undo_heap):
+        heap, _, _ = undo_heap
+        with heap.transaction():
+            p = heap.alloc(Pair)
+        blk = p.block_offset
+        with heap.transaction():
+            heap.free(p)
+        with heap.transaction():
+            q = heap.alloc(Pair)
+        assert q.block_offset == blk
+
+
+class TestPointerValidation:
+    def test_unassigned_chunk_pointer(self, undo_heap):
+        heap, _, _ = undo_heap
+        with pytest.raises(InvalidPointerError):
+            heap.allocator.block_size_of(heap.allocator.data_off + 5 * heap.allocator.chunk_size)
+
+    def test_misaligned_pointer(self, undo_heap):
+        heap, _, _ = undo_heap
+        with heap.transaction():
+            p = heap.alloc(Pair)
+        with pytest.raises(InvalidPointerError):
+            heap.allocator.block_size_of(p.block_offset + 1)
+
+    def test_before_data_area(self, undo_heap):
+        heap, _, _ = undo_heap
+        with pytest.raises(InvalidPointerError):
+            heap.allocator.block_size_of(0)
+
+
+class TestReopen:
+    def test_allocator_state_survives_reopen(self):
+        heap, engine, device = build_heap(UndoLogEngine)
+        with heap.transaction():
+            ps = [heap.alloc(Pair) for _ in range(10)]
+            for i, p in enumerate(ps):
+                p.key = i
+            heap.set_root(ps[0])
+        device.persist_all()
+        pool2 = PmemPool.open(device)
+        heap2 = PersistentHeap.open(pool2, UndoLogEngine())
+        assert heap2.allocator.allocated_bytes == heap.allocator.allocated_bytes
+        # newly allocated blocks don't collide with recovered ones
+        with heap2.transaction():
+            q = heap2.alloc(Pair)
+        assert q.block_offset not in {p.block_offset for p in ps}

@@ -1,0 +1,72 @@
+"""Array field type: packing, validation, persistent round trips."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.heap import Array, Int64, PPtr, PersistentStruct
+from repro.tx import UndoLogEngine
+
+from ..conftest import build_heap
+
+
+class Vector(PersistentStruct):
+    fields = [("count", Int64()), ("values", Array(Int64(), 8)), ("ptrs", Array(PPtr(), 4))]
+
+
+class TestArrayType:
+    def test_size(self):
+        assert Array(Int64(), 8).size == 64
+
+    def test_pack_roundtrip(self):
+        a = Array(Int64(), 3)
+        assert a.unpack(a.pack([1, -2, 3])) == [1, -2, 3]
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(SchemaError):
+            Array(Int64(), 3).pack([1, 2])
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(SchemaError):
+            Array(Int64(), 0)
+
+    def test_non_fieldtype_element_rejected(self):
+        with pytest.raises(SchemaError):
+            Array(int, 3)
+
+    def test_default_is_zeros(self):
+        assert Array(Int64(), 4).default() == [0, 0, 0, 0]
+
+    def test_accepts_any_sequence(self):
+        a = Array(Int64(), 3)
+        assert a.unpack(a.pack((1, 2, 3))) == [1, 2, 3]
+        assert a.unpack(a.pack(range(3))) == [0, 1, 2]
+
+
+class TestArrayInStruct:
+    def test_persistent_roundtrip(self):
+        heap, _, _ = build_heap(UndoLogEngine)
+        with heap.transaction():
+            v = heap.alloc(Vector)
+            v.count = 3
+            v.values = [10, 20, 30, 0, 0, 0, 0, 0]
+            v.ptrs = [1, 2, 3, 0]
+        assert v.values[:3] == [10, 20, 30]
+        assert v.ptrs == [1, 2, 3, 0]
+
+    def test_fresh_array_reads_zeros(self):
+        heap, _, _ = build_heap(UndoLogEngine)
+        with heap.transaction():
+            v = heap.alloc(Vector)
+            assert v.values == [0] * 8
+
+    def test_array_rolls_back_on_abort(self):
+        heap, _, _ = build_heap(UndoLogEngine)
+        with heap.transaction():
+            v = heap.alloc(Vector)
+            v.values = list(range(8))
+        with pytest.raises(RuntimeError):
+            with heap.transaction():
+                v.tx_add()
+                v.values = [9] * 8
+                raise RuntimeError("boom")
+        assert v.values == list(range(8))

@@ -1,0 +1,104 @@
+"""Field-type pack/unpack round trips and validation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.heap import Bytes, FixedStr, Float64, Int32, Int64, PPtr, UInt64
+from repro.heap.layout import PNULL
+
+
+class TestInt64:
+    def test_roundtrip(self):
+        t = Int64()
+        for v in (0, 1, -1, 2**62, -(2**62)):
+            assert t.unpack(t.pack(v)) == v
+
+    def test_out_of_range(self):
+        with pytest.raises(SchemaError):
+            Int64().pack(2**63)
+
+    def test_default_is_zero(self):
+        assert Int64().default() == 0
+
+
+class TestUInt64:
+    def test_roundtrip(self):
+        t = UInt64()
+        assert t.unpack(t.pack(2**64 - 1)) == 2**64 - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(SchemaError):
+            UInt64().pack(-1)
+
+
+class TestInt32:
+    def test_roundtrip(self):
+        t = Int32()
+        assert t.unpack(t.pack(-12345)) == -12345
+        assert t.size == 4
+
+    def test_overflow(self):
+        with pytest.raises(SchemaError):
+            Int32().pack(2**40)
+
+
+class TestFloat64:
+    def test_roundtrip(self):
+        t = Float64()
+        assert t.unpack(t.pack(3.14159)) == pytest.approx(3.14159)
+
+    def test_default(self):
+        assert Float64().default() == 0.0
+
+
+class TestFixedStr:
+    def test_roundtrip(self):
+        t = FixedStr(16)
+        assert t.unpack(t.pack("hi")) == "hi"
+
+    def test_exact_fit(self):
+        t = FixedStr(4)
+        assert t.unpack(t.pack("abcd")) == "abcd"
+
+    def test_too_long(self):
+        with pytest.raises(SchemaError):
+            FixedStr(4).pack("abcde")
+
+    def test_unicode_counts_bytes(self):
+        t = FixedStr(4)
+        with pytest.raises(SchemaError):
+            t.pack("ééé")  # 6 UTF-8 bytes
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(SchemaError):
+            FixedStr(0)
+
+    def test_default_is_empty(self):
+        assert FixedStr(8).default() == ""
+
+
+class TestBytes:
+    def test_roundtrip_padded(self):
+        t = Bytes(8)
+        assert t.unpack(t.pack(b"ab")) == b"ab" + b"\0" * 6
+
+    def test_too_long(self):
+        with pytest.raises(SchemaError):
+            Bytes(2).pack(b"abc")
+
+
+class TestPPtr:
+    def test_roundtrip(self):
+        t = PPtr()
+        assert t.unpack(t.pack(0xDEAD)) == 0xDEAD
+
+    def test_none_maps_to_null(self):
+        t = PPtr()
+        assert t.unpack(t.pack(None)) == PNULL
+
+    def test_negative_rejected(self):
+        with pytest.raises(SchemaError):
+            PPtr().pack(-4)
+
+    def test_default_is_null(self):
+        assert PPtr().default() == PNULL

@@ -1,0 +1,133 @@
+"""The NVML macro shim: Figure 10's program runs verbatim-ish."""
+
+import pytest
+
+from repro.errors import TxAborted, WriteIntentError
+from repro.heap import FixedStr, Int64, PersistentStruct
+from repro.heap.nvml_compat import (
+    D_RO,
+    D_RW,
+    POBJ_ROOT,
+    POBJ_SET_ROOT,
+    TX_ABORT,
+    TX_ADD,
+    TX_BEGIN,
+    TX_COMMIT,
+    TX_FREE,
+    TX_ZALLOC,
+    TX_ZALLOC_BYTES,
+)
+from repro.tx import UndoLogEngine, kamino_simple
+
+from ..conftest import build_heap
+
+
+class ObjectType1(PersistentStruct):
+    fields = [("attr", FixedStr(255))]
+
+
+class ObjectType2(PersistentStruct):
+    fields = [("attr", Int64())]
+
+
+@pytest.fixture(params=["undo", "kamino"])
+def pop(request):
+    factory = UndoLogEngine if request.param == "undo" else kamino_simple
+    heap, _, _ = build_heap(factory)
+    return heap
+
+
+class TestFigure10:
+    def test_paper_sample_transaction(self, pop):
+        """The exact shape of the paper's Figure 10 listing."""
+        with TX_BEGIN(pop):
+            obj1 = TX_ZALLOC(pop, ObjectType1)
+            obj2 = TX_ZALLOC(pop, ObjectType2)
+            # declare write intents
+            TX_ADD(obj1)
+            TX_ADD(obj2)
+            # cast & get virtual memory pointers
+            obj1_p = D_RW(obj1)
+            obj2_p = D_RW(obj2)
+            # modify objects as needed
+            obj1_p.attr = "NewValue"
+            obj2_p.attr = len(obj1_p.attr)
+        pop.drain()
+        assert obj1.attr == "NewValue"
+        assert obj2.attr == 8
+
+    def test_tx_abort_macro(self, pop):
+        with TX_BEGIN(pop):
+            obj = TX_ZALLOC(pop, ObjectType2)
+            TX_ADD(obj)
+            obj.attr = 5
+            POBJ_SET_ROOT(pop, obj)
+        pop.drain()
+        with pytest.raises(TxAborted):
+            with TX_BEGIN(pop):
+                TX_ADD(obj)
+                obj.attr = 99
+                TX_ABORT()
+        assert obj.attr == 5
+
+    def test_tx_free_macro(self, pop):
+        with TX_BEGIN(pop):
+            obj = TX_ZALLOC(pop, ObjectType2)
+        used = pop.allocator.allocated_bytes
+        with TX_BEGIN(pop):
+            TX_FREE(obj)
+        pop.drain()
+        assert pop.allocator.allocated_bytes < used
+
+    def test_tx_free_raw_pointer_rejected(self, pop):
+        with pytest.raises(TypeError):
+            TX_FREE(12345)
+
+    def test_tx_zalloc_bytes(self, pop):
+        with TX_BEGIN(pop):
+            oid = TX_ZALLOC_BYTES(pop, 100)
+        assert pop.read_blob(oid) == b"\0" * 100
+
+    def test_early_commit(self, pop):
+        with TX_BEGIN(pop):
+            obj = TX_ZALLOC(pop, ObjectType2)
+            TX_ADD(obj)
+            obj.attr = 3
+            TX_COMMIT(pop)
+            # block exit after an early commit must not double-commit
+        assert obj.attr == 3
+
+    def test_root_macros(self, pop):
+        with TX_BEGIN(pop):
+            obj = TX_ZALLOC(pop, ObjectType2)
+            TX_ADD(obj)
+            obj.attr = 7
+            POBJ_SET_ROOT(pop, obj)
+        root = POBJ_ROOT(pop, ObjectType2)
+        assert root.attr == 7
+
+
+class TestReadOnlyView:
+    def test_reads_pass_through(self, pop):
+        with TX_BEGIN(pop):
+            obj = TX_ZALLOC(pop, ObjectType2)
+            TX_ADD(obj)
+            obj.attr = 11
+        view = D_RO(obj)
+        assert view.attr == 11
+        assert view.oid == obj.oid
+
+    def test_writes_rejected(self, pop):
+        with TX_BEGIN(pop):
+            obj = TX_ZALLOC(pop, ObjectType2)
+        view = D_RO(obj)
+        with pytest.raises(AttributeError):
+            view.attr = 1
+
+    def test_write_discipline_still_enforced(self, pop):
+        with TX_BEGIN(pop):
+            obj = TX_ZALLOC(pop, ObjectType2)
+        pop.drain()
+        with pytest.raises(WriteIntentError):
+            with TX_BEGIN(pop):
+                D_RW(obj).attr = 1  # no TX_ADD first

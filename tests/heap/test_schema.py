@@ -1,0 +1,70 @@
+"""Struct schemas, layout offsets, and the type registry."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.heap import GLOBAL_REGISTRY, Int64, FixedStr, PPtr, PersistentStruct, StructSchema
+
+
+class TestStructSchema:
+    def test_offsets_are_sequential(self):
+        s = StructSchema("S", [("a", Int64()), ("b", FixedStr(10)), ("c", PPtr())])
+        assert s.field("a").offset == 0
+        assert s.field("b").offset == 8
+        assert s.field("c").offset == 18
+        assert s.size == 26
+
+    def test_empty_struct_rejected(self):
+        with pytest.raises(SchemaError):
+            StructSchema("E", [])
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(SchemaError):
+            StructSchema("D", [("x", Int64()), ("x", Int64())])
+
+    def test_non_fieldtype_rejected(self):
+        with pytest.raises(SchemaError):
+            StructSchema("B", [("x", int)])
+
+    def test_unknown_field_lookup(self):
+        s = StructSchema("S2", [("a", Int64())])
+        with pytest.raises(SchemaError):
+            s.field("nope")
+
+    def test_type_id_deterministic(self):
+        a = StructSchema("T", [("a", Int64())])
+        b = StructSchema("T", [("a", Int64())])
+        assert a.type_id == b.type_id
+
+    def test_type_id_differs_by_layout(self):
+        a = StructSchema("T", [("a", Int64())])
+        b = StructSchema("T", [("a", FixedStr(8))])
+        assert a.type_id != b.type_id
+
+    def test_type_id_never_zero(self):
+        s = StructSchema("T", [("a", Int64())])
+        assert s.type_id != 0
+
+
+class TestPersistentStructClass:
+    def test_class_registration(self):
+        class RegDemo(PersistentStruct):
+            fields = [("n", Int64())]
+
+        schema, cls = GLOBAL_REGISTRY.lookup(RegDemo._schema.type_id)
+        assert cls is RegDemo
+        assert schema.size == 8
+
+    def test_base_class_has_no_schema(self):
+        assert PersistentStruct._schema is None
+
+    def test_descriptor_on_class_returns_descriptor(self):
+        class DescDemo(PersistentStruct):
+            fields = [("n", Int64())]
+
+        # accessing via the class (no instance) must not explode
+        assert DescDemo.n is not None
+
+    def test_unknown_type_id_lookup(self):
+        with pytest.raises(SchemaError):
+            GLOBAL_REGISTRY.lookup(0xFFFFFFF1)

@@ -1,0 +1,219 @@
+"""B+Tree: structure, splits, scans, deletes, crash recovery, model check."""
+
+import random
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.kvstore import BPlusTree, node_class
+from repro.nvm import CrashPolicy
+from repro.tx import UndoLogEngine, kamino_simple, reopen_after_crash
+
+from ..conftest import build_heap
+
+BIG_POOL = 64 << 20
+BIG_HEAP = 24 << 20
+
+
+def make_tree(factory=UndoLogEngine, fanout=8):
+    heap, engine, device = build_heap(factory, pool_size=BIG_POOL, heap_size=BIG_HEAP)
+    tree = BPlusTree.create(heap, fanout=fanout)
+    return tree, heap, device
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree, _, _ = make_tree()
+        assert tree.get(1) is None
+        assert len(tree) == 0
+        assert tree.height() == 0
+        tree.check_invariants()
+
+    def test_single_insert(self):
+        tree, _, _ = make_tree()
+        tree.put(5, 500)
+        assert tree.get(5) == 500
+        assert len(tree) == 1
+        assert tree.height() == 1
+
+    def test_update_replaces_and_returns_old(self):
+        tree, _, _ = make_tree()
+        assert tree.put(5, 500) is None
+        assert tree.put(5, 501) == 500
+        assert tree.get(5) == 501
+        assert len(tree) == 1  # count unchanged on replace
+
+    def test_missing_key(self):
+        tree, _, _ = make_tree()
+        tree.put(5, 500)
+        assert tree.get(4) is None
+        assert tree.get(6) is None
+
+    def test_fanout_validation(self):
+        with pytest.raises(SchemaError):
+            node_class(2)
+        with pytest.raises(SchemaError):
+            node_class(1000)
+
+
+class TestSplits:
+    def test_sequential_inserts_split_correctly(self):
+        tree, _, _ = make_tree(fanout=8)
+        for k in range(100):
+            tree.put(k, k * 10)
+        tree.check_invariants()
+        assert tree.height() >= 2
+        for k in range(100):
+            assert tree.get(k) == k * 10
+
+    def test_reverse_inserts(self):
+        tree, _, _ = make_tree(fanout=8)
+        for k in reversed(range(100)):
+            tree.put(k, k)
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == list(range(100))
+
+    def test_random_inserts(self):
+        tree, _, _ = make_tree(fanout=8)
+        keys = list(range(500))
+        random.Random(42).shuffle(keys)
+        for k in keys:
+            tree.put(k, k + 1)
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == list(range(500))
+
+    def test_multilevel_height_grows_logarithmically(self):
+        tree, _, _ = make_tree(fanout=8)
+        for k in range(1000):
+            tree.put(k, k)
+        assert 3 <= tree.height() <= 6
+
+
+class TestScan:
+    def test_scan_from_start(self):
+        tree, _, _ = make_tree(fanout=8)
+        for k in range(0, 100, 2):
+            tree.put(k, k)
+        assert [k for k, _ in tree.scan(0, 5)] == [0, 2, 4, 6, 8]
+
+    def test_scan_from_middle_key_absent(self):
+        tree, _, _ = make_tree(fanout=8)
+        for k in range(0, 100, 2):
+            tree.put(k, k)
+        assert [k for k, _ in tree.scan(31, 3)] == [32, 34, 36]
+
+    def test_scan_crosses_leaves(self):
+        tree, _, _ = make_tree(fanout=4)
+        for k in range(50):
+            tree.put(k, k)
+        assert [k for k, _ in tree.scan(10, 20)] == list(range(10, 30))
+
+    def test_scan_past_end(self):
+        tree, _, _ = make_tree()
+        tree.put(1, 1)
+        assert tree.scan(100, 5) == []
+
+    def test_scan_empty_tree(self):
+        tree, _, _ = make_tree()
+        assert tree.scan(0, 5) == []
+
+
+class TestDelete:
+    def test_delete_returns_pointer(self):
+        tree, _, _ = make_tree()
+        tree.put(5, 500)
+        assert tree.delete(5) == 500
+        assert tree.get(5) is None
+        assert len(tree) == 0
+
+    def test_delete_missing(self):
+        tree, _, _ = make_tree()
+        assert tree.delete(5) is None
+
+    def test_delete_half_then_reinsert(self):
+        tree, _, _ = make_tree(fanout=8)
+        for k in range(200):
+            tree.put(k, k)
+        for k in range(0, 200, 2):
+            assert tree.delete(k) == k
+        tree.check_invariants()
+        for k in range(200):
+            expect = None if k % 2 == 0 else k
+            assert tree.get(k) == expect
+        for k in range(0, 200, 2):
+            tree.put(k, k * 7)
+        tree.check_invariants()
+        assert tree.get(100) == 700
+
+    def test_scan_skips_deleted(self):
+        tree, _, _ = make_tree(fanout=4)
+        for k in range(20):
+            tree.put(k, k)
+        for k in range(5, 15):
+            tree.delete(k)
+        assert [k for k, _ in tree.scan(0, 100)] == list(range(5)) + list(range(15, 20))
+
+
+class TestModelCheck:
+    @pytest.mark.parametrize("factory", [UndoLogEngine, kamino_simple])
+    def test_random_ops_match_dict(self, factory):
+        tree, heap, _ = make_tree(factory, fanout=6)
+        rng = random.Random(7)
+        model = {}
+        for step in range(1500):
+            op = rng.random()
+            key = rng.randrange(200)
+            if op < 0.5:
+                old = tree.put(key, step + 1)
+                assert old == model.get(key)
+                model[key] = step + 1
+            elif op < 0.75:
+                assert tree.get(key) == model.get(key)
+            else:
+                assert tree.delete(key) == model.pop(key, None)
+        heap.drain()
+        tree.check_invariants()
+        assert dict(tree.items()) == model
+
+
+class TestAtomicity:
+    @pytest.mark.parametrize("factory", [UndoLogEngine, kamino_simple])
+    def test_abort_mid_split_leaves_tree_intact(self, factory):
+        tree, heap, _ = make_tree(factory, fanout=4)
+        for k in range(0, 8, 2):  # fill one leaf
+            tree.put(k, k)
+        heap.drain()
+        snapshot = dict(tree.items())
+        with pytest.raises(RuntimeError):
+            with heap.transaction():
+                tree.put(1, 1)  # forces a split inside the outer tx
+                raise RuntimeError("abort during structural change")
+        heap.drain()
+        tree.check_invariants()
+        assert dict(tree.items()) == snapshot
+
+    def test_crash_mid_split_recovers(self):
+        from repro.errors import DeviceCrashedError
+
+        factory = kamino_simple
+        tree, heap, device = make_tree(factory, fanout=4)
+        for k in range(0, 40, 2):
+            tree.put(k, k)
+        heap.drain()
+        snapshot = dict(tree.items())
+        meta_oid = tree.meta.oid
+        device.schedule_crash(15, CrashPolicy.RANDOM, survival_prob=0.5)
+        try:
+            tree.put(21, 21)
+            heap.drain()
+            snapshot[21] = 21
+        except DeviceCrashedError:
+            pass
+        device.cancel_scheduled_crash()
+        if not device.crashed:
+            device.crash(CrashPolicy.RANDOM)
+        heap2, _, _ = reopen_after_crash(device, factory)
+        tree2 = BPlusTree.open(heap2, meta_oid)
+        tree2.check_invariants()
+        got = dict(tree2.items())
+        assert got == snapshot or got == {**snapshot, 21: 21}

@@ -1,0 +1,129 @@
+"""Persistent hash table: probing, tombstones, load factor, collisions."""
+
+import random
+
+import pytest
+
+from repro.errors import HeapError
+from repro.kvstore import PersistentHashTable
+from repro.tx import UndoLogEngine
+
+from ..conftest import build_heap
+
+
+@pytest.fixture
+def table():
+    heap, _, _ = build_heap(UndoLogEngine, pool_size=32 << 20, heap_size=8 << 20)
+    return PersistentHashTable.create(heap, capacity_hint=512), heap
+
+
+class TestBasics:
+    def test_put_get(self, table):
+        ht, _ = table
+        ht.put(1, 100)
+        assert ht.get(1) == 100
+
+    def test_get_missing(self, table):
+        ht, _ = table
+        assert ht.get(42) is None
+
+    def test_replace_returns_old(self, table):
+        ht, _ = table
+        assert ht.put(1, 100) is None
+        assert ht.put(1, 200) == 100
+        assert ht.get(1) == 200
+        assert len(ht) == 1
+
+    def test_many_keys(self, table):
+        ht, _ = table
+        for k in range(400):
+            ht.put(k, k * 3)
+        for k in range(400):
+            assert ht.get(k) == k * 3
+        assert len(ht) == 400
+
+    def test_items(self, table):
+        ht, _ = table
+        for k in (3, 1, 2):
+            ht.put(k, k)
+        assert sorted(ht.items()) == [(1, 1), (2, 2), (3, 3)]
+
+
+class TestDelete:
+    def test_delete_then_get(self, table):
+        ht, _ = table
+        ht.put(1, 100)
+        assert ht.delete(1) == 100
+        assert ht.get(1) is None
+        assert len(ht) == 0
+
+    def test_delete_missing(self, table):
+        ht, _ = table
+        assert ht.delete(9) is None
+
+    def test_tombstone_does_not_break_probe_chain(self, table):
+        ht, _ = table
+        # force a collision chain, then delete the middle element
+        keys = list(range(1000, 1300))
+        for k in keys:
+            ht.put(k, k)
+        for k in keys[::3]:
+            ht.delete(k)
+        for i, k in enumerate(keys):
+            expect = None if i % 3 == 0 else k
+            assert ht.get(k) == expect
+
+    def test_tombstone_slot_reused(self, table):
+        ht, _ = table
+        ht.put(1, 1)
+        ht.delete(1)
+        ht.put(1, 2)
+        assert ht.get(1) == 2
+        assert len(ht) == 1
+
+
+class TestLoadFactor:
+    def test_over_load_rejected(self):
+        heap, _, _ = build_heap(UndoLogEngine, pool_size=32 << 20, heap_size=8 << 20)
+        ht = PersistentHashTable.create(heap, capacity_hint=128)
+        with pytest.raises(HeapError):
+            for k in range(200):
+                ht.put(k, k)
+
+    def test_capacity_hint_too_large(self):
+        heap, _, _ = build_heap(UndoLogEngine, pool_size=32 << 20, heap_size=8 << 20)
+        with pytest.raises(HeapError):
+            PersistentHashTable.create(heap, capacity_hint=10**6)
+
+
+class TestAtomicity:
+    def test_aborted_put_invisible(self, table):
+        ht, heap = table
+        ht.put(1, 100)
+        heap.drain()
+        with pytest.raises(RuntimeError):
+            with heap.transaction():
+                ht.put(1, 999)
+                ht.put(2, 222)
+                raise RuntimeError("abort")
+        heap.drain()
+        assert ht.get(1) == 100
+        assert ht.get(2) is None
+        assert len(ht) == 1
+
+    def test_model_check_random_ops(self, table):
+        ht, heap = table
+        rng = random.Random(3)
+        model = {}
+        for step in range(800):
+            k = rng.randrange(150)
+            r = rng.random()
+            if r < 0.55:
+                assert ht.put(k, step) == model.get(k)
+                model[k] = step
+            elif r < 0.8:
+                assert ht.get(k) == model.get(k)
+            else:
+                assert ht.delete(k) == model.pop(k, None)
+        assert dict(ht.items()) == model
+        assert len(ht) == len(model)

@@ -1,0 +1,154 @@
+"""KVStore facade: records, in-place updates, RMW, reopen, crash."""
+
+import pytest
+
+from repro.errors import DeviceCrashedError, HeapError
+from repro.kvstore import KVStore
+from repro.nvm import CrashPolicy, PmemPool
+from repro.tx import UndoLogEngine, kamino_simple, reopen_after_crash
+from repro.heap import PersistentHeap
+
+from ..conftest import build_heap
+
+POOL = 32 << 20
+HEAP = 12 << 20
+
+
+def make_kv(factory=UndoLogEngine, value_size=256):
+    heap, engine, device = build_heap(factory, pool_size=POOL, heap_size=HEAP)
+    kv = KVStore.create(heap, value_size=value_size)
+    return kv, heap, device
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self):
+        kv, _, _ = make_kv()
+        kv.put(1, b"hello")
+        assert kv.get(1) == b"hello".ljust(256, b"\0")
+
+    def test_get_missing(self):
+        kv, _, _ = make_kv()
+        assert kv.get(404) is None
+
+    def test_put_returns_existed_flag(self):
+        kv, _, _ = make_kv()
+        assert kv.put(1, b"a") is False
+        assert kv.put(1, b"b") is True
+
+    def test_update_in_place_keeps_pointer(self):
+        kv, heap, _ = make_kv()
+        kv.put(1, b"a")
+        ptr1 = kv.tree.get(1)
+        kv.put(1, b"b" * 200)
+        assert kv.tree.get(1) == ptr1  # no reallocation
+
+    def test_oversized_value_rejected(self):
+        kv, _, _ = make_kv(value_size=16)
+        with pytest.raises(ValueError):
+            kv.put(1, b"x" * 17)
+
+    def test_contains_and_len(self):
+        kv, _, _ = make_kv()
+        kv.put(1, b"a")
+        kv.put(2, b"b")
+        assert 1 in kv and 3 not in kv
+        assert len(kv) == 2
+
+
+class TestDelete:
+    def test_delete_frees_value_blob(self):
+        kv, heap, _ = make_kv()
+        kv.put(1, b"a")
+        kv.drain()
+        used = heap.allocator.allocated_bytes
+        kv.put(2, b"b")
+        kv.delete(2)
+        kv.drain()
+        assert heap.allocator.allocated_bytes == used
+        assert kv.get(2) is None
+
+    def test_delete_missing(self):
+        kv, _, _ = make_kv()
+        assert kv.delete(5) is False
+
+
+class TestScanAndRMW:
+    def test_scan_returns_values(self):
+        kv, _, _ = make_kv()
+        for k in range(10):
+            kv.put(k, bytes([k]))
+        got = kv.scan(3, 4)
+        assert [k for k, _ in got] == [3, 4, 5, 6]
+        assert got[0][1][0] == 3
+
+    def test_read_modify_write(self):
+        kv, _, _ = make_kv()
+        kv.put(1, b"\x05")
+        assert kv.read_modify_write(1, lambda v: bytes([v[0] + 1]))
+        assert kv.get(1)[0] == 6
+
+    def test_rmw_missing_key(self):
+        kv, _, _ = make_kv()
+        assert kv.read_modify_write(9, lambda v: v) is False
+
+    def test_rmw_is_atomic_under_abort(self):
+        kv, heap, _ = make_kv(factory=kamino_simple)
+        kv.put(1, b"\x01")
+        kv.drain()
+        with pytest.raises(RuntimeError):
+            with heap.transaction():
+                kv.read_modify_write(1, lambda v: bytes([v[0] + 1]))
+                raise RuntimeError("abort rmw")
+        kv.drain()
+        assert kv.get(1)[0] == 1
+
+
+class TestReopen:
+    def test_reopen_from_pool_root(self):
+        kv, heap, device = make_kv()
+        for k in range(50):
+            kv.put(k, bytes([k]) * 10)
+        kv.drain()
+        device.persist_all()
+        heap2 = PersistentHeap.open(PmemPool.open(device), UndoLogEngine())
+        kv2 = KVStore.open(heap2)
+        assert kv2.value_size == 256
+        for k in range(50):
+            assert kv2.get(k)[:10] == bytes([k]) * 10
+
+    def test_open_without_root_fails(self):
+        heap, _, _ = build_heap(UndoLogEngine)
+        with pytest.raises(HeapError):
+            KVStore.open(heap)
+
+
+class TestCrash:
+    @pytest.mark.parametrize("factory", [UndoLogEngine, kamino_simple])
+    def test_crash_mid_workload_recovers_consistent(self, factory):
+        kv, heap, device = make_kv(factory)
+        committed = {}
+        for k in range(30):
+            kv.put(k, bytes([k]) * 8)
+            committed[k] = bytes([k]) * 8
+        kv.drain()
+        device.schedule_crash(25, CrashPolicy.RANDOM, survival_prob=0.5)
+        attempted = {}
+        try:
+            for k in range(30, 60):
+                kv.put(k, bytes([k]) * 8)
+                attempted[k] = bytes([k]) * 8
+            kv.drain()
+        except DeviceCrashedError:
+            pass
+        device.cancel_scheduled_crash()
+        if not device.crashed:
+            device.crash(CrashPolicy.RANDOM, survival_prob=0.5)
+        heap2, _, _ = reopen_after_crash(device, factory)
+        kv2 = KVStore.open(heap2)
+        kv2.tree.check_invariants()
+        for k, v in committed.items():
+            assert kv2.get(k)[: len(v)] == v
+        # attempted keys are each all-or-nothing
+        for k, v in attempted.items():
+            got = kv2.get(k)
+            assert got is None or got[: len(v)] == v

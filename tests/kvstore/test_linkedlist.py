@@ -1,0 +1,132 @@
+"""Persistent doubly-linked list (the Figure 4 running example)."""
+
+import pytest
+
+from repro.tx import kamino_simple
+
+from ..conftest import build_heap
+from repro.kvstore import PersistentList
+
+
+@pytest.fixture
+def plist(any_engine_heap):
+    heap, engine, device = any_engine_heap
+    return PersistentList.create(heap), heap
+
+
+class TestInsert:
+    def test_insert_sorted_positions(self, plist):
+        lst, heap = plist
+        for k in (5, 1, 9, 3, 7):
+            lst.insert(k, float(k))
+        assert lst.keys() == [1, 3, 5, 7, 9]
+        lst.check_invariants()
+
+    def test_insert_at_head_and_tail(self, plist):
+        lst, heap = plist
+        lst.insert(5, 5.0)
+        lst.insert(1, 1.0)  # new head
+        lst.insert(9, 9.0)  # new tail
+        assert lst.keys() == [1, 5, 9]
+        assert heap.deref(lst.root.head).key == 1
+        assert heap.deref(lst.root.tail).key == 9
+
+    def test_duplicates_allowed_adjacent(self, plist):
+        lst, heap = plist
+        lst.insert(5, 1.0)
+        lst.insert(5, 2.0)
+        assert lst.keys() == [5, 5]
+        lst.check_invariants()
+
+    def test_length_tracked(self, plist):
+        lst, _ = plist
+        for k in range(10):
+            lst.insert(k, 0.0)
+        assert len(lst) == 10
+
+
+class TestDelete:
+    def test_delete_middle(self, plist):
+        lst, heap = plist
+        for k in (1, 2, 3):
+            lst.insert(k, float(k))
+        assert lst.delete(2)
+        assert lst.keys() == [1, 3]
+        lst.check_invariants()
+
+    def test_delete_head_and_tail(self, plist):
+        lst, heap = plist
+        for k in (1, 2, 3):
+            lst.insert(k, float(k))
+        assert lst.delete(1)
+        assert lst.delete(3)
+        assert lst.keys() == [2]
+        lst.check_invariants()
+
+    def test_delete_only_element(self, plist):
+        lst, heap = plist
+        lst.insert(1, 1.0)
+        assert lst.delete(1)
+        assert lst.keys() == []
+        assert len(lst) == 0
+        lst.check_invariants()
+
+    def test_delete_missing(self, plist):
+        lst, _ = plist
+        lst.insert(1, 1.0)
+        assert not lst.delete(2)
+
+    def test_delete_frees_node(self, plist):
+        lst, heap = plist
+        lst.insert(1, 1.0)
+        used = heap.allocator.allocated_bytes
+        lst.insert(2, 2.0)
+        lst.delete(2)
+        heap.drain()
+        assert heap.allocator.allocated_bytes == used
+
+
+class TestLookupUpdate:
+    def test_lookup(self, plist):
+        lst, _ = plist
+        lst.insert(4, 44.0)
+        assert lst.lookup(4) == 44.0
+        assert lst.lookup(5) is None
+
+    def test_update(self, plist):
+        lst, _ = plist
+        lst.insert(4, 44.0)
+        assert lst.update(4, 45.0)
+        assert lst.lookup(4) == 45.0
+
+    def test_update_missing(self, plist):
+        lst, _ = plist
+        assert not lst.update(1, 0.0)
+
+
+class TestAtomicity:
+    def test_aborted_insert_leaves_links_intact(self, plist):
+        lst, heap = plist
+        for k in (1, 3):
+            lst.insert(k, float(k))
+        heap.drain()
+        with pytest.raises(RuntimeError):
+            with heap.transaction():
+                lst.insert(2, 2.0)
+                raise RuntimeError("abort the splice")
+        heap.drain()
+        assert lst.keys() == [1, 3]
+        lst.check_invariants()
+
+    def test_aborted_delete_leaves_links_intact(self, plist):
+        lst, heap = plist
+        for k in (1, 2, 3):
+            lst.insert(k, float(k))
+        heap.drain()
+        with pytest.raises(RuntimeError):
+            with heap.transaction():
+                lst.delete(2)
+                raise RuntimeError("abort the unlink")
+        heap.drain()
+        assert lst.keys() == [1, 2, 3]
+        lst.check_invariants()

@@ -1,0 +1,74 @@
+"""Pool/heap introspection reports."""
+
+from repro.nvm.inspect import describe_heap, describe_log, describe_pool, format_report
+from repro.tx import UndoLogEngine, kamino_simple
+
+from ..conftest import Pair, build_heap
+
+
+class TestDescribePool:
+    def test_regions_listed_in_offset_order(self):
+        heap, _, _ = build_heap(kamino_simple)
+        info = describe_pool(heap.pool)
+        offsets = [r["offset"] for r in info["regions"]]
+        assert offsets == sorted(offsets)
+        names = {r["name"] for r in info["regions"]}
+        assert {"heap", "intent_log", "backup"} <= names
+
+    def test_root_offset_reported(self):
+        heap, _, _ = build_heap(UndoLogEngine)
+        with heap.transaction():
+            p = heap.alloc(Pair)
+            heap.set_root(p)
+        assert describe_pool(heap.pool)["root_offset"] == p.oid
+
+
+class TestDescribeHeap:
+    def test_counts_allocations(self):
+        heap, _, _ = build_heap(UndoLogEngine)
+        with heap.transaction():
+            for _ in range(10):
+                heap.alloc(Pair)
+        info = describe_heap(heap)
+        assert info["allocated_bytes"] > 0
+        assert info["classes"]  # at least one class in use
+        cls, entry = next(iter(info["classes"].items()))
+        assert entry["slots"] >= entry["free_slots"]
+
+    def test_fresh_heap_fully_unassigned(self):
+        heap, _, _ = build_heap(UndoLogEngine)
+        info = describe_heap(heap)
+        assert info["chunks_unassigned"] == info["chunks_total"]
+        assert info["utilization"] == 0.0
+
+
+class TestDescribeLog:
+    def test_idle_log_fully_free(self):
+        heap, engine, _ = build_heap(UndoLogEngine)
+        info = describe_log(engine.log)
+        assert info["free"] == info["slots"]
+        assert info["non_free_durable"] == {}
+
+    def test_pending_kamino_slot_visible(self):
+        heap, engine, _ = build_heap(kamino_simple)
+        with heap.transaction():
+            p = heap.alloc(Pair)
+            p.key = 1
+        info = describe_log(engine.log)
+        assert info["non_free_durable"].get("COMMITTED") == 1
+        heap.drain()
+        assert describe_log(engine.log)["non_free_durable"] == {}
+
+
+class TestFormatReport:
+    def test_report_sections(self):
+        heap, _, _ = build_heap(kamino_simple)
+        with heap.transaction():
+            heap.alloc(Pair)
+        heap.drain()
+        report = format_report(heap)
+        assert "pool:" in report
+        assert "regions:" in report
+        assert "heap:" in report
+        assert "intent log:" in report
+        assert "backup:" in report

@@ -1,0 +1,120 @@
+"""Unit tests for pool formatting, regions, and reopen-after-crash."""
+
+import pytest
+
+from repro.errors import OutOfBoundsError, PoolCorruptionError
+from repro.nvm import CrashPolicy, NVMDevice, PmemPool
+
+
+def make_pool(size=64 * 1024):
+    dev = NVMDevice(size)
+    return PmemPool.create(dev), dev
+
+
+class TestLifecycle:
+    def test_create_then_open(self):
+        pool, dev = make_pool()
+        dev.persist_all()
+        reopened = PmemPool.open(dev)
+        assert reopened.root_offset == 0
+
+    def test_open_unformatted_device_fails(self):
+        dev = NVMDevice(4096)
+        with pytest.raises(PoolCorruptionError):
+            PmemPool.open(dev)
+
+    def test_open_wrong_size_fails(self):
+        pool, dev = make_pool(8192)
+        dev.persist_all()
+        other = NVMDevice(4096)
+        other._durable[:4096] = dev._durable[:4096]
+        with pytest.raises(PoolCorruptionError):
+            PmemPool.open(other)
+
+    def test_root_offset_roundtrip(self):
+        pool, dev = make_pool()
+        pool.set_root_offset(1234)
+        assert pool.root_offset == 1234
+        reopened = PmemPool.open(dev)
+        assert reopened.root_offset == 1234
+
+    def test_root_offset_survives_crash(self):
+        pool, dev = make_pool()
+        pool.set_root_offset(999)
+        dev.crash(CrashPolicy.DROP_ALL)
+        dev.restart()
+        assert PmemPool.open(dev).root_offset == 999
+
+
+class TestRegions:
+    def test_create_and_lookup(self):
+        pool, _ = make_pool()
+        r = pool.create_region("heap", 4096)
+        assert pool.region("heap") is r
+        assert r.size >= 4096
+
+    def test_unknown_region_raises(self):
+        pool, _ = make_pool()
+        with pytest.raises(KeyError):
+            pool.region("nope")
+
+    def test_duplicate_region_rejected(self):
+        pool, _ = make_pool()
+        pool.create_region("a", 128)
+        with pytest.raises(ValueError):
+            pool.create_region("a", 128)
+
+    def test_regions_do_not_overlap(self):
+        pool, _ = make_pool()
+        a = pool.create_region("a", 100)
+        b = pool.create_region("b", 100)
+        assert a.offset + a.size <= b.offset
+
+    def test_regions_survive_crash_and_reopen(self):
+        pool, dev = make_pool()
+        a = pool.create_region("log", 1024)
+        a.write_and_flush(0, b"persist me")
+        dev.crash(CrashPolicy.DROP_ALL)
+        dev.restart()
+        reopened = PmemPool.open(dev)
+        a2 = reopened.region("log")
+        assert a2.offset == a.offset and a2.size == a.size
+        assert a2.read(0, 10) == b"persist me"
+
+    def test_region_or_create_reuses(self):
+        pool, _ = make_pool()
+        a = pool.create_region("x", 256)
+        assert pool.region_or_create("x", 256) is a
+
+    def test_pool_exhaustion(self):
+        pool, _ = make_pool(size=4096)
+        with pytest.raises(OutOfBoundsError):
+            pool.create_region("big", 1 << 20)
+
+    def test_region_bounds_enforced(self):
+        pool, _ = make_pool()
+        r = pool.create_region("r", 128)
+        with pytest.raises(OutOfBoundsError):
+            r.read(120, 64)
+
+    def test_region_relative_addressing(self):
+        pool, _ = make_pool()
+        a = pool.create_region("a", 256)
+        b = pool.create_region("b", 256)
+        a.write(0, b"AAAA")
+        b.write(0, b"BBBB")
+        assert a.read(0, 4) == b"AAAA"
+        assert b.read(0, 4) == b"BBBB"
+
+    def test_region_copy(self):
+        pool, _ = make_pool()
+        r = pool.create_region("r", 512)
+        r.write(0, b"source12")
+        r.copy(256, 0, 8)
+        assert r.read(256, 8) == b"source12"
+
+    def test_free_bytes_decreases(self):
+        pool, _ = make_pool()
+        before = pool.free_bytes
+        pool.create_region("r", 1024)
+        assert pool.free_bytes <= before - 1024

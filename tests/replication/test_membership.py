@@ -1,0 +1,85 @@
+"""Membership manager: views, neighbours, failures, joins."""
+
+import pytest
+
+from repro.errors import ReplicationError, StaleViewError
+from repro.replication import MembershipManager
+
+
+@pytest.fixture
+def mm():
+    return MembershipManager(["a", "b", "c", "d"])
+
+
+class TestViews:
+    def test_initial_view(self, mm):
+        assert mm.view_id == 1
+        assert mm.order() == ("a", "b", "c", "d")
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ReplicationError):
+            MembershipManager([])
+
+    def test_stale_view_rejected(self, mm):
+        mm.declare_failed("b")
+        with pytest.raises(StaleViewError):
+            mm.validate_view(1)
+        mm.validate_view(2)  # current is fine
+
+
+class TestNeighbours:
+    def test_head_has_no_predecessor(self, mm):
+        pred, succ = mm.neighbours("a")
+        assert pred is None and succ == "b"
+
+    def test_tail_has_no_successor(self, mm):
+        pred, succ = mm.neighbours("d")
+        assert pred == "c" and succ is None
+
+    def test_middle(self, mm):
+        assert mm.neighbours("b") == ("a", "c")
+
+    def test_unknown_node(self, mm):
+        with pytest.raises(ReplicationError):
+            mm.neighbours("zz")
+
+
+class TestTransitions:
+    def test_declare_failed_bumps_view(self, mm):
+        view = mm.declare_failed("b")
+        assert view.view_id == 2
+        assert view.order == ("a", "c", "d")
+        assert mm.neighbours("a") == (None, "c")
+
+    def test_cannot_remove_unknown(self, mm):
+        with pytest.raises(ReplicationError):
+            mm.declare_failed("zz")
+
+    def test_cannot_empty_chain(self):
+        mm = MembershipManager(["solo"])
+        with pytest.raises(ReplicationError):
+            mm.declare_failed("solo")
+
+    def test_join_at_tail(self, mm):
+        view = mm.add_at_tail("e")
+        assert view.order[-1] == "e"
+        assert mm.view_id == 2
+
+    def test_rejoin_existing_rejected(self, mm):
+        with pytest.raises(ReplicationError):
+            mm.add_at_tail("a")
+
+
+class TestFailureDetection:
+    def test_quick_reboot_within_timeout(self, mm):
+        assert mm.is_quick_reboot("a", went_down_at_ns=0, now_ns=1_000_000)
+        assert not mm.is_quick_reboot("a", went_down_at_ns=0, now_ns=10**9)
+
+    def test_rejoin_request_current_member(self, mm):
+        view = mm.rejoin_request("b", claimed_view=1)
+        assert view.view_id == mm.view_id
+
+    def test_rejoin_request_removed_member(self, mm):
+        mm.declare_failed("b")
+        with pytest.raises(ReplicationError):
+            mm.rejoin_request("b", claimed_view=1)

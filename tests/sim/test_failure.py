@@ -1,0 +1,54 @@
+"""Failure-injection helpers."""
+
+import pytest
+
+from repro.errors import DeviceCrashedError
+from repro.nvm import CrashPolicy, NVMDevice
+from repro.sim import crash_points, run_until_crash, sweep_crashes
+
+
+class TestCrashPoints:
+    def test_counts_device_operations(self):
+        def run(device):
+            device.write(0, b"x" * 64)
+            device.flush(0, 64)
+            device.fence()
+
+        n = crash_points(run, lambda: NVMDevice(4096))
+        assert n == 3
+
+    def test_raises_when_bound_exceeded(self):
+        def run(device):
+            for _ in range(10):
+                device.write(0, b"x")
+
+        with pytest.raises(RuntimeError):
+            crash_points(run, lambda: NVMDevice(4096), max_points=5)
+
+
+class TestSweep:
+    def test_covers_ops_times_policies(self):
+        points = list(sweep_crashes(4, stride=2))
+        assert len(points) == 2 * 2  # ops {0, 2} x two default policies
+        assert all(isinstance(p, CrashPolicy) for _i, p in points)
+
+    def test_custom_policies(self):
+        points = list(sweep_crashes(2, policies=[CrashPolicy.KEEP_ALL]))
+        assert [p for _i, p in points] == [CrashPolicy.KEEP_ALL] * 2
+
+
+class TestRunUntilCrash:
+    def test_detects_scheduled_crash(self):
+        device = NVMDevice(4096)
+        device.schedule_crash(1)
+
+        def work():
+            device.write(0, b"a")
+            device.write(8, b"b")
+
+        assert run_until_crash(work) is True
+        assert device.crashed
+
+    def test_clean_run_returns_false(self):
+        device = NVMDevice(4096)
+        assert run_until_crash(lambda: device.write(0, b"a")) is False

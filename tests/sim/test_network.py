@@ -1,0 +1,85 @@
+"""Simulated network: delivery, FIFO per link, failure injection."""
+
+from repro.sim import EventSimulator, SimNetwork
+
+
+def make_net(hop=1000.0):
+    sim = EventSimulator()
+    net = SimNetwork(sim, hop_latency_ns=hop)
+    return sim, net
+
+
+class TestDelivery:
+    def test_message_delivered_after_hop_latency(self):
+        sim, net = make_net(hop=1000)
+        got = []
+        net.register("b", lambda src, msg: got.append((sim.now, src, msg)))
+        net.send("a", "b", "hello")
+        sim.run()
+        assert got == [(1000, "a", "hello")]
+
+    def test_fifo_per_link(self):
+        sim, net = make_net()
+        got = []
+        net.register("b", lambda src, msg: got.append(msg))
+        for i in range(5):
+            net.send("a", "b", i)
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_extra_delay(self):
+        sim, net = make_net(hop=1000)
+        got = []
+        net.register("b", lambda src, msg: got.append(sim.now))
+        net.send("a", "b", "x", extra_delay_ns=500)
+        sim.run()
+        assert got == [1500]
+
+    def test_unknown_destination_dropped(self):
+        sim, net = make_net()
+        net.send("a", "ghost", "x")
+        sim.run()
+        assert net.dropped == 1
+
+
+class TestFailures:
+    def test_down_node_receives_nothing(self):
+        sim, net = make_net()
+        got = []
+        net.register("b", lambda src, msg: got.append(msg))
+        net.fail_node("b")
+        net.send("a", "b", "x")
+        sim.run()
+        assert got == []
+        assert net.dropped == 1
+
+    def test_revive_restores_delivery(self):
+        sim, net = make_net()
+        got = []
+        net.register("b", lambda src, msg: got.append(msg))
+        net.fail_node("b")
+        net.revive_node("b")
+        net.send("a", "b", "x")
+        sim.run()
+        assert got == ["x"]
+
+    def test_cut_link_is_directional(self):
+        sim, net = make_net()
+        got_a, got_b = [], []
+        net.register("a", lambda src, msg: got_a.append(msg))
+        net.register("b", lambda src, msg: got_b.append(msg))
+        net.cut_link("a", "b")
+        net.send("a", "b", "x")  # dropped
+        net.send("b", "a", "y")  # delivered
+        sim.run()
+        assert got_b == []
+        assert got_a == ["y"]
+
+    def test_inflight_message_dropped_when_node_fails_before_delivery(self):
+        sim, net = make_net(hop=1000)
+        got = []
+        net.register("b", lambda src, msg: got.append(msg))
+        net.send("a", "b", "x")
+        sim.schedule(500, net.fail_node, "b")
+        sim.run()
+        assert got == []

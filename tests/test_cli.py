@@ -1,0 +1,68 @@
+"""CLI subcommands: smoke coverage via main() with small workloads."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_engine_list_parses(self):
+        args = build_parser().parse_args(["ycsb", "--engines", "a, b ,c"])
+        assert args.engines == "a, b ,c"
+
+    def test_workload_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ycsb", "--workload", "Z"])
+
+
+class TestCommands:
+    def test_ycsb(self, capsys):
+        rc = main([
+            "ycsb", "--workload", "C", "--records", "60", "--ops", "80",
+            "--threads", "2", "--engines", "kamino-simple",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "YCSB-C" in out and "kamino-simple" in out
+
+    def test_ycsb_dynamic_alpha(self, capsys):
+        rc = main([
+            "ycsb", "--workload", "A", "--records", "60", "--ops", "80",
+            "--threads", "2", "--engines", "kamino-dynamic", "--alpha", "0.3",
+        ])
+        assert rc == 0
+        assert "kamino-dynamic" in capsys.readouterr().out
+
+    def test_tpcc(self, capsys):
+        rc = main(["tpcc", "--ops", "40", "--engines", "undo"])
+        assert rc == 0
+        assert "TPC-C" in capsys.readouterr().out
+
+    def test_chain(self, capsys):
+        rc = main([
+            "chain", "--workload", "A", "--f", "1", "--clients", "2",
+            "--records", "30", "--ops", "15",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "traditional" in out and "kamino" in out
+
+    def test_crash(self, capsys):
+        rc = main(["crash", "--engine", "undo", "--after", "200", "--policy", "drop"])
+        assert rc == 0
+        assert "100/100 pre-crash records intact" in capsys.readouterr().out
+
+    def test_info(self, capsys):
+        rc = main(["info", "--engine", "kamino-simple", "--mb", "32", "--records", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "regions:" in out and "backup:" in out
+
+    def test_info_undo_has_no_backup_line(self, capsys):
+        rc = main(["info", "--engine", "undo", "--mb", "32", "--records", "10"])
+        assert rc == 0
+        assert "backup:" not in capsys.readouterr().out

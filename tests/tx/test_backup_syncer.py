@@ -1,0 +1,76 @@
+"""BackupSyncer thread lifecycle and FullBackup mechanics."""
+
+import time
+
+import pytest
+
+from repro.tx import BackupSyncer, FullBackup, kamino_simple, verify_backup_consistency
+
+from ..conftest import Pair, build_heap
+
+
+class TestBackupSyncer:
+    def test_drains_in_background(self):
+        heap, engine, _ = build_heap(kamino_simple)
+        with heap.transaction():
+            p = heap.alloc(Pair)
+            p.key = 1
+        assert engine.pending_count == 1
+        with BackupSyncer(engine, poll_interval=0.001) as syncer:
+            deadline = time.monotonic() + 5
+            while engine.pending_count and time.monotonic() < deadline:
+                time.sleep(0.002)
+        assert engine.pending_count == 0
+        assert syncer.synced >= 1
+        verify_backup_consistency(heap)
+
+    def test_stop_drains_remaining(self):
+        heap, engine, _ = build_heap(kamino_simple)
+        syncer = BackupSyncer(engine).start()
+        with heap.transaction():
+            p = heap.alloc(Pair)
+            p.key = 2
+        syncer.stop(drain=True)
+        assert engine.pending_count == 0
+
+    def test_double_start_rejected(self):
+        heap, engine, _ = build_heap(kamino_simple)
+        syncer = BackupSyncer(engine).start()
+        with pytest.raises(RuntimeError):
+            syncer.start()
+        syncer.stop()
+
+    def test_restartable_after_stop(self):
+        heap, engine, _ = build_heap(kamino_simple)
+        syncer = BackupSyncer(engine)
+        syncer.start()
+        syncer.stop()
+        syncer.start()
+        syncer.stop()
+
+
+class TestFullBackupMechanics:
+    def test_absorb_then_restore_roundtrip(self):
+        heap, engine, _ = build_heap(kamino_simple)
+        backup = engine.backup
+        with heap.transaction():
+            p = heap.alloc(Pair)
+            p.key = 10
+        heap.drain()
+        blk = p.block_offset
+        assert backup.mirror_equals_main(blk, 64)
+        # scribble on main outside any transaction, then restore
+        heap.region.write(p.oid, b"\xff" * 8)
+        assert not backup.mirror_equals_main(blk, 64)
+        backup.restore(blk, 64)
+        assert p.key == 10
+
+    def test_fresh_backup_seeded_from_heap(self):
+        heap, engine, _ = build_heap(kamino_simple)
+        backup = engine.backup
+        # the allocator header region must already mirror
+        assert backup.mirror_equals_main(0, 4096)
+
+    def test_storage_bytes_equals_heap(self):
+        heap, engine, _ = build_heap(kamino_simple)
+        assert engine.backup.storage_bytes == heap.region.size

@@ -1,0 +1,146 @@
+"""Kamino-Tx-Dynamic: partial backup, LRU, pinning, copy-on-miss."""
+
+import pytest
+
+from repro.errors import HeapError
+from repro.tx import DynamicBackup, kamino_dynamic, verify_backup_consistency
+
+from ..conftest import Pair, build_heap
+
+
+@pytest.fixture
+def setup():
+    heap, engine, device = build_heap(lambda: kamino_dynamic(alpha=0.3))
+    with heap.transaction():
+        objs = [heap.alloc(Pair) for _ in range(20)]
+        for i, o in enumerate(objs):
+            o.key = i
+    heap.drain()
+    return heap, engine, device, objs
+
+
+class TestCopyOnMiss:
+    def test_first_write_misses_then_hits(self, setup):
+        heap, engine, _, objs = setup
+        backup = engine.backup
+        misses_before = backup.misses
+        with heap.transaction():
+            objs[0].tx_add()
+            objs[0].key = 100
+        heap.drain()
+        assert backup.misses > misses_before
+        hits_before = backup.hits
+        with heap.transaction():
+            objs[0].tx_add()
+            objs[0].key = 101
+        heap.drain()
+        assert backup.hits > hits_before
+
+    def test_miss_copies_in_critical_path(self):
+        heap, engine, device = build_heap(lambda: kamino_dynamic(alpha=0.3))
+        with heap.transaction():
+            p = heap.alloc(Pair)
+        heap.drain()
+        # evict nothing: p simply has no copy yet
+        before = device.stats.snapshot()
+        tx = heap.begin()
+        p.tx_add()  # miss: copy-on-demand happens here
+        crit = device.stats.delta(before)
+        assert crit.copy_bytes > 0
+        p.key = 5
+        tx.commit()
+        heap.drain()
+
+    def test_hit_copies_nothing_in_critical_path(self, setup):
+        heap, engine, device, objs = setup
+        with heap.transaction():
+            objs[3].tx_add()
+            objs[3].key = 1
+        heap.drain()
+        before = device.stats.snapshot()
+        with heap.transaction():
+            objs[3].tx_add()  # hit: no critical-path copy
+            objs[3].key = 2
+        crit = device.stats.delta(before)
+        assert crit.copy_bytes == 0
+        heap.drain()
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            DynamicBackup(alpha=0.0)
+        with pytest.raises(ValueError):
+            DynamicBackup(alpha=1.5)
+
+
+class TestRollback:
+    def test_abort_restores_via_partial_backup(self, setup):
+        heap, engine, _, objs = setup
+        with heap.transaction():
+            objs[5].tx_add()
+            objs[5].key = 500
+        heap.drain()
+        with pytest.raises(RuntimeError):
+            with heap.transaction():
+                objs[5].tx_add()
+                objs[5].key = 999
+                raise RuntimeError("boom")
+        assert objs[5].key == 500
+        heap.drain()
+        verify_backup_consistency(heap)
+
+    def test_consistency_invariant_after_many_updates(self, setup):
+        heap, engine, _, objs = setup
+        for round_ in range(3):
+            for o in objs:
+                with heap.transaction():
+                    o.tx_add()
+                    o.key = o.key + 1
+        heap.drain()
+        verify_backup_consistency(heap)
+
+
+class TestEvictionAndPinning:
+    def test_eviction_under_pressure(self):
+        # a tiny backup: writes to many distinct objects must evict
+        heap, engine, device = build_heap(
+            lambda: kamino_dynamic(alpha=0.01), heap_size=2 << 20
+        )
+        objs = []
+        for _ in range(6):
+            with heap.transaction():
+                objs.extend(heap.alloc(Pair) for _ in range(60))
+            heap.drain()
+        for o in objs:
+            with heap.transaction():
+                o.tx_add()
+                o.key = 1
+            heap.drain()
+        assert engine.backup.evictions > 0
+        verify_backup_consistency(heap)
+
+    def test_storage_bounded_by_alpha(self):
+        heap, engine, _ = build_heap(lambda: kamino_dynamic(alpha=0.25))
+        backup_region = engine.backup.region
+        assert backup_region.size <= 0.3 * heap.region.size
+
+    def test_free_drops_backup_entry(self, setup):
+        heap, engine, _, objs = setup
+        with heap.transaction():
+            objs[7].tx_add()
+            objs[7].key = 5
+        heap.drain()
+        off = objs[7].block_offset
+        assert engine.backup.lookup.get(off) is not None
+        with heap.transaction():
+            heap.free(objs[7])
+        heap.drain()
+        assert engine.backup.lookup.get(off) is None
+
+    def test_hit_rate_reported(self, setup):
+        heap, engine, _, objs = setup
+        for _ in range(5):
+            with heap.transaction():
+                objs[0].tx_add()
+                objs[0].key += 1
+            heap.drain()
+        assert 0.0 < engine.backup.hit_rate <= 1.0

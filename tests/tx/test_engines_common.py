@@ -1,0 +1,179 @@
+"""Semantics every engine must share, plus undo/CoW-specific checks."""
+
+import pytest
+
+from repro.errors import TxAborted, TxError, WriteIntentError
+from repro.tx import CoWEngine, NoLoggingEngine, UndoLogEngine, make_engine
+from repro.tx.base import TxState
+
+from ..conftest import Cell, Pair, build_heap
+
+
+class TestCommonSemantics:
+    def test_committed_data_visible_after_drain(self, any_engine_heap):
+        heap, _, _ = any_engine_heap
+        with heap.transaction():
+            p = heap.alloc(Pair)
+            p.key = 77
+            p.value = "payload"
+            heap.set_root(p)
+        heap.drain()
+        r = heap.root(Pair)
+        assert (r.key, r.value) == (77, "payload")
+
+    def test_multi_object_atomic_update(self, any_engine_heap):
+        heap, _, _ = any_engine_heap
+        with heap.transaction():
+            a, b = heap.alloc(Pair), heap.alloc(Pair)
+            a.key, b.key = 1, 2
+        heap.drain()
+        with pytest.raises(RuntimeError):
+            with heap.transaction():
+                a.tx_add()
+                b.tx_add()
+                a.key = 10
+                b.key = 20
+                raise RuntimeError("fail after both writes")
+        heap.drain()
+        assert (a.key, b.key) == (1, 2)  # neither survived
+
+    def test_abort_mid_linked_list_insert(self, any_engine_heap):
+        """Figure 4's running example: a doubly-linked insert that aborts."""
+        heap, _, _ = any_engine_heap
+        with heap.transaction():
+            head = heap.alloc(Cell)
+            tail = heap.alloc(Cell)
+            head.value, tail.value = 1, 3
+            head.next = tail.oid
+            heap.set_root(head)
+        heap.drain()
+        with pytest.raises(RuntimeError):
+            with heap.transaction():
+                mid = heap.alloc(Cell)
+                mid.value = 2
+                mid.next = tail.oid
+                head.tx_add()
+                head.next = mid.oid
+                raise RuntimeError("abort mid-insert")
+        heap.drain()
+        assert heap.deref(head.next).value == 3  # link restored
+
+    def test_sequential_transactions_isolated_by_locks(self, any_engine_heap):
+        heap, engine, _ = any_engine_heap
+        with heap.transaction():
+            p = heap.alloc(Pair)
+            p.key = 0
+        for i in range(10):
+            with heap.transaction():
+                p.tx_add()
+                p.key = p.key + 1
+        heap.drain()
+        assert p.key == 10
+
+    def test_write_set_tracked(self, any_engine_heap):
+        heap, _, _ = any_engine_heap
+        with heap.transaction() as tx:
+            p = heap.alloc(Pair)
+            p.key = 1
+            assert p.block_offset in tx.write_set
+
+    def test_commit_then_further_use_rejected(self, any_engine_heap):
+        heap, _, _ = any_engine_heap
+        with heap.transaction() as tx:
+            heap.alloc(Pair)
+        with pytest.raises(TxError):
+            tx.commit()
+
+
+class TestCoWSpecific:
+    def test_original_untouched_until_commit(self):
+        heap, engine, device = build_heap(CoWEngine)
+        with heap.transaction():
+            p = heap.alloc(Pair)
+            p.key = 1
+        # mutate inside a tx and inspect the main heap directly
+        tx = heap.begin()
+        p.tx_add()
+        p.key = 42
+        # reading through the tx sees the shadow...
+        assert p.key == 42
+        # ...but main-heap bytes still hold the old value
+        import struct
+
+        raw = heap.region.read(p.oid, 8)
+        assert struct.unpack("<q", raw)[0] == 1
+        tx.commit()
+        raw = heap.region.read(p.oid, 8)
+        assert struct.unpack("<q", raw)[0] == 42
+
+    def test_cheap_abort_no_data_motion(self):
+        heap, engine, device = build_heap(CoWEngine)
+        with heap.transaction():
+            p = heap.alloc(Pair)
+            p.key = 1
+        tx = heap.begin()
+        p.tx_add()
+        p.key = 9
+        before = device.stats.snapshot()
+        tx.abort()
+        delta = device.stats.delta(before)
+        assert delta.copy_bytes == 0  # "simply deleting the copy is enough"
+        assert p.key == 1
+
+    def test_commit_copies_twice_per_object(self):
+        """CoW pays copy-in + copy-out; undo pays only copy-in."""
+        heap_cow, _, dev_cow = build_heap(CoWEngine)
+        heap_undo, _, dev_undo = build_heap(UndoLogEngine)
+        for heap in (heap_cow, heap_undo):
+            with heap.transaction():
+                p = heap.alloc(Pair)
+                p.key = 1
+                heap.set_root(p)
+        results = {}
+        for name, heap, dev in (("cow", heap_cow, dev_cow), ("undo", heap_undo, dev_undo)):
+            p = heap.root(Pair)
+            before = dev.stats.snapshot()
+            with heap.transaction():
+                p.tx_add()
+                p.key = 2
+            results[name] = dev.stats.delta(before).copy_bytes
+        assert results["cow"] >= 2 * results["undo"]
+
+
+class TestNoLoggingSpecific:
+    def test_commit_works(self):
+        heap, _, _ = build_heap(NoLoggingEngine)
+        with heap.transaction():
+            p = heap.alloc(Pair)
+            p.key = 3
+        assert p.key == 3
+
+    def test_abort_unsupported(self):
+        heap, _, _ = build_heap(NoLoggingEngine)
+        tx = heap.begin()
+        p = heap.alloc(Pair)
+        with pytest.raises(TxError):
+            tx.abort()
+
+    def test_no_log_no_copies(self):
+        heap, _, device = build_heap(NoLoggingEngine)
+        with heap.transaction():
+            p = heap.alloc(Pair)
+            p.key = 1
+        before = device.stats.snapshot()
+        with heap.transaction():
+            p.tx_add()
+            p.key = 2
+        delta = device.stats.delta(before)
+        assert delta.copy_bytes == 0
+
+
+class TestEngineFactory:
+    def test_make_engine_by_name(self):
+        assert make_engine("undo").name == "undo"
+        assert make_engine("kamino-simple").name == "kamino-simple"
+        assert make_engine("kamino-dynamic", alpha=0.2).name == "kamino-dynamic-20"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_engine("quantum")

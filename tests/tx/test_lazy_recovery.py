@@ -1,0 +1,121 @@
+"""Lazy recovery (§6.2): pending locks rebuilt from write intents.
+
+Instead of blocking recovery on the backup-sync backlog, the engine
+re-queues committed-but-unsynced transactions for the background syncer
+and re-locks their objects as *pending* — so the first dependent
+transaction after the restart still waits (or syncs on demand) exactly
+as it would have before the crash.
+"""
+
+import pytest
+
+from repro.heap import PersistentHeap
+from repro.nvm import CrashPolicy, PmemPool
+from repro.tx import kamino_dynamic, kamino_simple, verify_backup_consistency
+
+from ..conftest import Pair, build_heap
+
+FACTORIES = {
+    "kamino-simple": lambda: kamino_simple(lazy_recovery=True),
+    "kamino-dynamic": lambda: kamino_dynamic(alpha=0.5, lazy_recovery=True),
+}
+
+
+def crash_with_unsynced_commit(name):
+    factory = FACTORIES[name]
+    heap, engine, device = build_heap(factory)
+    with heap.transaction():
+        p = heap.alloc(Pair)
+        p.key = 1
+        p.value = "base"
+        heap.set_root(p)
+    heap.drain()
+    with heap.transaction():
+        p.tx_add()
+        p.key = 2
+        p.value = "committed-unsynced"
+    # crash with the sync still queued
+    assert engine.pending_count == 1
+    device.crash(CrashPolicy.DROP_ALL)
+    device.restart()
+    engine2 = factory()
+    heap2 = PersistentHeap.open(PmemPool.open(device), engine2)
+    return heap2, engine2, p.oid, p.block_offset
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+class TestLazyRecovery:
+    def test_committed_data_visible_immediately(self, name):
+        heap2, engine2, oid, _blk = crash_with_unsynced_commit(name)
+        p2 = heap2.deref(oid, Pair)
+        assert p2.key == 2
+        assert p2.value == "committed-unsynced"
+
+    def test_sync_work_requeued_not_done(self, name):
+        heap2, engine2, _oid, _blk = crash_with_unsynced_commit(name)
+        assert engine2.pending_count >= 1
+        heap2.drain()
+        assert engine2.pending_count == 0
+        verify_backup_consistency(heap2)
+
+    def test_objects_relocked_pending(self, name):
+        heap2, engine2, _oid, blk = crash_with_unsynced_commit(name)
+        assert engine2.locks.is_pending(blk)
+        heap2.drain()
+        assert not engine2.locks.is_locked(blk)
+
+    def test_dependent_tx_after_restart_syncs_on_demand(self, name):
+        heap2, engine2, oid, blk = crash_with_unsynced_commit(name)
+        p2 = heap2.deref(oid, Pair)
+        base = engine2.locks.stats.on_demand_syncs
+        with heap2.transaction():
+            p2.tx_add()  # dependent: the pending lock must resolve first
+            p2.key = 3
+        assert engine2.locks.stats.on_demand_syncs > base
+        heap2.drain()
+        assert p2.key == 3
+        verify_backup_consistency(heap2)
+
+    def test_log_slot_freed_only_after_requeued_sync(self, name):
+        heap2, engine2, _oid, _blk = crash_with_unsynced_commit(name)
+        free_before = engine2.log.free_slots
+        assert free_before < engine2.log.n_slots  # the slot is still held
+        heap2.drain()
+        assert engine2.log.free_slots == free_before + 1
+
+    def test_recrash_before_lazy_sync_still_recovers(self, name):
+        heap2, engine2, oid, _blk = crash_with_unsynced_commit(name)
+        # crash again before the background syncer ran
+        heap2.device.crash(CrashPolicy.DROP_ALL)
+        heap2.device.restart()
+        factory = FACTORIES[name]
+        engine3 = factory()
+        heap3 = PersistentHeap.open(PmemPool.open(heap2.device), engine3)
+        p3 = heap3.deref(oid, Pair)
+        assert p3.key == 2
+        heap3.drain()
+        verify_backup_consistency(heap3)
+
+
+class TestEagerVsLazyEquivalence:
+    def test_final_states_identical(self):
+        states = {}
+        for mode, factory in {
+            "eager": lambda: kamino_simple(lazy_recovery=False),
+            "lazy": lambda: kamino_simple(lazy_recovery=True),
+        }.items():
+            heap, engine, device = build_heap(factory, seed=5)
+            with heap.transaction():
+                p = heap.alloc(Pair)
+                p.key = 7
+                heap.set_root(p)
+            with heap.transaction():
+                p.tx_add()
+                p.key = 8
+            device.crash(CrashPolicy.DROP_ALL)
+            device.restart()
+            heap2 = PersistentHeap.open(PmemPool.open(device), factory())
+            heap2.drain()
+            verify_backup_consistency(heap2)
+            states[mode] = heap2.root(Pair).key
+        assert states["eager"] == states["lazy"] == 8

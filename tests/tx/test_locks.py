@@ -1,0 +1,133 @@
+"""Object lock table: reentrancy, upgrade, pending release, on-demand sync."""
+
+import threading
+
+import pytest
+
+from repro.errors import LockTimeoutError
+from repro.tx import ObjectLockTable
+
+
+class TestBasicLocking:
+    def test_write_lock_reentrant(self):
+        t = ObjectLockTable()
+        t.acquire_write(1, 100)
+        t.acquire_write(1, 100)  # no deadlock
+        assert t.holder(100) == 1
+
+    def test_read_then_write_upgrade(self):
+        t = ObjectLockTable()
+        t.acquire_read(1, 100)
+        t.acquire_write(1, 100)
+        assert t.holder(100) == 1
+
+    def test_writer_may_read(self):
+        t = ObjectLockTable()
+        t.acquire_write(1, 100)
+        t.acquire_read(1, 100)
+
+    def test_multiple_readers(self):
+        t = ObjectLockTable()
+        t.acquire_read(1, 100)
+        t.acquire_read(2, 100)
+        assert t.is_locked(100)
+
+    def test_release_write(self):
+        t = ObjectLockTable()
+        t.acquire_write(1, 100)
+        t.release_write(1, 100)
+        assert not t.is_locked(100)
+        t.acquire_write(2, 100)  # now free for others
+
+    def test_release_read(self):
+        t = ObjectLockTable()
+        t.acquire_read(1, 100)
+        t.release_read(1, 100)
+        assert not t.is_locked(100)
+
+    def test_entries_garbage_collected(self):
+        t = ObjectLockTable()
+        for off in range(50):
+            t.acquire_write(1, off)
+            t.release_write(1, off)
+        assert len(t) == 0
+
+    def test_conflicting_writer_times_out(self):
+        t = ObjectLockTable(timeout=0.1)
+        t.acquire_write(1, 100)
+        with pytest.raises(LockTimeoutError):
+            t.acquire_write(2, 100)
+
+    def test_reader_blocks_writer(self):
+        t = ObjectLockTable(timeout=0.1)
+        t.acquire_read(1, 100)
+        with pytest.raises(LockTimeoutError):
+            t.acquire_write(2, 100)
+
+
+class TestPendingSync:
+    def test_pending_blocks_next_writer_until_release(self):
+        t = ObjectLockTable(timeout=0.1)
+        t.acquire_write(1, 100)
+        t.mark_pending(1, 100)
+        assert t.is_pending(100)
+        with pytest.raises(LockTimeoutError):
+            t.acquire_write(2, 100)
+        t.release_pending(100)
+        t.acquire_write(2, 100)
+
+    def test_pending_blocks_readers_too(self):
+        t = ObjectLockTable(timeout=0.1)
+        t.acquire_write(1, 100)
+        t.mark_pending(1, 100)
+        with pytest.raises(LockTimeoutError):
+            t.acquire_read(2, 100)
+
+    def test_resolver_called_for_pending(self):
+        calls = []
+        t = ObjectLockTable()
+        t.acquire_write(1, 100)
+        t.mark_pending(1, 100)
+        t.set_resolver(lambda off: (calls.append(off), t.release_pending(off)))
+        t.acquire_write(2, 100)
+        assert calls == [100]
+        assert t.stats.on_demand_syncs == 1
+        assert t.stats.dependent_waits >= 1
+
+    def test_dependent_wait_counted(self):
+        t = ObjectLockTable()
+        t.acquire_write(1, 100)
+        t.mark_pending(1, 100)
+        t.set_resolver(lambda off: t.release_pending(off))
+        t.acquire_read(2, 100)
+        assert t.stats.dependent_waits == 1
+
+    def test_independent_objects_never_wait(self):
+        t = ObjectLockTable()
+        t.acquire_write(1, 100)
+        t.mark_pending(1, 100)
+        t.acquire_write(2, 200)  # different object: no wait
+        assert t.stats.dependent_waits == 0
+
+    def test_background_release_unblocks_waiter(self):
+        t = ObjectLockTable(timeout=5.0)
+        t.acquire_write(1, 100)
+        t.mark_pending(1, 100)
+        acquired = threading.Event()
+
+        def waiter():
+            t.acquire_write(2, 100)
+            acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        t.release_pending(100)
+        assert acquired.wait(timeout=2.0)
+        thread.join()
+
+    def test_force_pending_for_recovery(self):
+        t = ObjectLockTable()
+        t.force_pending(100)
+        assert t.is_pending(100)
+        t.release_pending(100)
+        assert not t.is_locked(100)

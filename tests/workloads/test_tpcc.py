@@ -1,0 +1,130 @@
+"""TPC-C-lite: load, profile semantics, mix, atomicity."""
+
+import pytest
+
+from repro.kvstore import KVStore
+from repro.tx import UndoLogEngine, kamino_simple
+from repro.workloads import TPCCLite
+from repro.workloads.tpcc import (
+    _CUSTOMER,
+    _DISTRICT,
+    _STOCK,
+    _WAREHOUSE,
+    _unpack,
+    k_customer,
+    k_district,
+    k_new_order,
+    k_order,
+    k_stock,
+    k_warehouse,
+)
+
+from ..conftest import build_heap
+
+
+@pytest.fixture
+def loaded():
+    heap, _, _ = build_heap(UndoLogEngine, pool_size=64 << 20, heap_size=24 << 20)
+    kv = KVStore.create(heap, value_size=64)
+    tpcc = TPCCLite(warehouses=1, districts=2, customers=10, items=50, seed=5)
+    tpcc.load(kv)
+    return tpcc, kv, heap
+
+
+class TestLoad:
+    def test_all_tables_populated(self, loaded):
+        tpcc, kv, _ = loaded
+        assert kv.get(k_warehouse(0)) is not None
+        assert kv.get(k_district(0, 1)) is not None
+        assert kv.get(k_customer(0, 1, 9)) is not None
+        assert kv.get(k_stock(0, 49)) is not None
+
+    def test_value_size_check(self):
+        heap, _, _ = build_heap(UndoLogEngine)
+        kv = KVStore.create(heap, value_size=32)
+        with pytest.raises(ValueError):
+            TPCCLite().load(kv)
+
+
+class TestNewOrder:
+    def test_increments_district_counter(self, loaded):
+        tpcc, kv, _ = loaded
+        o = tpcc.do_new_order(kv)
+        next_o, _ = _unpack(_DISTRICT, kv.get(k_district(0, 0))) if o else (0, 0)
+        # one district got its counter bumped; find the order row
+        found = any(
+            kv.get(k_order(0, d, o)) is not None for d in range(tpcc.districts)
+        )
+        assert found
+
+    def test_updates_stock_and_customer(self, loaded):
+        tpcc, kv, _ = loaded
+        before = sum(
+            _unpack(_STOCK, kv.get(k_stock(0, i)))[2] for i in range(tpcc.items)
+        )
+        tpcc.do_new_order(kv)
+        after = sum(
+            _unpack(_STOCK, kv.get(k_stock(0, i)))[2] for i in range(tpcc.items)
+        )
+        assert after > before  # order counts incremented
+
+    def test_atomic_under_abort(self):
+        heap, _, _ = build_heap(kamino_simple, pool_size=64 << 20, heap_size=24 << 20)
+        kv = KVStore.create(heap, value_size=64)
+        tpcc = TPCCLite(warehouses=1, districts=2, customers=10, items=50, seed=5)
+        tpcc.load(kv)
+        district_rows = [kv.get(k_district(0, d)) for d in range(2)]
+        with pytest.raises(RuntimeError):
+            with kv.heap.transaction():
+                tpcc.do_new_order(kv)
+                raise RuntimeError("abort whole new-order")
+        kv.drain()
+        assert [kv.get(k_district(0, d)) for d in range(2)] == district_rows
+
+
+class TestPayment:
+    def test_moves_money(self, loaded):
+        tpcc, kv, _ = loaded
+        (w_ytd_before,) = _unpack(_WAREHOUSE, kv.get(k_warehouse(0)))
+        tpcc.do_payment(kv)
+        (w_ytd_after,) = _unpack(_WAREHOUSE, kv.get(k_warehouse(0)))
+        assert w_ytd_after > w_ytd_before
+
+
+class TestDeliveryAndStatus:
+    def test_delivery_consumes_new_orders(self, loaded):
+        tpcc, kv, _ = loaded
+        for _ in range(6):
+            tpcc.do_new_order(kv)
+        delivered = 0
+        for _ in range(4):
+            delivered += tpcc.do_delivery(kv)
+        assert delivered > 0
+
+    def test_order_status_after_new_order(self, loaded):
+        tpcc, kv, _ = loaded
+        for _ in range(20):
+            tpcc.do_new_order(kv)
+        results = [tpcc.do_order_status(kv) for _ in range(10)]
+        assert any(r is not None for r in results)
+
+    def test_stock_level_counts(self, loaded):
+        tpcc, kv, _ = loaded
+        for _ in range(5):
+            tpcc.do_new_order(kv)
+        low = tpcc.do_stock_level(kv)
+        assert low >= 0
+
+
+class TestMix:
+    def test_standard_mix_proportions(self):
+        heap, _, _ = build_heap(UndoLogEngine, pool_size=64 << 20, heap_size=24 << 20)
+        kv = KVStore.create(heap, value_size=64)
+        tpcc = TPCCLite(warehouses=1, districts=2, customers=10, items=50, seed=7)
+        tpcc.load(kv)
+        stats = tpcc.run(kv, 400)
+        assert stats.total == 400
+        assert stats.new_orders == pytest.approx(180, abs=40)
+        assert stats.payments == pytest.approx(172, abs=40)
+        assert stats.order_statuses > 0
+        kv.tree.check_invariants()

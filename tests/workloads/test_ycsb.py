@@ -1,0 +1,130 @@
+"""YCSB driver: Table 3 mixes, determinism, execution mapping."""
+
+import collections
+
+import pytest
+
+from repro.tx import UndoLogEngine
+from repro.kvstore import KVStore
+from repro.workloads import INSERT, MIXES, READ, RMW, UPDATE, YCSBWorkload
+
+from ..conftest import build_heap
+
+
+def mix_of(name, nops=8000):
+    wl = YCSBWorkload(name, nrecords=1000, value_size=64, seed=1)
+    counts = collections.Counter(op.kind for op in wl.run_ops(nops))
+    return {k: v / nops for k, v in counts.items()}
+
+
+class TestMixes:
+    def test_workload_a_half_updates(self):
+        mix = mix_of("A")
+        assert mix[READ] == pytest.approx(0.5, abs=0.03)
+        assert mix[UPDATE] == pytest.approx(0.5, abs=0.03)
+
+    def test_workload_b_mostly_reads(self):
+        mix = mix_of("B")
+        assert mix[READ] == pytest.approx(0.95, abs=0.02)
+        assert mix[UPDATE] == pytest.approx(0.05, abs=0.02)
+
+    def test_workload_c_read_only(self):
+        mix = mix_of("C")
+        assert mix == {READ: 1.0}
+
+    def test_workload_d_inserts(self):
+        mix = mix_of("D")
+        assert mix[READ] == pytest.approx(0.95, abs=0.02)
+        assert mix[INSERT] == pytest.approx(0.05, abs=0.02)
+
+    def test_workload_f_rmw(self):
+        mix = mix_of("F")
+        assert mix[READ] == pytest.approx(0.5, abs=0.03)
+        assert mix[RMW] == pytest.approx(0.5, abs=0.03)
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            YCSBWorkload("Z", 10)
+
+    def test_write_fraction(self):
+        assert YCSBWorkload("C", 10).write_fraction == 0.0
+        assert YCSBWorkload("A", 10).write_fraction == 0.5
+
+
+class TestTrace:
+    def test_deterministic_per_seed(self):
+        a = list(YCSBWorkload("A", 100, seed=5).run_ops(200))
+        b = list(YCSBWorkload("A", 100, seed=5).run_ops(200))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(YCSBWorkload("A", 100, seed=5).run_ops(200))
+        b = list(YCSBWorkload("A", 100, seed=6).run_ops(200))
+        assert a != b
+
+    def test_insert_keys_are_fresh_and_sequential(self):
+        wl = YCSBWorkload("D", 100, seed=2)
+        inserts = [op.key for op in wl.run_ops(2000) if op.kind == INSERT]
+        assert inserts == list(range(100, 100 + len(inserts)))
+
+    def test_d_reads_can_hit_inserted_keys(self):
+        wl = YCSBWorkload("D", 100, seed=3)
+        ops = list(wl.run_ops(3000))
+        max_insert = max((op.key for op in ops if op.kind == INSERT), default=-1)
+        reads_above = [op for op in ops if op.kind == READ and op.key >= 100]
+        assert max_insert >= 100
+        assert reads_above, "latest distribution never read a new key"
+
+    def test_load_ops_cover_all_records(self):
+        wl = YCSBWorkload("A", 50, seed=0)
+        keys = [op.key for op in wl.load_ops()]
+        assert keys == list(range(50))
+
+
+class TestExecution:
+    def test_trace_executes_against_store(self):
+        heap, _, _ = build_heap(UndoLogEngine, pool_size=32 << 20, heap_size=12 << 20)
+        kv = KVStore.create(heap, value_size=64)
+        wl = YCSBWorkload("A", nrecords=100, value_size=64, seed=4)
+        wl.load(kv)
+        assert len(kv) == 100
+        for op in wl.run_ops(300):
+            wl.execute(kv, op)
+        kv.drain()
+        kv.tree.check_invariants()
+
+    def test_inserts_grow_store(self):
+        heap, _, _ = build_heap(UndoLogEngine, pool_size=32 << 20, heap_size=12 << 20)
+        kv = KVStore.create(heap, value_size=64)
+        wl = YCSBWorkload("D", nrecords=100, value_size=64, seed=4)
+        wl.load(kv)
+        for op in wl.run_ops(500):
+            wl.execute(kv, op)
+        kv.drain()
+        assert len(kv) > 100
+
+
+class TestWorkloadE:
+    """Scan-heavy extension workload (not in the paper's Table 3)."""
+
+    def test_mix(self):
+        mix = mix_of("E")
+        assert mix["scan"] == pytest.approx(0.95, abs=0.02)
+        assert mix["insert"] == pytest.approx(0.05, abs=0.02)
+
+    def test_executes_scans(self):
+        from repro.kvstore import KVStore
+        from ..conftest import build_heap
+        from repro.tx import kamino_simple
+
+        heap, _, _ = build_heap(kamino_simple, pool_size=32 << 20, heap_size=12 << 20)
+        kv = KVStore.create(heap, value_size=64)
+        wl = YCSBWorkload("E", nrecords=100, value_size=64, seed=6)
+        wl.load(kv)
+        for op in wl.run_ops(200):
+            wl.execute(kv, op)
+        kv.drain()
+        kv.tree.check_invariants()
+
+    def test_write_fraction_counts_inserts_only(self):
+        assert YCSBWorkload("E", 10).write_fraction == pytest.approx(0.05)

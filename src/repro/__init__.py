@@ -8,13 +8,21 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.kvstore` — persistent B+Tree / KV store / list / hash table
 * :mod:`repro.workloads` — YCSB, TPC-C-lite, synthetic workloads
 * :mod:`repro.sim` — deterministic event simulation
+* :mod:`repro.runtime` — execution contexts, clock, engine registry
 * :mod:`repro.replication` — chain replication (traditional + Kamino)
-* :mod:`repro.bench` — trace-then-replay benchmark harness
+* :mod:`repro.bench` — benchmark harness over the runtime layer
 """
 
 from .errors import ReproError
 from .heap import PersistentHeap, PersistentStruct
 from .nvm import CrashPolicy, NVMDevice, PmemPool
+from .runtime import (
+    EngineCapabilities,
+    ExecutionContext,
+    SimClock,
+    register_engine,
+    registered_engines,
+)
 from .tx import (
     CoWEngine,
     NoLoggingEngine,
@@ -29,15 +37,20 @@ __version__ = "1.0.0"
 __all__ = [
     "CoWEngine",
     "CrashPolicy",
+    "EngineCapabilities",
+    "ExecutionContext",
     "NVMDevice",
     "NoLoggingEngine",
     "PersistentHeap",
     "PersistentStruct",
     "PmemPool",
     "ReproError",
+    "SimClock",
     "UndoLogEngine",
     "__version__",
     "kamino_dynamic",
     "kamino_simple",
     "make_engine",
+    "register_engine",
+    "registered_engines",
 ]

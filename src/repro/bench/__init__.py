@@ -9,7 +9,9 @@ from .runners import (
     DEFAULT_VALUE_SIZE,
     Stack,
     build_stack,
+    run_tpcc_online,
     run_ycsb_matrix,
+    run_ycsb_online,
     trace_tpcc,
     trace_ycsb,
 )
@@ -32,7 +34,9 @@ __all__ = [
     "ops_per_dollar",
     "provisioned_gb",
     "replay",
+    "run_tpcc_online",
     "run_ycsb_matrix",
+    "run_ycsb_online",
     "speedup_note",
     "trace_tpcc",
     "trace_ycsb",

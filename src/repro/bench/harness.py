@@ -1,20 +1,24 @@
-"""Trace-then-replay benchmark harness.
+"""Benchmark harness facade over the :mod:`repro.runtime` layer.
 
 The paper measures wall-clock throughput/latency of a C implementation
 on real hardware; a Python reproduction measuring its own wall clock
-would benchmark the Python interpreter, not the algorithms.  Instead:
+would benchmark the Python interpreter, not the algorithms.  All cost
+accounting therefore happens in virtual time, inline, through an
+:class:`~repro.runtime.context.ExecutionContext`: each transaction's
+device-primitive deltas are priced by the latency model at the moment
+the bytes move, and multi-client contention comes from the context's
+shared FIFO servers (NVM bandwidth, serialized log management).
 
-1. **Trace** — run the workload *functionally* (single-threaded,
-   deterministic) against the real engine on the simulated device,
-   recording per-transaction device costs: critical-path nanoseconds
-   (everything before commit returns), asynchronous nanoseconds (backup
-   sync work), bytes moved in each phase, intent counts, and read/write
-   sets.
-2. **Replay** — re-run the trace in virtual time with N closed-loop
-   clients, a shared NVM bandwidth channel, a serialized log-management
-   server, and lock release times that reflect each engine's scheme
-   (at commit for undo/CoW, after backup sync for Kamino).  Dependent
-   transactions therefore wait exactly where the paper says they do.
+This module keeps the historical trace/replay names as thin wrappers:
+
+* :class:`TraceCollector` — attaches a context to a device/engine pair
+  and records per-transaction costs via
+  :meth:`~repro.runtime.context.ExecutionContext.run_tx`.
+* :func:`replay` — drives a pre-collected record stream through the
+  shared-resource scheduler (:func:`repro.runtime.online.replay_records`).
+  New code should prefer :func:`repro.runtime.online.run_online`, which
+  executes operations at their virtual start times instead of replaying
+  a serially collected trace.
 
 Throughput and latency come out in simulated time, so the *shapes* —
 who wins, how the gap scales with threads and write ratio — depend only
@@ -23,225 +27,52 @@ on the modelled costs, not on interpreter speed.
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..nvm.device import NVMDevice
 from ..nvm.latency import NVDIMM, LatencyModel
-from ..tx.base import AtomicityEngine, Transaction
-from .. import sim as _sim
-from ..sim.resources import BandwidthResource, FIFOServer, cost_model_for
+from ..runtime.context import ExecutionContext
+from ..runtime.online import replay_records
+from ..runtime.records import ReplayResult, TxRecord
+from ..tx.base import AtomicityEngine
 
-
-@dataclass(frozen=True)
-class TxRecord:
-    """Costs and footprint of one traced transaction."""
-
-    kind: str
-    crit_ns: float
-    async_ns: float
-    crit_bytes: int
-    async_bytes: int
-    crit_copy_bytes: int
-    n_intents: int
-    write_set: FrozenSet[int]
-    read_set: FrozenSet[int]
-
-
-@dataclass
-class ReplayResult:
-    """Aggregate metrics of one replay run."""
-
-    engine: str
-    workload: str
-    nthreads: int
-    ops: int
-    duration_ns: float
-    latencies_ns: List[float] = field(repr=False, default_factory=list)
-    latencies_by_kind: Dict[str, List[float]] = field(repr=False, default_factory=dict)
-
-    @property
-    def throughput_kops(self) -> float:
-        """Committed operations per second, in thousands."""
-        if self.duration_ns <= 0:
-            return 0.0
-        return self.ops / self.duration_ns * 1e9 / 1e3
-
-    @property
-    def mean_latency_us(self) -> float:
-        if not self.latencies_ns:
-            return 0.0
-        return sum(self.latencies_ns) / len(self.latencies_ns) / 1e3
-
-    def mean_latency_us_of(self, kind: str) -> float:
-        """Mean latency of one operation kind (e.g. 'update')."""
-        lats = self.latencies_by_kind.get(kind, ())
-        if not lats:
-            return 0.0
-        return sum(lats) / len(lats) / 1e3
-
-    def percentile_latency_us(self, pct: float) -> float:
-        if not self.latencies_ns:
-            return 0.0
-        data = sorted(self.latencies_ns)
-        idx = min(len(data) - 1, int(pct / 100.0 * len(data)))
-        return data[idx] / 1e3
+__all__ = ["ReplayResult", "TraceCollector", "TxRecord", "replay"]
 
 
 class TraceCollector:
-    """Runs operations functionally and emits :class:`TxRecord` entries."""
+    """Runs operations functionally and emits :class:`TxRecord` entries.
 
-    def __init__(self, device: NVMDevice, engine: AtomicityEngine,
-                 model: Optional[LatencyModel] = None):
-        self.device = device
-        self.engine = engine
-        self.model = model or device.model
-        self.records: List[TxRecord] = []
+    A compatibility veneer: construction wraps the device/engine pair in
+    an :class:`ExecutionContext` (or adopts one) and every ``run_op``
+    delegates to :meth:`ExecutionContext.run_tx`.
+    """
+
+    def __init__(
+        self,
+        device: NVMDevice,
+        engine: AtomicityEngine,
+        model: Optional[LatencyModel] = None,
+        ctx: Optional[ExecutionContext] = None,
+    ):
+        self.ctx = ctx if ctx is not None else ExecutionContext.attach(
+            device, engine, model=model
+        )
+        self.device = self.ctx.device
+        self.engine = self.ctx.engine
+        self.model = self.ctx.model
+
+    @property
+    def records(self) -> List[TxRecord]:
+        return self.ctx.records
 
     def run_op(self, kind: str, fn: Callable[[], None]) -> TxRecord:
         """Execute one operation (one transaction) and record its costs."""
-        captured: Dict[str, object] = {}
-
-        def hook(tx: Transaction) -> None:
-            captured["write"] = frozenset(tx.write_set)
-            captured["read"] = frozenset(tx.read_set)
-            captured["intents"] = len(tx.intents)
-
-        self.engine.trace_hook = hook
-        try:
-            s0 = self.device.stats.snapshot()
-            fn()
-            s1 = self.device.stats.snapshot()
-            # drain exactly this operation's deferred work
-            self.engine.sync_pending()
-            s2 = self.device.stats.snapshot()
-        finally:
-            self.engine.trace_hook = None
-        crit = s1.delta(s0)
-        deferred = s2.delta(s1)
-        record = TxRecord(
-            kind=kind,
-            crit_ns=crit.simulated_ns(self.model),
-            async_ns=deferred.simulated_ns(self.model),
-            crit_bytes=crit.total_bytes,
-            async_bytes=deferred.total_bytes,
-            crit_copy_bytes=crit.copy_bytes,
-            n_intents=int(captured.get("intents", 0)),
-            write_set=captured.get("write", frozenset()),
-            read_set=captured.get("read", frozenset()),
-        )
-        self.records.append(record)
-        return record
+        return self.ctx.run_tx(kind, fn, charge=False)
 
     def run_ops(self, ops: Iterable, executor: Callable[[object], None],
                 kind_of: Callable[[object], str] = lambda op: getattr(op, "kind", "op")):
         """Trace a whole operation stream."""
-        for op in ops:
-            self.run_op(kind_of(op), lambda: executor(op))
-        return self.records
-
-
-class _Replay:
-    """Event-driven replay: closed-loop clients over shared resources.
-
-    Each operation's life cycle is a chain of events on the simulator —
-    lock acquisition, serialized log management, bandwidth transfer of
-    critical-path bytes, commit, then (Kamino only) the asynchronous
-    backup sync whose completion finally releases the write locks.  All
-    resource requests therefore arrive in nondecreasing virtual time,
-    which FIFO servers require.
-    """
-
-    def __init__(self, records, nthreads, engine_name, model, sync_lag_ns):
-        from ..sim.events import EventSimulator
-
-        self.sim = EventSimulator()
-        self.cost = cost_model_for(engine_name)
-        self.bandwidth = BandwidthResource(model.bandwidth_gbps)
-        self.serial = FIFOServer("log-mgmt")
-        self.ns_per_byte = 1.0 / model.bandwidth_gbps
-        self.model_byte_copy_ns = model.byte_copy_ns
-        self.sync_lag_ns = sync_lag_ns
-        self.queues = [list(records[i::nthreads]) for i in range(nthreads)]
-        self.cursor = [0] * nthreads
-        self.locked: Dict[int, bool] = {}
-        self.waiters: Dict[int, List[int]] = {}
-        self.ready_since = [0.0] * nthreads
-        self.latencies: List[float] = []
-        self.latencies_by_kind: Dict[str, List[float]] = {}
-        self.end_time = 0.0
-        self.dependent_waits = 0
-
-    def run(self) -> None:
-        for client in range(len(self.queues)):
-            self.sim.schedule(0.0, self._try_start, client)
-        self.sim.run()
-
-    def _current(self, client: int) -> Optional[TxRecord]:
-        idx = self.cursor[client]
-        queue = self.queues[client]
-        return queue[idx] if idx < len(queue) else None
-
-    def _try_start(self, client: int) -> None:
-        rec = self._current(client)
-        if rec is None:
-            return
-        for off in rec.write_set | rec.read_set:
-            if self.locked.get(off):
-                # block on the first conflicting object; retried when it
-                # is released (a dependent transaction, paper Figure 6)
-                self.waiters.setdefault(off, []).append(client)
-                self.dependent_waits += 1
-                return
-        for off in rec.write_set:
-            self.locked[off] = True
-        # serialized log management: the per-intent software cost always
-        # extends the critical path; the log-arena memcpy's *service*
-        # time is already inside crit_ns (it is a device copy), so it
-        # contributes only mutual exclusion — queueing delay — here.
-        software = self.cost.serial_ns_per_intent * rec.n_intents
-        service = software
-        if self.cost.serial_includes_copy:
-            service += rec.crit_copy_bytes * self.model_byte_copy_ns
-        done = self.serial.request(self.sim.now, service)
-        queue_delay = done - self.sim.now - service
-        self.sim.schedule(queue_delay + software, self._transfer_crit, client)
-
-    def _transfer_crit(self, client: int) -> None:
-        rec = self._current(client)
-        done = self.bandwidth.transfer(self.sim.now, rec.crit_bytes)
-        crit_rest = max(0.0, rec.crit_ns - rec.crit_bytes * self.ns_per_byte)
-        self.sim.at(done + crit_rest, self._commit, client)
-
-    def _commit(self, client: int) -> None:
-        rec = self._current(client)
-        now = self.sim.now
-        latency = now - self.ready_since[client]
-        self.latencies.append(latency)
-        self.latencies_by_kind.setdefault(rec.kind, []).append(latency)
-        self.end_time = max(self.end_time, now)
-        if self.cost.locks_released_after_sync and rec.async_ns > 0:
-            write_set = rec.write_set
-            self.sim.schedule(self.sync_lag_ns, self._start_sync, write_set, rec)
-        else:
-            self._release(rec.write_set)
-        self.cursor[client] += 1
-        self.ready_since[client] = now
-        self._try_start(client)
-
-    def _start_sync(self, write_set, rec: TxRecord) -> None:
-        done = self.bandwidth.transfer(self.sim.now, rec.async_bytes)
-        rest = max(0.0, rec.async_ns - rec.async_bytes * self.ns_per_byte)
-        self.sim.at(done + rest, self._release, write_set)
-
-    def _release(self, write_set) -> None:
-        woken: List[int] = []
-        for off in write_set:
-            self.locked[off] = False
-            woken.extend(self.waiters.pop(off, ()))
-        for client in woken:
-            self.sim.schedule(0.0, self._try_start, client)
+        return self.ctx.run_ops(ops, executor, kind_of=kind_of, charge=False)
 
 
 def replay(
@@ -258,16 +89,11 @@ def replay(
     syncer starts a committed transaction's backup sync (0 = the syncer
     is always ready; larger values stress dependent transactions).
     """
-    if nthreads <= 0:
-        raise ValueError("nthreads must be positive")
-    engine = _Replay(records, nthreads, engine_name, model, sync_lag_ns)
-    engine.run()
-    return ReplayResult(
-        engine=engine_name,
+    return replay_records(
+        records,
+        nthreads,
+        engine_name,
         workload=workload,
-        nthreads=nthreads,
-        ops=len(engine.latencies),
-        duration_ns=engine.end_time,
-        latencies_ns=engine.latencies,
-        latencies_by_kind=engine.latencies_by_kind,
+        model=model,
+        sync_lag_ns=sync_lag_ns,
     )

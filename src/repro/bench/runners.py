@@ -1,11 +1,15 @@
 """Shared setup glue for the benchmark scripts.
 
-Builds a (device, heap, KVStore) stack for a named engine, loads a
-workload, and traces its operation stream — the part every figure's
-benchmark has in common.  Scaled defaults keep each figure's regeneration
-in the tens of seconds while preserving the paper's ratios: record count
-shrinks from 10 M to a few thousand, but value size, operation mixes,
-key skew, and data-structure shapes are the paper's.
+Builds the full execution context for a named engine, loads a workload,
+and runs its operation stream — the part every figure's benchmark has
+in common.  Every stack is an
+:class:`~repro.runtime.context.ExecutionContext` (device + latency model
++ clock + shared resource servers), so single-client tracing and
+multi-client online simulation use the same objects.  Scaled defaults
+keep each figure's regeneration in the tens of seconds while preserving
+the paper's ratios: record count shrinks from 10 M to a few thousand,
+but value size, operation mixes, key skew, and data-structure shapes
+are the paper's.
 """
 
 from __future__ import annotations
@@ -13,14 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..heap import PersistentHeap
-from ..kvstore import KVStore
-from ..nvm.device import NVMDevice
 from ..nvm.latency import NVDIMM, LatencyModel
-from ..nvm.pool import PmemPool
-from ..tx import make_engine
+from ..runtime.context import ExecutionContext
+from ..runtime.online import run_online
+from ..runtime.records import ReplayResult, TxRecord
 from ..workloads import TPCCLite, YCSBWorkload
-from .harness import ReplayResult, TraceCollector, TxRecord, replay
+from .harness import replay
 
 #: scaled-down benchmark defaults (paper: 10 M records, 1 KB values)
 DEFAULT_RECORDS = 2000
@@ -30,16 +32,29 @@ DEFAULT_VALUE_SIZE = 1024
 
 @dataclass
 class Stack:
-    """One engine's full stack, ready for tracing."""
+    """One engine's full stack — a view over its execution context."""
 
-    device: NVMDevice
-    heap: PersistentHeap
-    kv: KVStore
-    engine_name: str
+    ctx: ExecutionContext
+
+    @property
+    def device(self):
+        return self.ctx.device
+
+    @property
+    def heap(self):
+        return self.ctx.heap
+
+    @property
+    def kv(self):
+        return self.ctx.kv
 
     @property
     def engine(self):
-        return self.heap.engine
+        return self.ctx.engine
+
+    @property
+    def engine_name(self) -> str:
+        return self.ctx.engine_name
 
 
 def build_stack(
@@ -48,6 +63,7 @@ def build_stack(
     heap_mb: int = 48,
     model: LatencyModel = NVDIMM,
     fanout: int = 32,
+    coalesce_flushes: bool = False,
     **engine_kwargs,
 ) -> Stack:
     """Device + pool + heap + KV store for ``engine_name``.
@@ -55,14 +71,40 @@ def build_stack(
     The pool is sized for the worst-case engine footprint (full mirror +
     logs), so every engine sees an identically sized heap.
     """
-    heap_bytes = heap_mb << 20
-    pool_bytes = heap_bytes * 2 + (32 << 20)
-    device = NVMDevice(pool_bytes, model=model, seed=0)
-    pool = PmemPool.create(device)
-    engine = make_engine(engine_name, **engine_kwargs)
-    heap = PersistentHeap.create(pool, engine, heap_size=heap_bytes)
-    kv = KVStore.create(heap, value_size=value_size, fanout=fanout)
-    return Stack(device=device, heap=heap, kv=kv, engine_name=engine_name)
+    ctx = ExecutionContext.create(
+        engine_name,
+        value_size=value_size,
+        heap_mb=heap_mb,
+        model=model,
+        fanout=fanout,
+        coalesce_flushes=coalesce_flushes,
+        **engine_kwargs,
+    )
+    return Stack(ctx=ctx)
+
+
+def _load_ycsb(
+    engine_name: str,
+    workload_name: str,
+    nrecords: int,
+    value_size: int,
+    seed: int,
+    model: LatencyModel,
+    coalesce_flushes: bool = False,
+    **engine_kwargs,
+) -> Tuple[Stack, YCSBWorkload]:
+    """Build a stack and load a YCSB table into it (accounting zeroed)."""
+    stack = build_stack(
+        engine_name,
+        value_size=value_size,
+        model=model,
+        coalesce_flushes=coalesce_flushes,
+        **engine_kwargs,
+    )
+    workload = YCSBWorkload(workload_name, nrecords, value_size, seed=seed)
+    workload.load(stack.kv)
+    stack.ctx.reset()
+    return stack, workload
 
 
 def trace_ycsb(
@@ -75,16 +117,56 @@ def trace_ycsb(
     model: LatencyModel = NVDIMM,
     **engine_kwargs,
 ) -> List[TxRecord]:
-    """Load + trace one YCSB workload on one engine."""
-    stack = build_stack(engine_name, value_size=value_size, model=model, **engine_kwargs)
-    workload = YCSBWorkload(workload_name, nrecords, value_size, seed=seed)
-    workload.load(stack.kv)
-    stack.device.stats.reset()
-    collector = TraceCollector(stack.device, stack.engine, model)
-    collector.run_ops(
-        workload.run_ops(nops), lambda op: workload.execute(stack.kv, op)
+    """Load + trace one YCSB workload on one engine (single client)."""
+    stack, workload = _load_ycsb(
+        engine_name, workload_name, nrecords, value_size, seed, model, **engine_kwargs
     )
-    return collector.records
+    stack.ctx.run_ops(
+        workload.run_ops(nops),
+        lambda op: workload.execute(stack.kv, op),
+        charge=False,
+    )
+    return stack.ctx.records
+
+
+def run_ycsb_online(
+    engine_name: str,
+    workload_name: str,
+    nthreads: int,
+    nrecords: int = DEFAULT_RECORDS,
+    nops: int = DEFAULT_OPS,
+    value_size: int = DEFAULT_VALUE_SIZE,
+    seed: int = 0,
+    model: LatencyModel = NVDIMM,
+    coalesce_flushes: bool = False,
+    sync_lag_ns: float = 0.0,
+    **engine_kwargs,
+) -> ReplayResult:
+    """Run one YCSB workload online under ``nthreads`` virtual clients.
+
+    Each operation executes functionally at the virtual time its client
+    reaches it, charging the context's shared bandwidth/log-management
+    servers inline — no trace pass, exact dependent-transaction timing.
+    """
+    stack, workload = _load_ycsb(
+        engine_name,
+        workload_name,
+        nrecords,
+        value_size,
+        seed,
+        model,
+        coalesce_flushes=coalesce_flushes,
+        **engine_kwargs,
+    )
+    ops = list(workload.run_ops(nops))
+    return run_online(
+        stack.ctx,
+        ops,
+        lambda op: workload.execute(stack.kv, op),
+        nthreads,
+        workload=workload_name,
+        sync_lag_ns=sync_lag_ns,
+    )
 
 
 def trace_tpcc(
@@ -98,15 +180,51 @@ def trace_tpcc(
     stack = build_stack(engine_name, value_size=64, heap_mb=24, model=model, **engine_kwargs)
     tpcc = TPCCLite(seed=seed)
     tpcc.load(stack.kv)
-    stack.device.stats.reset()
-    collector = TraceCollector(stack.device, stack.engine, model)
+    stack.ctx.reset()
     names = []
 
     def one(_ignored) -> None:
         names.append(tpcc.run_op(stack.kv))
 
-    collector.run_ops(range(nops), one, kind_of=lambda _i: "tpcc")
-    return collector.records
+    stack.ctx.run_ops(range(nops), one, kind_of=lambda _i: "tpcc", charge=False)
+    return stack.ctx.records
+
+
+def run_tpcc_online(
+    engine_name: str,
+    nthreads: int,
+    nops: int = 600,
+    seed: int = 0,
+    model: LatencyModel = NVDIMM,
+    coalesce_flushes: bool = False,
+    sync_lag_ns: float = 0.0,
+    **engine_kwargs,
+) -> ReplayResult:
+    """Run the TPC-C-lite mix online under ``nthreads`` virtual clients."""
+    stack = build_stack(
+        engine_name,
+        value_size=64,
+        heap_mb=24,
+        model=model,
+        coalesce_flushes=coalesce_flushes,
+        **engine_kwargs,
+    )
+    tpcc = TPCCLite(seed=seed)
+    tpcc.load(stack.kv)
+    stack.ctx.reset()
+
+    def one(_ignored) -> None:
+        tpcc.run_op(stack.kv)
+
+    return run_online(
+        stack.ctx,
+        range(nops),
+        one,
+        nthreads,
+        kind_of=lambda _i: "tpcc",
+        workload="tpcc",
+        sync_lag_ns=sync_lag_ns,
+    )
 
 
 def run_ycsb_matrix(
@@ -118,13 +236,36 @@ def run_ycsb_matrix(
     value_size: int = DEFAULT_VALUE_SIZE,
     model: LatencyModel = NVDIMM,
     engine_kwargs: Optional[Dict[str, dict]] = None,
+    online: bool = False,
+    coalesce_flushes: bool = False,
 ) -> Dict[Tuple[str, str, int], ReplayResult]:
-    """The full cross product used by Figures 12–15: trace once per
-    (engine, workload), replay once per thread count."""
+    """The full cross product used by Figures 12–15.
+
+    With ``online=False`` (the historical mode) each (engine, workload)
+    pair is traced once and the trace replayed per thread count — cheap,
+    and exact for independent transactions.  With ``online=True`` each
+    cell runs a fresh online simulation, so dependent transactions
+    execute at their true virtual times and the flush coalescer
+    (``coalesce_flushes``) can be engaged.
+    """
     engine_kwargs = engine_kwargs or {}
     results: Dict[Tuple[str, str, int], ReplayResult] = {}
     for engine_name in engines:
         for workload_name in workloads:
+            if online:
+                for nthreads in nthreads_list:
+                    results[(engine_name, workload_name, nthreads)] = run_ycsb_online(
+                        engine_name,
+                        workload_name,
+                        nthreads,
+                        nrecords=nrecords,
+                        nops=nops,
+                        value_size=value_size,
+                        model=model,
+                        coalesce_flushes=coalesce_flushes,
+                        **engine_kwargs.get(engine_name, {}),
+                    )
+                continue
             records = trace_ycsb(
                 engine_name,
                 workload_name,

@@ -2,6 +2,7 @@
 
 Subcommands::
 
+    python -m repro engines
     python -m repro ycsb   --workload A --engines undo,kamino-simple --threads 2,4,8
     python -m repro tpcc   --engines undo,kamino-simple --ops 400
     python -m repro chain  --workload A --f 2 --clients 4
@@ -9,6 +10,11 @@ Subcommands::
     python -m repro info   --engine kamino-dynamic --alpha 0.3
 
 Each prints the same fixed-width tables the benchmark suite records.
+
+Engine construction flags (``--alpha`` and friends) are not hard-coded
+per subcommand: each engine's registered capabilities declare its
+tunable options, and :func:`_engine_kwargs` collects whichever the
+parsed arguments carry.
 """
 
 from __future__ import annotations
@@ -21,10 +27,55 @@ from typing import List, Optional
 from .bench import format_table, replay, trace_tpcc, trace_ycsb
 from .nvm.inspect import format_report
 from .nvm.latency import PROFILES
+from .runtime.registry import find_registered, registered_engines
 
 
 def _parse_list(text: str) -> List[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _engine_kwargs(engine_name: str, args) -> dict:
+    """Constructor kwargs for ``engine_name`` from parsed CLI arguments.
+
+    The registry declares each engine's tunable options; any the parsed
+    namespace actually carries are forwarded.  One helper instead of a
+    per-subcommand ``if engine == ...`` ladder.
+    """
+    info = find_registered(engine_name)
+    if info is None:
+        return {}
+    return {
+        opt: getattr(args, opt)
+        for opt in info.capabilities.options
+        if getattr(args, opt, None) is not None
+    }
+
+
+def cmd_engines(args) -> int:
+    rows = []
+    for info in registered_engines().values():
+        caps = info.capabilities
+        flags = []
+        if caps.copies_in_critical_path:
+            flags.append("crit-copy")
+        if caps.has_backup:
+            flags.append("backup")
+        if caps.locks_released_after_sync:
+            flags.append("late-unlock")
+        if not caps.recoverable:
+            flags.append("unsafe")
+        rows.append([
+            info.name,
+            ",".join(flags) or "-",
+            ",".join(caps.options) or "-",
+            caps.description,
+        ])
+    print(format_table(
+        "registered atomicity engines",
+        ["engine", "capabilities", "options", "description"],
+        rows,
+    ))
+    return 0
 
 
 def cmd_ycsb(args) -> int:
@@ -33,7 +84,7 @@ def cmd_ycsb(args) -> int:
     model = PROFILES[args.medium]
     rows = []
     for engine in engines:
-        kwargs = {"alpha": args.alpha} if engine == "kamino-dynamic" else {}
+        kwargs = _engine_kwargs(engine, args)
         records = trace_ycsb(
             engine, args.workload, nrecords=args.records, nops=args.ops,
             value_size=args.value_size, model=model, **kwargs,
@@ -99,9 +150,9 @@ def cmd_chain(args) -> int:
 
 def cmd_crash(args) -> int:
     from .errors import DeviceCrashedError
-    from .heap import PersistentHeap
     from .kvstore import KVStore
-    from .nvm import CrashPolicy, NVMDevice, PmemPool
+    from .nvm import CrashPolicy
+    from .runtime.context import ExecutionContext
     from .tx import make_engine, reopen_after_crash
 
     policy = {
@@ -109,11 +160,11 @@ def cmd_crash(args) -> int:
         "keep": CrashPolicy.KEEP_ALL,
         "random": CrashPolicy.RANDOM,
     }[args.policy]
-    device = NVMDevice(64 << 20, seed=args.seed)
-    pool = PmemPool.create(device)
-    kwargs = {"alpha": args.alpha} if args.engine == "kamino-dynamic" else {}
-    heap = PersistentHeap.create(pool, make_engine(args.engine, **kwargs), heap_size=24 << 20)
-    kv = KVStore.create(heap, value_size=128)
+    kwargs = _engine_kwargs(args.engine, args)
+    ctx = ExecutionContext.create(
+        args.engine, value_size=128, heap_mb=16, seed=args.seed, **kwargs
+    )
+    device, kv = ctx.device, ctx.kv
     committed = {}
     for k in range(100):
         kv.put(k, bytes([k]) * 16)
@@ -146,21 +197,17 @@ def cmd_crash(args) -> int:
 
 
 def cmd_info(args) -> int:
-    from .heap import PersistentHeap
-    from .kvstore import KVStore
-    from .nvm import NVMDevice, PmemPool
-    from .tx import make_engine
+    from .runtime.context import ExecutionContext
 
-    device = NVMDevice(args.mb << 20)
-    pool = PmemPool.create(device)
-    kwargs = {"alpha": args.alpha} if args.engine == "kamino-dynamic" else {}
-    heap = PersistentHeap.create(pool, make_engine(args.engine, **kwargs),
-                                 heap_size=(args.mb // 3) << 20)
-    kv = KVStore.create(heap, value_size=256)
+    kwargs = _engine_kwargs(args.engine, args)
+    ctx = ExecutionContext.create(
+        args.engine, value_size=256, heap_mb=max(1, args.mb // 3), **kwargs
+    )
+    kv = ctx.kv
     for k in range(args.records):
         kv.put(k, bytes([k % 256]) * 100)
     kv.drain()
-    print(format_report(heap))
+    print(format_report(ctx.heap))
     return 0
 
 
@@ -170,6 +217,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Kamino-Tx reproduction: run experiments from the command line",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("engines", help="list registered engines and capabilities")
+    p.set_defaults(fn=cmd_engines)
 
     p = sub.add_parser("ycsb", help="YCSB throughput/latency comparison")
     p.add_argument("--workload", default="A", choices=list("ABCDEF"))

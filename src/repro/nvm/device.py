@@ -55,13 +55,29 @@ class NVMDevice:
             convenience; the device itself only counts primitives).
         seed: seed for the crash-survival RNG, making torn-write
             experiments reproducible.
+        coalesce_flushes: enable the write-combining flush coalescer.
+            Runs of *adjacent* dirty lines inside one flush (or
+            ``persist_all``) drain as a single charged burst: the burst
+            pays one full ``flush_line_ns`` round trip and each extra
+            line streams at the model's ``burst_line_ns``.  Durability is
+            byte-identical either way — exactly the same lines persist at
+            exactly the same program points; only the cost accounting
+            (``NVMStats.flush_bursts``) changes, which the crash-state
+            equivalence property test asserts.
     """
 
-    def __init__(self, size: int, model: LatencyModel = NVDIMM, seed: Optional[int] = None):
+    def __init__(
+        self,
+        size: int,
+        model: LatencyModel = NVDIMM,
+        seed: Optional[int] = None,
+        coalesce_flushes: bool = False,
+    ):
         if size <= 0:
             raise ValueError("device size must be positive")
         self.size = size
         self.model = model
+        self.coalesce_flushes = coalesce_flushes
         self.stats = NVMStats()
         self._durable = bytearray(size)
         # line index -> (line buffer, dirty-word bitmask)
@@ -218,15 +234,22 @@ class NVMDevice:
         first = addr // CACHE_LINE
         last = (addr + size - 1) // CACHE_LINE
         flushed = 0
+        bursts = 0
+        in_burst = False
         for line in range(first, last + 1):
             entry = self._dirty.pop(line, None)
             if entry is None:
+                in_burst = False
                 continue
             base = line * CACHE_LINE
             self._durable[base : base + CACHE_LINE] = entry[0]
             flushed += 1
+            if not in_burst:
+                bursts += 1
+                in_burst = True
         self.stats.flushes += 1
         self.stats.flushed_lines += flushed
+        self.stats.flush_bursts += bursts if self.coalesce_flushes else flushed
 
     def fence(self) -> None:
         """Ordering fence; a cost-model event (flushes persist eagerly)."""
@@ -241,13 +264,20 @@ class NVMDevice:
         if self._crashed:
             raise DeviceCrashedError("device crashed; call restart() first")
         flushed = 0
-        for line, (buf, _mask) in self._dirty.items():
+        bursts = 0
+        prev_line = None
+        for line in sorted(self._dirty):
+            buf, _mask = self._dirty[line]
             base = line * CACHE_LINE
             self._durable[base : base + CACHE_LINE] = buf
             flushed += 1
+            if prev_line is None or line != prev_line + 1:
+                bursts += 1
+            prev_line = line
         self._dirty.clear()
         self.stats.flushes += 1
         self.stats.flushed_lines += flushed
+        self.stats.flush_bursts += bursts if self.coalesce_flushes else flushed
 
     @property
     def dirty_lines(self) -> int:

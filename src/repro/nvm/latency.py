@@ -35,6 +35,12 @@ class LatencyModel:
             NVM locations (covers the load+store pipeline).
         bandwidth_gbps: sustained media bandwidth, used by the simulator's
             shared-bandwidth resource to model contention across threads.
+        burst_line_ns: cost of each *additional* adjacent line when the
+            device's write-combining coalescer drains a run of contiguous
+            dirty lines in one burst: the first line of a run pays the
+            full ``flush_line_ns`` round trip, the rest stream at media
+            write bandwidth.  ``0.0`` means "no burst discount" (each
+            line costs ``flush_line_ns``, the pre-coalescer model).
     """
 
     name: str
@@ -44,6 +50,12 @@ class LatencyModel:
     fence_ns: float
     byte_copy_ns: float
     bandwidth_gbps: float
+    burst_line_ns: float = 0.0
+
+    def effective_burst_line_ns(self) -> float:
+        """Per-line cost inside a coalesced burst (falls back to the full
+        flush cost when the profile declares no discount)."""
+        return self.burst_line_ns if self.burst_line_ns > 0 else self.flush_line_ns
 
     def copy_ns(self, nbytes: int) -> float:
         """Cost of copying ``nbytes`` between two NVM locations."""
@@ -65,6 +77,7 @@ NVDIMM = LatencyModel(
     fence_ns=30.0,
     byte_copy_ns=0.25,
     bandwidth_gbps=30.0,
+    burst_line_ns=35.0,
 )
 
 #: Plain DRAM (no persistence cost beyond caches) — lower bound.
@@ -76,6 +89,7 @@ DRAM = LatencyModel(
     fence_ns=20.0,
     byte_copy_ns=0.2,
     bandwidth_gbps=40.0,
+    burst_line_ns=25.0,
 )
 
 #: PCM / 3D-XPoint-like media with asymmetric, slower writes.  The paper
@@ -89,6 +103,7 @@ PCM_LIKE = LatencyModel(
     fence_ns=30.0,
     byte_copy_ns=1.5,
     bandwidth_gbps=8.0,
+    burst_line_ns=250.0,
 )
 
 #: Persistent CPU caches / whole-system persistence (paper §2, "Hardware
@@ -107,6 +122,7 @@ EADR = LatencyModel(
     fence_ns=2.0,
     byte_copy_ns=0.25,
     bandwidth_gbps=30.0,
+    burst_line_ns=2.0,
 )
 
 PROFILES = {m.name: m for m in (NVDIMM, DRAM, PCM_LIKE, EADR)}

@@ -22,6 +22,7 @@ class NVMStats:
     store_bytes: int = 0
     flushes: int = 0
     flushed_lines: int = 0
+    flush_bursts: int = 0
     fences: int = 0
     copies: int = 0
     copy_bytes: int = 0
@@ -34,6 +35,7 @@ class NVMStats:
         self.store_bytes = 0
         self.flushes = 0
         self.flushed_lines = 0
+        self.flush_bursts = 0
         self.fences = 0
         self.copies = 0
         self.copy_bytes = 0
@@ -47,6 +49,7 @@ class NVMStats:
             store_bytes=self.store_bytes,
             flushes=self.flushes,
             flushed_lines=self.flushed_lines,
+            flush_bursts=self.flush_bursts,
             fences=self.fences,
             copies=self.copies,
             copy_bytes=self.copy_bytes,
@@ -61,6 +64,7 @@ class NVMStats:
             store_bytes=self.store_bytes - since.store_bytes,
             flushes=self.flushes - since.flushes,
             flushed_lines=self.flushed_lines - since.flushed_lines,
+            flush_bursts=self.flush_bursts - since.flush_bursts,
             fences=self.fences - since.fences,
             copies=self.copies - since.copies,
             copy_bytes=self.copy_bytes - since.copy_bytes,
@@ -75,10 +79,17 @@ class NVMStats:
         """
         load_lines = (self.load_bytes + CACHE_LINE - 1) // CACHE_LINE if self.load_bytes else 0
         store_lines = (self.store_bytes + CACHE_LINE - 1) // CACHE_LINE if self.store_bytes else 0
+        # Without a coalescing device every flushed line is its own burst
+        # (the device keeps bursts == lines), so this reduces to the
+        # original lines * flush_line_ns.  Counters built by hand with no
+        # burst information fall back to the same uncoalesced pricing.
+        bursts = self.flush_bursts if self.flush_bursts else self.flushed_lines
+        burst_extra_lines = self.flushed_lines - bursts
         return (
             load_lines * model.read_line_ns
             + store_lines * model.write_line_ns
-            + self.flushed_lines * model.flush_line_ns
+            + bursts * model.flush_line_ns
+            + burst_extra_lines * model.effective_burst_line_ns()
             + self.fences * model.fence_ns
             + self.copy_bytes * model.byte_copy_ns
         )

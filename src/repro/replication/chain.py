@@ -39,6 +39,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 from ..errors import ChainConfigError, NodeFailedError, StaleViewError, TxAborted
 from ..nvm.device import CrashPolicy
 from ..nvm.latency import NVDIMM, LatencyModel
+from ..runtime.context import ExecutionContext
 from ..sim.events import EventSimulator
 from ..sim.network import DEFAULT_HOP_NS, SimNetwork
 from ..sim.resources import FIFOServer
@@ -73,6 +74,11 @@ class ChainCluster:
             kamino f+2 (§5's impossibility argument).
         mode: ``"traditional"`` or ``"kamino"``.
         alpha: head backup sizing for kamino (1.0 = full mirror).
+        runtime: an :class:`~repro.runtime.context.ExecutionContext`
+            supplying the cluster's clock, event simulator, and shared
+            resource registry; a private one is built when omitted.  The
+            per-node FIFO servers register with it, so the uniform
+            reset/snapshot contract covers the whole cluster.
     """
 
     def __init__(
@@ -85,6 +91,7 @@ class ChainCluster:
         sim: Optional[EventSimulator] = None,
         hop_ns: float = DEFAULT_HOP_NS,
         model: LatencyModel = NVDIMM,
+        runtime: Optional["ExecutionContext"] = None,
     ):
         if f < 1:
             raise ChainConfigError("f must be at least 1")
@@ -92,7 +99,8 @@ class ChainCluster:
             raise ChainConfigError(f"unknown mode '{mode}'")
         self.f = f
         self.mode = mode
-        self.sim = sim or EventSimulator()
+        self.runtime = runtime if runtime is not None else ExecutionContext(model=model)
+        self.sim = sim if sim is not None else self.runtime.events
         self.net = SimNetwork(self.sim, hop_latency_ns=hop_ns)
         n = f + 2 if mode == KAMINO else f + 1
         self.chain: List[ReplicaNode] = []
@@ -105,7 +113,8 @@ class ChainCluster:
             self.chain.append(node)
             self.net.register(node.node_id, self._make_handler(node))
         self._servers: Dict[str, FIFOServer] = {
-            node.node_id: FIFOServer(node.node_id) for node in self.chain
+            node.node_id: self.runtime.resources.register(FIFOServer(node.node_id))
+            for node in self.chain
         }
         # the Zookeeper stand-in (§5.3): owns views and chain order
         self.membership = MembershipManager([node.node_id for node in self.chain])

@@ -1,0 +1,164 @@
+"""Decorator-based engine registry with declared capabilities.
+
+The paper's methodology depends on every atomicity scheme being a
+drop-in behind one hook surface (:class:`~repro.tx.base.AtomicityEngine`).
+The registry is the runtime-facing half of that contract: an engine
+module declares itself with::
+
+    @register_engine("kamino-simple", capabilities=EngineCapabilities(
+        copies_in_critical_path=False,
+        has_backup=True,
+        locks_released_after_sync=True,
+        cost_profile="kamino",
+    ))
+    def kamino_simple(**kwargs) -> KaminoEngine: ...
+
+and every consumer — ``make_engine``, the CLI's engine-kwargs parsing,
+the scheduler's contention model
+(:func:`repro.sim.resources.cost_model_for`), and the property-based
+crash suites — reads the registry instead of a hard-coded table.  Adding
+an engine or a backend therefore touches exactly one file: the engine's
+own module.
+
+Names are resolved by exact match first, then by longest registered
+prefix, because engines may decorate their runtime name with parameters
+(``kamino_dynamic(alpha=0.3).name == "kamino-dynamic-30"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "EngineCapabilities",
+    "EngineInfo",
+    "engine_info",
+    "find_registered",
+    "make_engine",
+    "register_engine",
+    "registered_engines",
+    "unregister_engine",
+]
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """What the runtime may assume about a registered engine.
+
+    Attributes:
+        description: one-line summary shown by ``repro engines``.
+        copies_in_critical_path: the scheme moves data bytes before its
+            commit point (undo's log capture, CoW's shadow copies).
+        has_backup: maintains a backup region the recovery protocol must
+            re-synchronise (the Kamino family).
+        recoverable: participates in crash-injection sweeps; False only
+            for deliberately unsafe baselines (``nolog``).
+        locks_released_after_sync: write locks are held past commit until
+            the asynchronous backup sync lands, so dependent transactions
+            wait longer (paper §7.1).
+        cost_profile: key into
+            :data:`repro.sim.resources.ENGINE_COST_MODELS` selecting the
+            calibrated serialized-software contention model.
+        options: tunable constructor kwargs exposed as CLI flags
+            (e.g. ``("alpha",)`` for the dynamic backup).
+    """
+
+    description: str = ""
+    copies_in_critical_path: bool = True
+    has_backup: bool = False
+    recoverable: bool = True
+    locks_released_after_sync: bool = False
+    cost_profile: str = "default"
+    options: Tuple[str, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """One registry row: the factory plus its declared capabilities."""
+
+    name: str
+    factory: Callable[..., object]
+    capabilities: EngineCapabilities
+
+
+_REGISTRY: Dict[str, EngineInfo] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins_loaded() -> None:
+    """Import :mod:`repro.tx` so its engines self-register.
+
+    The flag is set *before* the import: ``repro.tx`` itself imports this
+    module (for the decorator), and re-entering here mid-import would
+    recurse.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    import repro.tx  # noqa: F401  (side effect: engine registration)
+
+
+def register_engine(
+    name: str, *, capabilities: Optional[EngineCapabilities] = None
+) -> Callable:
+    """Class/function decorator adding an engine factory to the registry."""
+
+    caps = capabilities if capabilities is not None else EngineCapabilities()
+
+    def decorator(factory: Callable) -> Callable:
+        _REGISTRY[name] = EngineInfo(name=name, factory=factory, capabilities=caps)
+        return factory
+
+    return decorator
+
+
+def unregister_engine(name: str) -> None:
+    """Remove a registration (tests registering throwaway engines)."""
+    _REGISTRY.pop(name, None)
+
+
+def registered_engines() -> Dict[str, EngineInfo]:
+    """All registered engines, sorted by name."""
+    _ensure_builtins_loaded()
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}
+
+
+def find_registered(name: str) -> Optional[EngineInfo]:
+    """Resolve ``name`` to a registration, or ``None``.
+
+    Exact match wins; otherwise the longest registered name that is a
+    prefix of ``name`` (runtime names like ``kamino-dynamic-30``).
+    """
+    _ensure_builtins_loaded()
+    info = _REGISTRY.get(name)
+    if info is not None:
+        return info
+    best: Optional[EngineInfo] = None
+    for key, candidate in _REGISTRY.items():
+        if name.startswith(key) and (best is None or len(key) > len(best.name)):
+            best = candidate
+    return best
+
+
+def engine_info(name: str) -> EngineInfo:
+    """Like :func:`find_registered` but raising on unknown names."""
+    info = find_registered(name)
+    if info is None:
+        raise ValueError(
+            f"unknown engine '{name}'; choose from {sorted(registered_engines())}"
+        )
+    return info
+
+
+def make_engine(name: str, **kwargs):
+    """Build an engine by its registered name (TX factory entry point)."""
+    _ensure_builtins_loaded()
+    try:
+        info = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine '{name}'; choose from {sorted(_REGISTRY)}"
+        ) from None
+    return info.factory(**kwargs)

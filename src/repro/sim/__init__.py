@@ -8,6 +8,7 @@ from .resources import (
     BandwidthResource,
     EngineCostModel,
     FIFOServer,
+    ServerSnapshot,
     cost_model_for,
 )
 
@@ -19,6 +20,7 @@ __all__ = [
     "Event",
     "EventSimulator",
     "FIFOServer",
+    "ServerSnapshot",
     "SimNetwork",
     "cost_model_for",
     "crash_points",

@@ -33,14 +33,38 @@ class Event:
         return (self.time, self.seq) < (other.time, other.seq)
 
 
-class EventSimulator:
-    """Priority-queue event loop over virtual nanoseconds."""
+class _FloatClock:
+    """Default standalone time source (duck-typed like ``SimClock``)."""
 
-    def __init__(self):
-        self.now: float = 0.0
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+class EventSimulator:
+    """Priority-queue event loop over virtual nanoseconds.
+
+    ``clock`` may be any object with a writable ``now`` attribute —
+    typically a :class:`repro.runtime.clock.SimClock` shared with an
+    execution context, so inline cost charging and scheduled events
+    observe the same virtual time.  Without one, the simulator keeps a
+    private clock (the original behaviour).
+    """
+
+    def __init__(self, clock=None):
+        self.clock = clock if clock is not None else _FloatClock()
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._processed = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @now.setter
+    def now(self, time_ns: float) -> None:
+        self.clock.now = time_ns
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
         """Run ``fn(*args)`` ``delay`` ns from now; returns the event."""

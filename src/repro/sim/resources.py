@@ -23,8 +23,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+@dataclass(frozen=True)
+class ServerSnapshot:
+    """Immutable view of a :class:`FIFOServer`'s accumulated state."""
+
+    name: str
+    free_at: float
+    busy_ns: float
+    requests: int
+
+
 class FIFOServer:
-    """A single FIFO queueing server over virtual nanoseconds."""
+    """A single FIFO queueing server over virtual nanoseconds.
+
+    Follows the runtime's uniform accounting contract: ``reset()``
+    returns the server to its just-constructed state, ``snapshot()``
+    yields an immutable copy — so an
+    :class:`~repro.runtime.context.ExecutionContext` can zero every
+    counter between benchmark runs and prove nothing leaked.
+    """
 
     def __init__(self, name: str):
         self.name = name
@@ -50,6 +67,14 @@ class FIFOServer:
         self._free_at = 0.0
         self.busy_ns = 0.0
         self.requests = 0
+
+    def snapshot(self) -> ServerSnapshot:
+        return ServerSnapshot(
+            name=self.name,
+            free_at=self._free_at,
+            busy_ns=self.busy_ns,
+            requests=self.requests,
+        )
 
 
 class BandwidthResource(FIFOServer):
@@ -103,7 +128,19 @@ ENGINE_COST_MODELS = {
 
 
 def cost_model_for(engine_name: str) -> EngineCostModel:
-    """Look up the cost model by engine name prefix."""
+    """Look up the cost model for an engine.
+
+    The engine registry is authoritative: a registered engine's
+    ``cost_profile`` capability selects a row of the calibrated table
+    above, so adding an engine never touches this module.  Names that
+    resolve to no registration (ad-hoc test doubles) fall back to the
+    historical prefix matching.
+    """
+    from ..runtime.registry import find_registered
+
+    info = find_registered(engine_name)
+    if info is not None and info.capabilities.cost_profile in ENGINE_COST_MODELS:
+        return ENGINE_COST_MODELS[info.capabilities.cost_profile]
     if engine_name.startswith("kamino"):
         return ENGINE_COST_MODELS["kamino"]
     for key, model in ENGINE_COST_MODELS.items():

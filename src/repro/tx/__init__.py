@@ -1,5 +1,13 @@
-"""Atomicity engines: undo, copy-on-write, no-logging, and Kamino-Tx."""
+"""Atomicity engines: undo, copy-on-write, no-logging, and Kamino-Tx.
 
+Engines self-register with :mod:`repro.runtime.registry` via the
+``@register_engine`` decorator; importing this package pulls in every
+builtin module, which is how the registry's lazy loader materialises
+them.  :func:`make_engine` and ``ENGINE_FACTORIES`` are re-exported here
+for compatibility — the registry is the single source of truth.
+"""
+
+from ..runtime.registry import make_engine, registered_engines
 from .backup import BACKUP_REGION, BackupStrategy, BackupSyncer, FullBackup
 from .base import (
     AtomicityEngine,
@@ -24,6 +32,7 @@ __all__ = [
     "BackupSyncer",
     "CoWEngine",
     "DynamicBackup",
+    "ENGINE_FACTORIES",
     "ENTRY_SIZE",
     "FullBackup",
     "IntentEntry",
@@ -41,26 +50,13 @@ __all__ = [
     "UndoLogEngine",
     "kamino_dynamic",
     "kamino_simple",
+    "make_engine",
     "reopen_after_crash",
     "run_transaction",
     "verify_backup_consistency",
 ]
 
-ENGINE_FACTORIES = {
-    "nolog": NoLoggingEngine,
-    "undo": UndoLogEngine,
-    "cow": CoWEngine,
-    "kamino-simple": kamino_simple,
-    "kamino-dynamic": kamino_dynamic,
-}
-
-
-def make_engine(name: str, **kwargs) -> AtomicityEngine:
-    """Build an engine by its benchmark name (see ``ENGINE_FACTORIES``)."""
-    try:
-        factory = ENGINE_FACTORIES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown engine '{name}'; choose from {sorted(ENGINE_FACTORIES)}"
-        ) from None
-    return factory(**kwargs)
+#: Legacy view of the registry (name -> factory).  Prefer
+#: :func:`repro.runtime.registry.registered_engines`, which also carries
+#: each engine's capabilities.
+ENGINE_FACTORIES = {info.name: info.factory for info in registered_engines().values()}

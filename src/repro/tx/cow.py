@@ -16,11 +16,20 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..nvm.pool import PmemRegion
+from ..runtime.registry import EngineCapabilities, register_engine
 from .base import IntentKind, RecoveryReport, Transaction
 from ._common import LockingLogEngine
 from .intent_log import SlotState
 
 
+@register_engine(
+    "cow",
+    capabilities=EngineCapabilities(
+        description="copy-on-write shadows, redo-applied at commit",
+        copies_in_critical_path=True,
+        cost_profile="cow",
+    ),
+)
 class CoWEngine(LockingLogEngine):
     """Copy-on-write / redo-style baseline; see module docstring."""
 

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import HeapError, PoolCorruptionError, RecoveryError
 from ..nvm.pool import PmemPool, PmemRegion
+from ..runtime.registry import EngineCapabilities, register_engine
 from .backup import BackupStrategy
 from .kamino import KaminoEngine
 
@@ -297,6 +298,17 @@ class DynamicBackup(BackupStrategy):
         return self.hits / total if total else 0.0
 
 
+@register_engine(
+    "kamino-dynamic",
+    capabilities=EngineCapabilities(
+        description="atomic in-place updates, alpha-sized LRU partial backup (copy-on-miss)",
+        copies_in_critical_path=False,
+        has_backup=True,
+        locks_released_after_sync=True,
+        cost_profile="kamino",
+        options=("alpha",),
+    ),
+)
 def kamino_dynamic(alpha: float = 0.5, **kwargs) -> KaminoEngine:
     """Kamino-Tx-Dynamic: in-place updates with an α-sized partial backup."""
     engine = KaminoEngine(backup=DynamicBackup(alpha=alpha), **kwargs)

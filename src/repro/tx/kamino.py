@@ -28,6 +28,7 @@ from collections import deque
 from typing import Deque, List, Optional, Set, Tuple
 
 from ..nvm.pool import PmemPool, PmemRegion
+from ..runtime.registry import EngineCapabilities, register_engine
 from .base import IntentKind, RecoveryReport, Transaction
 from .backup import BackupStrategy, FullBackup
 from ._common import LockingLogEngine
@@ -276,6 +277,16 @@ class KaminoEngine(LockingLogEngine):
         report.rolled_forward += 1
 
 
+@register_engine(
+    "kamino-simple",
+    capabilities=EngineCapabilities(
+        description="atomic in-place updates, full heap mirror synced off the critical path",
+        copies_in_critical_path=False,
+        has_backup=True,
+        locks_released_after_sync=True,
+        cost_profile="kamino",
+    ),
+)
 def kamino_simple(**kwargs) -> KaminoEngine:
     """Kamino-Tx-Simple: in-place updates with a full heap mirror."""
     engine = KaminoEngine(backup=FullBackup(), **kwargs)

@@ -11,10 +11,19 @@ from its captured undo data.
 from __future__ import annotations
 
 from ..errors import TxError
+from ..runtime.registry import EngineCapabilities, register_engine
 from .base import IntentKind, RecoveryReport, Transaction
 from ._common import LockingLogEngine
 
 
+@register_engine(
+    "undo",
+    capabilities=EngineCapabilities(
+        description="NVML-style undo logging: old bytes captured in the critical path",
+        copies_in_critical_path=True,
+        cost_profile="undo",
+    ),
+)
 class UndoLogEngine(LockingLogEngine):
     """NVML-style undo logging; see module docstring."""
 
@@ -109,6 +118,15 @@ class UndoLogEngine(LockingLogEngine):
         return report
 
 
+@register_engine(
+    "nolog",
+    capabilities=EngineCapabilities(
+        description="in-place writes with no atomicity (crash-unsafe cost floor)",
+        copies_in_critical_path=False,
+        recoverable=False,
+        cost_profile="nolog",
+    ),
+)
 class NoLoggingEngine(LockingLogEngine):
     """Unsafe baseline for the Figure 1 motivation: no atomicity at all.
 

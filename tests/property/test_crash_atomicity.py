@@ -15,23 +15,24 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.errors import DeviceCrashedError
 from repro.nvm import CrashPolicy
-from repro.tx import (
-    CoWEngine,
-    UndoLogEngine,
-    kamino_dynamic,
-    kamino_simple,
-    reopen_after_crash,
-    verify_backup_consistency,
-)
+from repro.runtime.registry import registered_engines
+from repro.tx import reopen_after_crash, verify_backup_consistency
 
 from ..conftest import Pair, build_heap
 
+#: every registered engine whose capabilities declare it recoverable —
+#: a newly registered engine is swept automatically, with no edit here
 ENGINES = {
-    "undo": UndoLogEngine,
-    "cow": CoWEngine,
-    "kamino-simple": kamino_simple,
-    "kamino-dynamic": lambda: kamino_dynamic(alpha=0.5),
+    name: info.factory
+    for name, info in registered_engines().items()
+    if info.capabilities.recoverable
 }
+
+
+def test_registry_supplies_engines():
+    """The sweep is registry-driven and excludes unsafe baselines."""
+    assert set(ENGINES) >= {"undo", "cow", "kamino-simple", "kamino-dynamic"}
+    assert "nolog" not in ENGINES
 
 POLICIES = [CrashPolicy.DROP_ALL, CrashPolicy.KEEP_ALL, CrashPolicy.RANDOM]
 

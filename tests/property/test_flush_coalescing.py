@@ -1,0 +1,124 @@
+"""Property: the flush coalescer never changes crash semantics.
+
+The write-combining coalescer (``NVMDevice(coalesce_flushes=True)``)
+only changes *cost accounting* — runs of adjacent dirty lines are
+charged as bursts.  The safety claim is that durability is byte-
+identical: for ANY sequence of stores/copies/flushes/fences and ANY
+crash policy (including seeded torn-word randomness), the post-crash
+durable bytes of a coalescing device equal those of a non-coalescing
+device driven identically.  Hypothesis searches for a counterexample.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.nvm import CrashPolicy, NVMDevice
+from repro.nvm.stats import NVMStats
+
+DEVICE_SIZE = 4096
+
+SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def op_sequences(draw):
+    nops = draw(st.integers(1, 30))
+    ops = []
+    for _ in range(nops):
+        kind = draw(st.sampled_from(["write", "copy", "flush", "fence", "persist_all"]))
+        if kind == "write":
+            addr = draw(st.integers(0, DEVICE_SIZE - 1))
+            size = draw(st.integers(1, min(256, DEVICE_SIZE - addr)))
+            data = bytes(draw(st.integers(1, 255)) for _ in range(size))
+            ops.append(("write", addr, data))
+        elif kind == "copy":
+            size = draw(st.integers(1, 256))
+            src = draw(st.integers(0, DEVICE_SIZE - size))
+            dst = draw(st.integers(0, DEVICE_SIZE - size))
+            ops.append(("copy", dst, src, size))
+        elif kind == "flush":
+            addr = draw(st.integers(0, DEVICE_SIZE - 1))
+            size = draw(st.integers(1, min(512, DEVICE_SIZE - addr)))
+            ops.append(("flush", addr, size))
+        elif kind == "fence":
+            ops.append(("fence",))
+        else:
+            ops.append(("persist_all",))
+    return ops
+
+
+def _drive(device: NVMDevice, ops) -> None:
+    for op in ops:
+        if op[0] == "write":
+            device.write(op[1], op[2])
+        elif op[0] == "copy":
+            device.copy(op[1], op[2], op[3])
+        elif op[0] == "flush":
+            device.flush(op[1], op[2])
+        elif op[0] == "fence":
+            device.fence()
+        else:
+            device.persist_all()
+
+
+@given(
+    ops=op_sequences(),
+    policy=st.sampled_from([CrashPolicy.DROP_ALL, CrashPolicy.KEEP_ALL, CrashPolicy.RANDOM]),
+    seed=st.integers(0, 2**16),
+    survival=st.floats(0.0, 1.0),
+)
+@SETTINGS
+def test_coalescing_preserves_crash_state(ops, policy, seed, survival):
+    plain = NVMDevice(DEVICE_SIZE, seed=seed, coalesce_flushes=False)
+    burst = NVMDevice(DEVICE_SIZE, seed=seed, coalesce_flushes=True)
+    _drive(plain, ops)
+    _drive(burst, ops)
+
+    # identical overlay state before the crash...
+    assert plain.dirty_lines == burst.dirty_lines
+
+    # ...and identical durable bytes after it, under the same policy and
+    # the same seeded torn-word randomness
+    plain.crash(policy, survival_prob=survival)
+    burst.crash(policy, survival_prob=survival)
+    assert plain.durable_read(0, DEVICE_SIZE) == burst.durable_read(0, DEVICE_SIZE)
+
+
+@given(ops=op_sequences())
+@SETTINGS
+def test_coalescing_only_discounts_cost(ops):
+    """Coalescing charges the same primitive counts, never more bursts
+    than lines, and strictly fewer bursts when adjacency exists."""
+    plain = NVMDevice(DEVICE_SIZE, coalesce_flushes=False)
+    burst = NVMDevice(DEVICE_SIZE, coalesce_flushes=True)
+    _drive(plain, ops)
+    _drive(burst, ops)
+
+    p, b = plain.stats, burst.stats
+    assert (p.flushes, p.flushed_lines, p.stores, p.loads, p.copies) == (
+        b.flushes, b.flushed_lines, b.stores, b.loads, b.copies
+    )
+    # without the coalescer every line is its own burst
+    assert p.flush_bursts == p.flushed_lines
+    assert b.flush_bursts <= b.flushed_lines
+
+
+def test_simulated_ns_reduces_to_old_formula_without_coalescing():
+    """bursts == lines makes the burst term vanish: old cost exactly."""
+    from repro.nvm.latency import NVDIMM
+
+    s = NVMStats(flushes=3, flushed_lines=10, flush_bursts=10)
+    legacy = NVMStats(flushes=3, flushed_lines=10)  # hand-built, no burst info
+    assert s.simulated_ns(NVDIMM) == legacy.simulated_ns(NVDIMM)
+    assert s.simulated_ns(NVDIMM) == 10 * NVDIMM.flush_line_ns
+
+
+def test_coalesced_burst_is_cheaper():
+    from repro.nvm.latency import NVDIMM
+
+    contiguous = NVMStats(flushes=1, flushed_lines=8, flush_bursts=1)
+    scattered = NVMStats(flushes=1, flushed_lines=8, flush_bursts=8)
+    assert contiguous.simulated_ns(NVDIMM) < scattered.simulated_ns(NVDIMM)

@@ -1,0 +1,75 @@
+"""SimClock: the unified virtual time source."""
+
+import pytest
+
+from repro.runtime import ClockSnapshot, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(100.0)
+        clock.advance(50.5)
+        assert clock.now == 150.5
+        assert clock.advances == 2
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_is_monotonic(self):
+        clock = SimClock()
+        clock.advance_to(200.0)
+        assert clock.now == 200.0
+        clock.advance_to(100.0)  # never goes backwards
+        assert clock.now == 200.0
+
+    def test_reset_contract(self):
+        clock = SimClock()
+        clock.advance(42.0)
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.advances == 0
+
+    def test_snapshot_is_immutable_view(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        snap = clock.snapshot()
+        assert snap == ClockSnapshot(now=10.0, advances=1)
+        clock.advance(5.0)
+        assert snap.now == 10.0  # frozen
+        assert clock.snapshot().delta(snap) == 5.0
+
+
+class TestEventSimulatorBinding:
+    def test_shared_clock_sees_event_time(self):
+        from repro.sim.events import EventSimulator
+
+        clock = SimClock()
+        sim = EventSimulator(clock=clock)
+        fired = []
+        sim.schedule(120.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [120.0]
+        assert clock.now == 120.0
+
+    def test_inline_advance_visible_to_simulator(self):
+        from repro.sim.events import EventSimulator
+
+        clock = SimClock()
+        sim = EventSimulator(clock=clock)
+        clock.advance(500.0)
+        assert sim.now == 500.0
+        event = sim.schedule(10.0, lambda: None)
+        assert event.time == 510.0
+
+    def test_standalone_simulator_unchanged(self):
+        from repro.sim.events import EventSimulator
+
+        sim = EventSimulator()
+        sim.schedule(30.0, lambda: None)
+        sim.run()
+        assert sim.now == 30.0

@@ -91,12 +91,14 @@ def _load_ycsb(
     seed: int,
     model: LatencyModel,
     coalesce_flushes: bool = False,
+    heap_mb: int = 48,
     **engine_kwargs,
 ) -> Tuple[Stack, YCSBWorkload]:
     """Build a stack and load a YCSB table into it (accounting zeroed)."""
     stack = build_stack(
         engine_name,
         value_size=value_size,
+        heap_mb=heap_mb,
         model=model,
         coalesce_flushes=coalesce_flushes,
         **engine_kwargs,
@@ -140,6 +142,7 @@ def run_ycsb_online(
     model: LatencyModel = NVDIMM,
     coalesce_flushes: bool = False,
     sync_lag_ns: float = 0.0,
+    heap_mb: int = 48,
     **engine_kwargs,
 ) -> ReplayResult:
     """Run one YCSB workload online under ``nthreads`` virtual clients.
@@ -156,6 +159,7 @@ def run_ycsb_online(
         seed,
         model,
         coalesce_flushes=coalesce_flushes,
+        heap_mb=heap_mb,
         **engine_kwargs,
     )
     ops = list(workload.run_ops(nops))

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro tpcc   --engines undo,kamino-simple --ops 400
     python -m repro chain  --workload A --f 2 --clients 4
     python -m repro crash  --engine kamino-simple --policy random
+    python -m repro bench  --quick --out BENCH.json --compare BENCH_PR2.json
     python -m repro info   --engine kamino-dynamic --alpha 0.3
 
 Each prints the same fixed-width tables the benchmark suite records.
@@ -196,6 +197,49 @@ def cmd_crash(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .bench import wallclock
+
+    names = _parse_list(args.names) if args.names else None
+    doc = wallclock.run_benchmarks(
+        names=names,
+        quick=args.quick,
+        workers=args.workers,
+        with_naive=not args.no_naive,
+        budget_s=args.budget,
+        repeats=args.repeats,
+    )
+    rows = []
+    for name, entry in sorted(doc["benchmarks"].items()):
+        rows.append([
+            name,
+            entry["wall_s"],
+            entry.get("naive_wall_s", "-"),
+            entry.get("speedup_vs_naive", "-"),
+            entry["txs"],
+        ])
+    print(format_table(
+        f"wall-clock benchmarks ({'quick' if args.quick else 'full'} sizes)",
+        ["benchmark", "wall s", "naive s", "speedup", "txs"],
+        rows,
+    ))
+    if doc.get("skipped"):
+        print(f"skipped (budget exhausted): {', '.join(doc['skipped'])}")
+    if args.out:
+        wallclock.save(doc, args.out)
+        print(f"wrote {args.out}")
+    if args.compare:
+        problems = wallclock.regression_report(
+            doc, wallclock.load(args.compare), tolerance=args.tolerance
+        )
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.compare} (tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def cmd_info(args) -> int:
     from .runtime.context import ExecutionContext
 
@@ -254,6 +298,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--alpha", type=float, default=0.5)
     p.set_defaults(fn=cmd_crash)
+
+    p = sub.add_parser("bench", help="wall-clock perf suite (BENCH_*.json trajectory)")
+    p.add_argument("--quick", action="store_true", help="CI-sized runs")
+    p.add_argument("--names", default="", help="comma-separated benchmark subset")
+    p.add_argument("--out", default="", help="write the JSON document here")
+    p.add_argument("--compare", default="",
+                   help="baseline BENCH_*.json; exit 1 on regression")
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="allowed fractional speedup drop vs baseline")
+    p.add_argument("--budget", type=float, default=None,
+                   help="wall-clock budget in seconds (serial mode)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="process-pool width; 0 = serial")
+    p.add_argument("--repeats", type=int, default=1,
+                   help="best-of-N wall time per side (noise suppression)")
+    p.add_argument("--no-naive", action="store_true",
+                   help="skip the naive baseline (no speedups)")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("info", help="inspect a pool/heap layout")
     p.add_argument("--engine", default="kamino-simple")

@@ -134,11 +134,13 @@ class PersistentHeap:
     def read_bytes(self, offset: int, size: int) -> bytes:
         """Load heap bytes, honouring the engine's read translation
         (copy-on-write transactions must observe their own shadows)."""
-        dest = self.engine.translate_read(self.current_tx, offset, size)
-        if dest is None:
-            return self.region.read(offset, size)
-        region, off = dest
-        return region.read(off, size)
+        engine = self.engine
+        if engine.translates_reads:
+            dest = engine.translate_read(self.current_tx, offset, size)
+            if dest is not None:
+                region, off = dest
+                return region.read(off, size)
+        return self.region.read(offset, size)
 
     # -- allocation ---------------------------------------------------------------
 

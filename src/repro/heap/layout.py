@@ -19,6 +19,11 @@ from ..errors import SchemaError
 #: The null persistent pointer (offset 0 is the pool header, never data).
 PNULL = 0
 
+_INT64 = struct.Struct("<q")
+_UINT64 = struct.Struct("<Q")
+_INT32 = struct.Struct("<i")
+_FLOAT64 = struct.Struct("<d")
+
 
 class FieldType(ABC):
     """A fixed-size, byte-encodable field of a persistent struct."""
@@ -45,57 +50,61 @@ class Int64(FieldType):
     """Signed 64-bit integer."""
 
     size = 8
+    fmt = "q"
 
     def pack(self, value: int) -> bytes:
         try:
-            return struct.pack("<q", value)
+            return _INT64.pack(value)
         except struct.error as exc:
             raise SchemaError(f"Int64 out of range: {value!r}") from exc
 
     def unpack(self, data: bytes) -> int:
-        return struct.unpack("<q", data)[0]
+        return _INT64.unpack(data)[0]
 
 
 class UInt64(FieldType):
     """Unsigned 64-bit integer."""
 
     size = 8
+    fmt = "Q"
 
     def pack(self, value: int) -> bytes:
         try:
-            return struct.pack("<Q", value)
+            return _UINT64.pack(value)
         except struct.error as exc:
             raise SchemaError(f"UInt64 out of range: {value!r}") from exc
 
     def unpack(self, data: bytes) -> int:
-        return struct.unpack("<Q", data)[0]
+        return _UINT64.unpack(data)[0]
 
 
 class Int32(FieldType):
     """Signed 32-bit integer."""
 
     size = 4
+    fmt = "i"
 
     def pack(self, value: int) -> bytes:
         try:
-            return struct.pack("<i", value)
+            return _INT32.pack(value)
         except struct.error as exc:
             raise SchemaError(f"Int32 out of range: {value!r}") from exc
 
     def unpack(self, data: bytes) -> int:
-        return struct.unpack("<i", data)[0]
+        return _INT32.unpack(data)[0]
 
 
 class Float64(FieldType):
     """IEEE-754 double."""
 
     size = 8
+    fmt = "d"
 
     def pack(self, value: float) -> bytes:
-        return struct.pack("<d", value)
+        return _FLOAT64.pack(value)
 
     def unpack(self, data: bytes) -> float:
-        return struct.unpack("<d", data)[0]
+        return _FLOAT64.unpack(data)[0]
 
 
 class FixedStr(FieldType):
@@ -158,6 +167,14 @@ class Array(FieldType):
         self.element = element
         self.count = count
         self.size = element.size * count
+        # B+Tree key/child arrays decode on every node visit, so arrays
+        # of stock scalar elements batch through one precompiled Struct
+        # (exact types only: a subclass may override pack/unpack)
+        self._batch = (
+            struct.Struct(f"<{count}{element.fmt}")
+            if type(element) in (Int64, UInt64, Int32, Float64, PPtr)
+            else None
+        )
 
     def pack(self, value) -> bytes:
         values = list(value)
@@ -165,9 +182,17 @@ class Array(FieldType):
             raise SchemaError(
                 f"Array({self.count}) got {len(values)} elements"
             )
+        if self._batch is not None:
+            try:
+                return self._batch.pack(*values)
+            except struct.error:
+                # fall through for the element's own error/None handling
+                pass
         return b"".join(self.element.pack(v) for v in values)
 
     def unpack(self, data: bytes):
+        if self._batch is not None:
+            return list(self._batch.unpack(data))
         es = self.element.size
         return [
             self.element.unpack(data[i * es : (i + 1) * es]) for i in range(self.count)
@@ -186,13 +211,14 @@ class PPtr(FieldType):
     """
 
     size = 8
+    fmt = "Q"
 
     def pack(self, value: int) -> bytes:
         if value is None:
             value = PNULL
         if value < 0:
             raise SchemaError(f"persistent pointer cannot be negative: {value}")
-        return struct.pack("<Q", value)
+        return _UINT64.pack(value)
 
     def unpack(self, data: bytes) -> int:
-        return struct.unpack("<Q", data)[0]
+        return _UINT64.unpack(data)[0]

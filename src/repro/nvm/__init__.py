@@ -18,6 +18,7 @@ from .latency import (
     profile,
 )
 from .pool import DATA_START, MAX_REGIONS, PmemPool, PmemRegion
+from .reference import ReferenceNVMDevice
 from .stats import NVMStats, StatsStack
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "PROFILES",
     "PmemPool",
     "PmemRegion",
+    "ReferenceNVMDevice",
     "StatsStack",
     "profile",
 ]

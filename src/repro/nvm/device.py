@@ -14,14 +14,29 @@ The device models the hardware contract Kamino-Tx is built on:
 Python cannot control real persistence ordering (the reason this paper is
 hard to reproduce natively), so all durability semantics in this repository
 flow through this class; see DESIGN.md §1 for the substitution argument.
+
+Hot-path implementation notes (the *invariance contract*, see
+``docs/INTERNALS.md``): every figure benchmark funnels millions of
+operations through this class, so the data path is written for CPython
+speed — span-mask lookup tables instead of per-word loops, a single-line
+fast path (the dominant case for 64-byte objects), a bulk dirty-range
+representation for large line-aligned copies (the full-mirror seed), an
+optional lock-elided mode for single-threaded execution contexts, and a
+dedicated internal copy path that never touches the load/store counters.
+None of this may be visible in simulated results: durable bytes,
+:class:`~repro.nvm.stats.NVMStats`, and crash-surviving state must be
+bit-identical to the naive :class:`~repro.nvm.reference.ReferenceNVMDevice`,
+which the differential property tests enforce.
 """
 
 from __future__ import annotations
 
 import random
 import threading
+from bisect import bisect_right, insort
 from enum import Enum
-from typing import Dict, Optional, Tuple
+from operator import itemgetter
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import DeviceCrashedError, OutOfBoundsError
 from .latency import CACHE_LINE, WORD, NVDIMM, LatencyModel
@@ -29,6 +44,40 @@ from .stats import NVMStats
 
 _WORDS_PER_LINE = CACHE_LINE // WORD
 _FULL_MASK = (1 << _WORDS_PER_LINE) - 1
+
+_LINE_SHIFT = CACHE_LINE.bit_length() - 1  # 6
+_LINE_MASK = CACHE_LINE - 1  # 63
+_WORD_SHIFT = WORD.bit_length() - 1  # 3
+assert 1 << _LINE_SHIFT == CACHE_LINE and 1 << _WORD_SHIFT == WORD
+
+#: _SPAN_MASKS[first_word][last_word] — dirty-word bitmask covering the
+#: inclusive word span, precomputed so the store path never loops per word.
+_SPAN_MASKS = [
+    [
+        sum(1 << w for w in range(fw, lw + 1)) if lw >= fw else 0
+        for lw in range(_WORDS_PER_LINE)
+    ]
+    for fw in range(_WORDS_PER_LINE)
+]
+
+#: Copies at least this large (and line-aligned at the destination) are
+#: represented as one bulk dirty range instead of per-line dict entries.
+_BULK_THRESHOLD = 64 * CACHE_LINE
+
+#: bisect key for the sorted-by-start-line bulk record list
+_REC_START = itemgetter(0)
+
+
+class _NullLock:
+    """Context-manager stand-in when the caller opts out of locking."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
 
 
 class CrashPolicy(Enum):
@@ -64,6 +113,14 @@ class NVMDevice:
             exactly the same program points; only the cost accounting
             (``NVMStats.flush_bursts``) changes, which the crash-state
             equivalence property test asserts.
+        lock_mode: ``"locked"`` (default) serialises every access behind
+            an ``RLock`` so worker threads and the background syncer can
+            share the device.  ``"uncontended"`` binds the public data
+            path directly to the lock-free implementations — an opt-in
+            for single-threaded :class:`~repro.runtime.context.
+            ExecutionContext` runs (the virtual-client scheduler is one
+            OS thread), where the per-call lock round trip is pure
+            interpreter overhead.  Semantics and stats are identical.
     """
 
     def __init__(
@@ -72,26 +129,44 @@ class NVMDevice:
         model: LatencyModel = NVDIMM,
         seed: Optional[int] = None,
         coalesce_flushes: bool = False,
+        lock_mode: str = "locked",
     ):
         if size <= 0:
             raise ValueError("device size must be positive")
+        if lock_mode not in ("locked", "uncontended"):
+            raise ValueError(f"unknown lock_mode {lock_mode!r}")
         self.size = size
         self.model = model
         self.coalesce_flushes = coalesce_flushes
+        self.lock_mode = lock_mode
         self.stats = NVMStats()
         self._durable = bytearray(size)
         # line index -> (line buffer, dirty-word bitmask)
         self._dirty: Dict[int, Tuple[bytearray, int]] = {}
+        # large line-aligned dirty ranges (e.g. the mirror seed copy),
+        # kept sorted by start line and disjoint from each other and
+        # from ``_dirty``; every line inside one is fully dirty
+        self._bulk: List[List] = []  # [start_line, bytearray]
         self._crashed = False
         self._rng = random.Random(seed)
         # one mutex serialises all device access: worker threads and the
         # background syncer share the overlay dictionaries (cheap under
         # the GIL; the benchmarks run single-threaded traces anyway)
-        self._mutex = threading.RLock()
+        self._mutex = threading.RLock() if lock_mode == "locked" else _NullLock()
         # scheduled fail-point: crash after N more mutating operations
         self._crash_countdown: Optional[int] = None
         self._crash_policy = CrashPolicy.DROP_ALL
         self._crash_survival = 0.5
+        if lock_mode == "uncontended":
+            # elide the lock wrappers entirely: bind the public names to
+            # the internal implementations on this instance
+            self.read = self._read_locked
+            self.write = self._write_locked
+            self.copy = self._copy_locked
+            self.flush = self._flush_unlocked
+            self.flush_multi = self._flush_multi_locked
+            self.fence = self._fence_locked
+            self.persist_all = self._persist_all_locked
 
     # -- helpers -----------------------------------------------------------
 
@@ -135,14 +210,162 @@ class NVMDevice:
     def cancel_scheduled_crash(self) -> None:
         self._crash_countdown = None
 
-    def _line_buffer(self, line: int) -> Tuple[bytearray, int]:
-        """Return (buffer, mask) for ``line``, faulting it in if clean."""
-        entry = self._dirty.get(line)
-        if entry is None:
-            base = line * CACHE_LINE
-            entry = (bytearray(self._durable[base : base + CACHE_LINE]), 0)
-            self._dirty[line] = entry
-        return entry
+    # -- bulk-range helpers ------------------------------------------------
+
+    def _bulk_find(self, line: int) -> Optional[List]:
+        # the list is sorted by start line and records are disjoint, so
+        # the only candidate is the rightmost record starting at or
+        # before ``line``
+        bulk = self._bulk
+        i = bisect_right(bulk, line, key=_REC_START) - 1
+        if i >= 0:
+            rec = bulk[i]
+            if line < rec[0] + (len(rec[1]) >> _LINE_SHIFT):
+                return rec
+        return None
+
+    def _bulk_insert(self, start_line: int, buf: bytearray) -> None:
+        insort(self._bulk, [start_line, buf], key=_REC_START)
+
+    def _bulk_overlapping(self, first: int, last: int) -> Tuple[int, int]:
+        """Index slice ``[i, j)`` of bulk records overlapping the
+        inclusive line range ``[first, last]``."""
+        bulk = self._bulk
+        i = bisect_right(bulk, first, key=_REC_START) - 1
+        if i < 0 or bulk[i][0] + (len(bulk[i][1]) >> _LINE_SHIFT) <= first:
+            i += 1
+        return i, bisect_right(bulk, last, key=_REC_START)
+
+    def _range_clean(self, addr: int, size: int) -> bool:
+        """True if no overlay state overlaps ``[addr, addr+size)``."""
+        first = addr >> _LINE_SHIFT
+        last = (addr + size - 1) >> _LINE_SHIFT
+        dirty = self._dirty
+        if dirty:
+            if len(dirty) * 4 < last - first + 1:
+                for line in dirty:
+                    if first <= line <= last:
+                        return False
+            else:
+                for line in range(first, last + 1):
+                    if line in dirty:
+                        return False
+        if self._bulk:
+            i, j = self._bulk_overlapping(first, last)
+            if i < j:
+                return False
+        return True
+
+    # -- raw overlay data path (no stats, no checks) -----------------------
+
+    def _peek(self, addr: int, size: int) -> bytes:
+        """Overlay-aware read with no accounting (shared by read/copy)."""
+        durable = self._durable
+        dirty = self._dirty
+        bulk = self._bulk
+        if not dirty and not bulk:
+            return bytes(durable[addr : addr + size])
+        first = addr >> _LINE_SHIFT
+        last = (addr + size - 1) >> _LINE_SHIFT
+        if first == last:
+            entry = dirty.get(first)
+            if entry is not None:
+                off = addr & _LINE_MASK
+                return bytes(entry[0][off : off + size])
+            if bulk:
+                rec = self._bulk_find(first)
+                if rec is not None:
+                    boff = addr - (rec[0] << _LINE_SHIFT)
+                    return bytes(rec[1][boff : boff + size])
+            return bytes(durable[addr : addr + size])
+        out = bytearray(durable[addr : addr + size])
+        if dirty:
+            if len(dirty) * 4 < last - first + 1:
+                lines = [ln for ln in dirty if first <= ln <= last]
+            else:
+                lines = [ln for ln in range(first, last + 1) if ln in dirty]
+            for line in lines:
+                base = line << _LINE_SHIFT
+                lo = addr if addr > base else base
+                hi = min(addr + size, base + CACHE_LINE)
+                out[lo - addr : hi - addr] = dirty[line][0][lo - base : hi - base]
+        if bulk:
+            i, j = self._bulk_overlapping(first, last)
+            for start, buf in bulk[i:j]:
+                bstart = start << _LINE_SHIFT
+                bend = bstart + len(buf)
+                lo = addr if addr > bstart else bstart
+                hi = min(addr + size, bend)
+                if lo < hi:
+                    out[lo - addr : hi - addr] = buf[lo - bstart : hi - bstart]
+        return bytes(out)
+
+    def _poke(self, addr: int, data) -> None:
+        """Overlay-aware store with no accounting (shared by write/copy)."""
+        size = len(data)
+        dirty = self._dirty
+        line = addr >> _LINE_SHIFT
+        off = addr & _LINE_MASK
+        if off + size <= CACHE_LINE:
+            # single-line fast path: the dominant case for small objects
+            entry = dirty.get(line)
+            if entry is not None:
+                buf = entry[0]
+                buf[off : off + size] = data
+                dirty[line] = (
+                    buf,
+                    entry[1] | _SPAN_MASKS[off >> _WORD_SHIFT][(off + size - 1) >> _WORD_SHIFT],
+                )
+                return
+            if self._bulk:
+                rec = self._bulk_find(line)
+                if rec is not None:
+                    boff = addr - (rec[0] << _LINE_SHIFT)
+                    rec[1][boff : boff + size] = data
+                    return
+            base = line << _LINE_SHIFT
+            buf = bytearray(self._durable[base : base + CACHE_LINE])
+            buf[off : off + size] = data
+            dirty[line] = (
+                buf,
+                _SPAN_MASKS[off >> _WORD_SHIFT][(off + size - 1) >> _WORD_SHIFT],
+            )
+            return
+        bulk = self._bulk
+        pos = 0
+        while pos < size:
+            at = addr + pos
+            line = at >> _LINE_SHIFT
+            off = at & _LINE_MASK
+            take = CACHE_LINE - off
+            rem = size - pos
+            if rem < take:
+                take = rem
+            entry = dirty.get(line)
+            if entry is not None:
+                buf, mask = entry
+                buf[off : off + take] = data[pos : pos + take]
+                dirty[line] = (
+                    buf,
+                    mask | _SPAN_MASKS[off >> _WORD_SHIFT][(off + take - 1) >> _WORD_SHIFT],
+                )
+            else:
+                rec = self._bulk_find(line) if bulk else None
+                if rec is not None:
+                    boff = at - (rec[0] << _LINE_SHIFT)
+                    rec[1][boff : boff + take] = data[pos : pos + take]
+                elif take == CACHE_LINE:
+                    # whole-line store: no need to fault the old line in
+                    dirty[line] = (bytearray(data[pos : pos + CACHE_LINE]), _FULL_MASK)
+                else:
+                    base = line << _LINE_SHIFT
+                    buf = bytearray(self._durable[base : base + CACHE_LINE])
+                    buf[off : off + take] = data[pos : pos + take]
+                    dirty[line] = (
+                        buf,
+                        _SPAN_MASKS[off >> _WORD_SHIFT][(off + take - 1) >> _WORD_SHIFT],
+                    )
+            pos += take
 
     # -- data path ---------------------------------------------------------
 
@@ -152,72 +375,63 @@ class NVMDevice:
             return self._read_locked(addr, size)
 
     def _read_locked(self, addr: int, size: int) -> bytes:
-        self._check(addr, size)
-        self.stats.loads += 1
-        self.stats.load_bytes += size
-        if not self._dirty:
-            return bytes(self._durable[addr : addr + size])
-        out = bytearray(self._durable[addr : addr + size])
-        first = addr // CACHE_LINE
-        last = (addr + size - 1) // CACHE_LINE
-        for line in range(first, last + 1):
-            entry = self._dirty.get(line)
-            if entry is None:
-                continue
-            base = line * CACHE_LINE
-            lo = max(addr, base)
-            hi = min(addr + size, base + CACHE_LINE)
-            out[lo - addr : hi - addr] = entry[0][lo - base : hi - base]
-        return bytes(out)
+        if self._crashed or addr < 0 or size < 0 or addr + size > self.size:
+            self._check(addr, size)
+        stats = self.stats
+        stats.loads += 1
+        stats.load_bytes += size
+        return self._peek(addr, size)
 
     def write(self, addr: int, data: bytes) -> None:
         """Store ``data`` at ``addr`` into the volatile overlay."""
         with self._mutex:
             self._write_locked(addr, data)
 
-    def _write_locked(self, addr: int, data: bytes) -> None:
+    def _write_locked(self, addr: int, data) -> None:
+        if self._crash_countdown is not None:
+            self._tick_failpoint()
         size = len(data)
-        self._tick_failpoint()
-        self._check(addr, size)
-        self.stats.stores += 1
-        self.stats.store_bytes += size
-        pos = 0
-        while pos < size:
-            at = addr + pos
-            line = at // CACHE_LINE
-            base = line * CACHE_LINE
-            off = at - base
-            take = min(CACHE_LINE - off, size - pos)
-            buf, mask = self._line_buffer(line)
-            buf[off : off + take] = data[pos : pos + take]
-            first_word = off // WORD
-            last_word = (off + take - 1) // WORD
-            for w in range(first_word, last_word + 1):
-                mask |= 1 << w
-            self._dirty[line] = (buf, mask)
-            pos += take
+        if self._crashed or addr < 0 or addr + size > self.size:
+            self._check(addr, size)
+        stats = self.stats
+        stats.stores += 1
+        stats.store_bytes += size
+        self._poke(addr, data)
 
-    def copy(self, dst: int, src: int, size: int) -> None:
+    def copy(self, dst: int, src: int, size: int, chunks: int = 1) -> None:
         """Device-internal memcpy; charged to the copy counters.
 
         The copy reads through the overlay (sees unflushed stores) and
         writes into the overlay like ordinary stores; callers must still
-        flush the destination for durability.
+        flush the destination for durability.  ``chunks`` lets a caller
+        that interval-coalesced ``chunks`` adjacent logical copies into
+        one bulk move keep the ``copies`` counter bit-identical to the
+        uncoalesced sequence (``copy_bytes`` is the byte total either
+        way, which is what the cost model prices).
         """
         with self._mutex:
-            self._check(src, size)
-            self._check(dst, size)
-            data = self._read_locked(src, size)
-            # Undo the read accounting: copies are charged separately so
-            # the cost model can price bulk moves by bandwidth, not per
-            # line.
-            self.stats.loads -= 1
-            self.stats.load_bytes -= size
-            self._write_locked(dst, data)
-            self.stats.stores -= 1
-            self.stats.store_bytes -= size
-            self.stats.copies += 1
-            self.stats.copy_bytes += size
+            self._copy_locked(dst, src, size, chunks)
+
+    def _copy_locked(self, dst: int, src: int, size: int, chunks: int = 1) -> None:
+        if self._crash_countdown is not None:
+            self._tick_failpoint()
+        self._check(src, size)
+        self._check(dst, size)
+        stats = self.stats
+        stats.copies += chunks
+        stats.copy_bytes += size
+        data = self._peek(src, size)
+        if (
+            size >= _BULK_THRESHOLD
+            and dst & _LINE_MASK == 0
+            and size & _LINE_MASK == 0
+            and self._range_clean(dst, size)
+        ):
+            # one bulk dirty range instead of size/64 dict entries — the
+            # mirror-seed fast path (fully dirty, so no masks needed)
+            self._bulk_insert(dst >> _LINE_SHIFT, bytearray(data))
+        else:
+            self._poke(dst, data)
 
     # -- persistence -------------------------------------------------------
 
@@ -228,61 +442,179 @@ class NVMDevice:
         with self._mutex:
             self._flush_locked(addr, size)
 
+    def _flush_unlocked(self, addr: int, size: int) -> None:
+        if size <= 0:
+            return
+        self._flush_locked(addr, size)
+
+    def flush_multi(self, ranges: Iterable[Tuple[int, int]]) -> None:
+        """Flush several ranges under one lock acquisition.
+
+        Semantically (and in every :class:`NVMStats` counter) identical
+        to calling :meth:`flush` once per range in order; it only
+        amortises the per-call locking and dispatch overhead, which is
+        what the commit path and the backup syncer pay per intent.
+        """
+        with self._mutex:
+            self._flush_multi_locked(ranges)
+
+    def _flush_multi_locked(self, ranges: Iterable[Tuple[int, int]]) -> None:
+        for addr, size in ranges:
+            if size > 0:
+                self._flush_locked(addr, size)
+
     def _flush_locked(self, addr: int, size: int) -> None:
-        self._tick_failpoint()
+        if self._crash_countdown is not None:
+            self._tick_failpoint()
         self._check(addr, size)
-        first = addr // CACHE_LINE
-        last = (addr + size - 1) // CACHE_LINE
+        first = addr >> _LINE_SHIFT
+        last = (addr + size - 1) >> _LINE_SHIFT
+        dirty = self._dirty
+        durable = self._durable
         flushed = 0
         bursts = 0
-        in_burst = False
-        for line in range(first, last + 1):
-            entry = self._dirty.pop(line, None)
-            if entry is None:
+        bi = bj = 0
+        if self._bulk:
+            bi, bj = self._bulk_overlapping(first, last)
+        if bi == bj:
+            nrange = last - first + 1
+            if len(dirty) * 4 < nrange:
+                # sparse overlay, wide flush: walk the dirty lines, not
+                # the whole address range
+                prev = -2
+                for line in sorted(ln for ln in dirty if first <= ln <= last):
+                    durable[line << _LINE_SHIFT : (line + 1) << _LINE_SHIFT] = dirty.pop(
+                        line
+                    )[0]
+                    flushed += 1
+                    if line != prev + 1:
+                        bursts += 1
+                    prev = line
+            else:
                 in_burst = False
-                continue
-            base = line * CACHE_LINE
-            self._durable[base : base + CACHE_LINE] = entry[0]
-            flushed += 1
-            if not in_burst:
+                for line in range(first, last + 1):
+                    entry = dirty.pop(line, None)
+                    if entry is None:
+                        in_burst = False
+                        continue
+                    durable[line << _LINE_SHIFT : (line + 1) << _LINE_SHIFT] = entry[0]
+                    flushed += 1
+                    if not in_burst:
+                        bursts += 1
+                        in_burst = True
+        else:
+            flushed, bursts = self._flush_segments(first, last, bi, bj)
+        stats = self.stats
+        stats.flushes += 1
+        stats.flushed_lines += flushed
+        stats.flush_bursts += bursts if self.coalesce_flushes else flushed
+
+    def _flush_segments(self, first: int, last: int, bi: int, bj: int) -> Tuple[int, int]:
+        """Flush ``[first, last]`` when it overlaps bulk records
+        ``self._bulk[bi:bj]``.
+
+        Builds the line-ordered segment list across both overlay
+        representations so burst accounting is identical to a per-line
+        scan, splitting bulk ranges that the flush only partially covers.
+        """
+        dirty = self._dirty
+        durable = self._durable
+        if len(dirty) * 4 < last - first + 1:
+            segs: List[Tuple[int, int, Optional[List]]] = [
+                (ln, ln + 1, None) for ln in dirty if first <= ln <= last
+            ]
+        else:
+            segs = [(ln, ln + 1, None) for ln in range(first, last + 1) if ln in dirty]
+        for rec in self._bulk[bi:bj]:
+            start = rec[0]
+            end = start + (len(rec[1]) >> _LINE_SHIFT)
+            segs.append((max(start, first), min(end, last + 1), rec))
+        segs.sort(key=_REC_START)
+        flushed = 0
+        bursts = 0
+        prev_end = -1
+        # remnants of split bulk records, in ascending order: records are
+        # disjoint and processed in line order, so left/right remnants
+        # come out sorted and replace the overlapped slice in place
+        remnants: List[List] = []
+        for s, e, rec in segs:
+            if s != prev_end:
                 bursts += 1
-                in_burst = True
-        self.stats.flushes += 1
-        self.stats.flushed_lines += flushed
-        self.stats.flush_bursts += bursts if self.coalesce_flushes else flushed
+            prev_end = e
+            flushed += e - s
+            if rec is None:
+                for line in range(s, e):
+                    durable[line << _LINE_SHIFT : (line + 1) << _LINE_SHIFT] = dirty.pop(
+                        line
+                    )[0]
+            else:
+                start = rec[0]
+                buf = rec[1]
+                durable[s << _LINE_SHIFT : e << _LINE_SHIFT] = buf[
+                    (s - start) << _LINE_SHIFT : (e - start) << _LINE_SHIFT
+                ]
+                if s > start:
+                    remnants.append([start, buf[: (s - start) << _LINE_SHIFT]])
+                end = start + (len(buf) >> _LINE_SHIFT)
+                if e < end:
+                    remnants.append([e, buf[(e - start) << _LINE_SHIFT :]])
+        self._bulk[bi:bj] = remnants
+        return flushed, bursts
 
     def fence(self) -> None:
         """Ordering fence; a cost-model event (flushes persist eagerly)."""
         with self._mutex:
+            self._fence_locked()
+
+    def _fence_locked(self) -> None:
+        if self._crash_countdown is not None:
             self._tick_failpoint()
-            if self._crashed:
-                raise DeviceCrashedError("device crashed; call restart() first")
-            self.stats.fences += 1
+        if self._crashed:
+            raise DeviceCrashedError("device crashed; call restart() first")
+        self.stats.fences += 1
 
     def persist_all(self) -> None:
         """Flush every dirty line (used at pool close / test setup)."""
+        with self._mutex:
+            self._persist_all_locked()
+
+    def _persist_all_locked(self) -> None:
         if self._crashed:
             raise DeviceCrashedError("device crashed; call restart() first")
+        durable = self._durable
+        segs: List[Tuple[int, int, Optional[bytearray]]] = [
+            (ln, ln + 1, None) for ln in self._dirty
+        ]
+        segs.extend(
+            (start, start + (len(buf) >> _LINE_SHIFT), buf) for start, buf in self._bulk
+        )
+        segs.sort(key=lambda s: s[0])
+        dirty = self._dirty
         flushed = 0
         bursts = 0
-        prev_line = None
-        for line in sorted(self._dirty):
-            buf, _mask = self._dirty[line]
-            base = line * CACHE_LINE
-            self._durable[base : base + CACHE_LINE] = buf
-            flushed += 1
-            if prev_line is None or line != prev_line + 1:
+        prev_end = -1
+        for s, e, buf in segs:
+            if s != prev_end:
                 bursts += 1
-            prev_line = line
-        self._dirty.clear()
-        self.stats.flushes += 1
-        self.stats.flushed_lines += flushed
-        self.stats.flush_bursts += bursts if self.coalesce_flushes else flushed
+            prev_end = e
+            flushed += e - s
+            if buf is None:
+                durable[s << _LINE_SHIFT : e << _LINE_SHIFT] = dirty[s][0]
+            else:
+                durable[s << _LINE_SHIFT : e << _LINE_SHIFT] = buf
+        dirty.clear()
+        self._bulk = []
+        stats = self.stats
+        stats.flushes += 1
+        stats.flushed_lines += flushed
+        stats.flush_bursts += bursts if self.coalesce_flushes else flushed
 
     @property
     def dirty_lines(self) -> int:
         """Number of cache lines with unflushed stores."""
-        return len(self._dirty)
+        return len(self._dirty) + sum(
+            len(buf) >> _LINE_SHIFT for _start, buf in self._bulk
+        )
 
     # -- failure injection ---------------------------------------------------
 
@@ -293,27 +625,46 @@ class NVMDevice:
     ) -> None:
         """Power-fail the device.
 
-        Unflushed dirty words are resolved according to ``policy``; the
-        volatile overlay is then discarded and the device refuses access
-        until :meth:`restart`.
+        Unflushed dirty words are resolved according to ``policy`` in
+        ascending line order (the canonical order both device
+        implementations share, so a fixed seed yields the same surviving
+        words on either); the volatile overlay is then discarded and the
+        device refuses access until :meth:`restart`.
         """
         if self._crashed:
             return
-        for line, (buf, mask) in self._dirty.items():
-            base = line * CACHE_LINE
-            for w in range(_WORDS_PER_LINE):
-                if not mask & (1 << w):
-                    continue
-                if policy is CrashPolicy.DROP_ALL:
-                    survives = False
-                elif policy is CrashPolicy.KEEP_ALL:
-                    survives = True
-                else:
-                    survives = self._rng.random() < survival_prob
-                if survives:
-                    off = w * WORD
-                    self._durable[base + off : base + off + WORD] = buf[off : off + WORD]
+        durable = self._durable
+        if policy is not CrashPolicy.DROP_ALL:
+            entries: List[Tuple[int, object, int]] = [
+                (line, buf, mask) for line, (buf, mask) in self._dirty.items()
+            ]
+            for start, buf in self._bulk:
+                view = memoryview(buf)
+                for i in range(len(buf) >> _LINE_SHIFT):
+                    entries.append(
+                        (start + i, view[i << _LINE_SHIFT : (i + 1) << _LINE_SHIFT], _FULL_MASK)
+                    )
+            entries.sort(key=lambda entry: entry[0])
+            if policy is CrashPolicy.KEEP_ALL:
+                for line, buf, mask in entries:
+                    base = line << _LINE_SHIFT
+                    if mask == _FULL_MASK:
+                        durable[base : base + CACHE_LINE] = buf
+                        continue
+                    for w in range(_WORDS_PER_LINE):
+                        if mask & (1 << w):
+                            off = w * WORD
+                            durable[base + off : base + off + WORD] = buf[off : off + WORD]
+            else:
+                rng = self._rng.random
+                for line, buf, mask in entries:
+                    base = line << _LINE_SHIFT
+                    for w in range(_WORDS_PER_LINE):
+                        if mask & (1 << w) and rng() < survival_prob:
+                            off = w * WORD
+                            durable[base + off : base + off + WORD] = buf[off : off + WORD]
         self._dirty.clear()
+        self._bulk = []
         self._crashed = True
 
     def restart(self) -> None:

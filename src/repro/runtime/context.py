@@ -128,12 +128,20 @@ class ExecutionContext:
         seed: int = 0,
         coalesce_flushes: bool = False,
         resources: Optional[SharedResources] = None,
+        device_cls: type = NVMDevice,
+        lock_mode: str = "locked",
         **engine_kwargs,
     ) -> "ExecutionContext":
         """Build the full stack for ``engine_name``.
 
         The pool is sized for the worst-case engine footprint (full
         mirror + logs), so every engine sees an identically sized heap.
+
+        ``device_cls`` swaps the device implementation (the wall-clock
+        harness passes :class:`~repro.nvm.reference.ReferenceNVMDevice`
+        for its naive baseline); ``lock_mode="uncontended"`` elides the
+        device mutex for single-threaded drivers.  Neither changes any
+        simulated result.
         """
         from ..heap import PersistentHeap
         from ..kvstore import KVStore
@@ -141,8 +149,12 @@ class ExecutionContext:
 
         heap_bytes = heap_mb << 20
         pool_bytes = heap_bytes * 2 + (32 << 20)
-        device = NVMDevice(
-            pool_bytes, model=model, seed=seed, coalesce_flushes=coalesce_flushes
+        device = device_cls(
+            pool_bytes,
+            model=model,
+            seed=seed,
+            coalesce_flushes=coalesce_flushes,
+            lock_mode=lock_mode,
         )
         pool = PmemPool.create(device)
         engine = make_engine(engine_name, **engine_kwargs)

@@ -43,6 +43,8 @@ __all__ = ["replay_records", "run_online"]
 class _RecordQueueSource:
     """Pre-collected records, split round-robin across clients."""
 
+    __slots__ = ("_queues", "_cursor")
+
     def __init__(self, records: Sequence[TxRecord], nclients: int):
         self._queues = [list(records[i::nclients]) for i in range(nclients)]
         self._cursor = [0] * nclients
@@ -59,6 +61,8 @@ class _RecordQueueSource:
 class _InlineSource:
     """Executes each client's next operation on demand, at its virtual
     start time, through the shared context."""
+
+    __slots__ = ("_ctx", "_streams", "_cursor", "_cache", "_executor", "_kind_of")
 
     def __init__(
         self,
@@ -96,6 +100,26 @@ class _InlineSource:
 
 class VirtualClients:
     """Event-driven closed-loop clients over shared resources."""
+
+    __slots__ = (
+        "source",
+        "sim",
+        "resources",
+        "cost",
+        "bandwidth",
+        "serial",
+        "ns_per_byte",
+        "model_byte_copy_ns",
+        "sync_lag_ns",
+        "nclients",
+        "locked",
+        "waiters",
+        "ready_since",
+        "latencies",
+        "latencies_by_kind",
+        "end_time",
+        "dependent_waits",
+    )
 
     def __init__(
         self,

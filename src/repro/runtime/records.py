@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxRecord:
     """Costs and footprint of one executed transaction."""
 

@@ -83,21 +83,36 @@ class EventSimulator:
 
         Returns the number of events processed.
         """
+        # Local bindings: this loop dispatches every event of a
+        # simulation, so attribute and property lookups are hoisted out.
+        queue = self._queue
+        heappop = heapq.heappop
+        clock = self.clock
         processed = 0
-        while self._queue:
+        if until is None and max_events is None:
+            while queue:
+                event = heappop(queue)
+                if event.cancelled:
+                    continue
+                clock.now = event.time
+                event.fn(*event.args)
+                processed += 1
+            self._processed += processed
+            return processed
+        while queue:
             if max_events is not None and processed >= max_events:
                 break
-            event = self._queue[0]
+            event = queue[0]
             if until is not None and event.time > until:
                 break
-            heapq.heappop(self._queue)
+            heappop(queue)
             if event.cancelled:
                 continue
-            self.now = event.time
+            clock.now = event.time
             event.fn(*event.args)
             processed += 1
-        if until is not None and (not self._queue or self._queue[0].time > until):
-            self.now = max(self.now, until)
+        if until is not None and (not queue or queue[0].time > until):
+            clock.now = max(clock.now, until)
         self._processed += processed
         return processed
 

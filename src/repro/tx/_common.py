@@ -128,11 +128,7 @@ class LockingLogEngine(AtomicityEngine):
     def _flush_modified_ranges(self, tx: Transaction) -> None:
         """Flush every in-place-modified range, then fence (commit step 1)."""
         region = self.heap_region
-        flushed = False
-        for off, size, kind in tx.intents:
-            if kind is IntentKind.FREE:
-                continue
-            region.flush(off, size)
-            flushed = True
-        if flushed:
+        ranges = [(off, size) for off, size, kind in tx.intents if kind is not IntentKind.FREE]
+        if ranges:
+            region.flush_multi(ranges)
             region.pool.device.fence()

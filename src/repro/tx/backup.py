@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import threading
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
+from ..errors import DeviceCrashedError
+from ..nvm.latency import CACHE_LINE
 from ..nvm.pool import PmemPool, PmemRegion
+from .base import IntentKind
 
 BACKUP_REGION = "backup"
 
@@ -40,30 +43,68 @@ class BackupSyncer:
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self.synced = 0
+        #: set when the device power-failed under the syncer; holds a
+        #: human-readable summary instead of letting ``DeviceCrashedError``
+        #: escape from ``stop()`` / ``__exit__`` during test teardown
+        self.crash_summary: Optional[str] = None
 
     def start(self) -> "BackupSyncer":
         if self._thread is not None:
             raise RuntimeError("syncer already started")
         self._stop.clear()
+        self.crash_summary = None
         self._thread = threading.Thread(target=self._run, name="backup-syncer", daemon=True)
         self._thread.start()
         return self
 
     def _run(self) -> None:
         while not self._stop.is_set():
-            done = self.engine.sync_pending(limit=16)
+            try:
+                done = self.engine.sync_pending(limit=16)
+            except DeviceCrashedError as exc:
+                self._note_crash(exc)
+                return
             self.synced += done
             if done == 0:
                 self._stop.wait(self.poll_interval)
 
+    def _note_crash(self, exc: BaseException) -> None:
+        self.crash_summary = (
+            f"device crashed under backup syncer ({exc}); "
+            f"{self.engine.pending_count} sync task(s) left for recovery"
+        )
+
     def stop(self, drain: bool = True) -> None:
-        """Stop the thread; by default drain remaining work first."""
+        """Stop the thread; by default drain remaining work first.
+
+        If the device crashed mid-run (a fail-point fired on another
+        thread, or the syncer itself hit one), the drain is skipped and
+        the crash is recorded in :attr:`crash_summary` rather than
+        raised — the pending roll-forwards now belong to crash recovery,
+        and ``with BackupSyncer(...):`` blocks in crash tests must not
+        explode out of ``__exit__`` during teardown.
+        """
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=10.0)
             self._thread = None
-        if drain:
+        if not drain:
+            return
+        device = getattr(self.engine, "heap_region", None)
+        device = device.pool.device if device is not None else None
+        if device is not None and device.crashed:
+            if self.crash_summary is None:
+                self._note_crash(DeviceCrashedError("device crashed before drain"))
+            return
+        try:
             self.synced += self.engine.sync_pending()
+        except DeviceCrashedError as exc:
+            self._note_crash(exc)
+
+    @property
+    def crashed(self) -> bool:
+        """True if the device power-failed while this syncer was live."""
+        return self.crash_summary is not None
 
     def __enter__(self) -> "BackupSyncer":
         return self.start()
@@ -97,6 +138,22 @@ class BackupStrategy(ABC):
     @abstractmethod
     def absorb(self, offset: int, size: int) -> None:
         """Roll the backup forward: copy main → backup (post-commit)."""
+
+    def absorb_entries(self, entries: Sequence) -> None:
+        """Drain one committed transaction's intent entries in order.
+
+        The default processes entries one at a time — exactly the
+        historical sync loop.  Strategies override this to
+        interval-coalesce adjacent ranges into bulk device operations;
+        any override must keep :class:`~repro.nvm.stats.NVMStats` and
+        durable bytes bit-identical to this loop (the sync-coalescing
+        equivalence tests hold them to it).
+        """
+        for entry in entries:
+            if entry.kind is IntentKind.FREE:
+                self.on_free_synced(entry.offset, entry.size)
+            else:
+                self.absorb(entry.offset, entry.size)
 
     @abstractmethod
     def restore(self, offset: int, size: int) -> None:
@@ -146,6 +203,51 @@ class FullBackup(BackupStrategy):
         device = self.region.pool.device
         device.copy(self.region.offset + offset, self.heap_region.offset + offset, size)
         self.region.flush(offset, size)
+
+    def absorb_entries(self, entries: Sequence) -> None:
+        """Interval-coalescing drain: runs of exactly-adjacent entries
+        become one bulk ``device.copy``.
+
+        The mirror is offset-identity, so entries whose heap ranges abut
+        are abutting in the backup too.  A run is extended only while the
+        boundary between members is cache-line aligned: then no line is
+        shared between members, and flushing each member's range in the
+        original order pops exactly the lines the uncoalesced loop would
+        have popped — every ``NVMStats`` counter (``copies`` via the
+        device's ``chunks`` accounting, ``flushes`` via ``flush_multi``,
+        ``flushed_lines``, ``flush_bursts``) stays bit-identical.
+        """
+        device = self.region.pool.device
+        backup_off = self.region.offset
+        heap_off = self.heap_region.offset
+        run: List[Tuple[int, int]] = []
+        run_end = 0
+
+        def drain_run() -> None:
+            start = run[0][0]
+            device.copy(
+                backup_off + start, heap_off + start, run_end - start, chunks=len(run)
+            )
+            device.flush_multi([(backup_off + o, s) for o, s in run])
+            run.clear()
+
+        for entry in entries:
+            if entry.kind is IntentKind.FREE:
+                if run:
+                    drain_run()
+                self.on_free_synced(entry.offset, entry.size)
+                continue
+            offset, size = entry.offset, entry.size
+            if run and offset == run_end and offset % CACHE_LINE == 0:
+                run.append((offset, size))
+                run_end = offset + size
+            else:
+                if run:
+                    drain_run()
+                run.append((offset, size))
+                run_end = offset + size
+        if run:
+            drain_run()
 
     def restore(self, offset: int, size: int) -> None:
         device = self.region.pool.device

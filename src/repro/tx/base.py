@@ -191,6 +191,11 @@ class AtomicityEngine(ABC):
         """
         return None
 
+    #: True only for engines whose ``translate_read`` can return non-None;
+    #: lets the heap's per-load hot path skip the virtual call entirely
+    #: for in-place engines (undo, Kamino)
+    translates_reads = False
+
     def translate_read(
         self, tx: Optional[Transaction], offset: int, size: int
     ) -> Optional[Tuple[object, int]]:

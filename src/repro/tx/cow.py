@@ -88,6 +88,8 @@ class CoWEngine(LockingLogEngine):
 
     # -- translation: edits and reads hit the shadow ------------------------------------
 
+    translates_reads = True
+
     def translate_write(
         self, tx: Optional[Transaction], offset: int, size: int
     ) -> Optional[Tuple[PmemRegion, int]]:

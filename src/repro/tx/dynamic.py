@@ -27,9 +27,11 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import HeapError, PoolCorruptionError, RecoveryError
+from ..nvm.latency import CACHE_LINE
 from ..nvm.pool import PmemPool, PmemRegion
 from ..runtime.registry import EngineCapabilities, register_engine
 from .backup import BackupStrategy
+from .base import IntentKind
 from .kamino import KaminoEngine
 
 DYN_BACKUP_REGION = "dyn_backup"
@@ -240,6 +242,54 @@ class DynamicBackup(BackupStrategy):
         self._lru[offset] = None
         self._lru.move_to_end(offset)
         return (i, backup_off, size, slot_size)
+
+    def absorb_entries(self, entries) -> None:
+        """Sync-drain with batched flushes.
+
+        Backup slots are scattered, so the copies cannot interval-merge
+        like the full mirror's; instead consecutive absorbs defer their
+        backup-region flushes into one ``flush_multi`` call.  Deferral is
+        only legal while the pending ranges are pairwise line-disjoint
+        (two sub-line slots sharing a cache line must flush in program
+        order or ``flushed_lines`` drifts), and drains before any FREE
+        bookkeeping so the tombstone's flush+fence ordering is untouched.
+        """
+        device = self.region.pool.device
+        pending = []  # region-relative (backup_off, size)
+        pending_lines = set()
+
+        def drain() -> None:
+            self.region.flush_multi(pending)
+            pending.clear()
+            pending_lines.clear()
+
+        for entry in entries:
+            if entry.kind is IntentKind.FREE:
+                if pending:
+                    drain()
+                self.on_free_synced(entry.offset, entry.size)
+                continue
+            hit = self.lookup.get(entry.offset)
+            if hit is None:
+                # no cached copy — same skip as absorb()
+                continue
+            _i, backup_off, _esize, _slot = hit
+            size = entry.size
+            lines = range(
+                backup_off // CACHE_LINE, (backup_off + size - 1) // CACHE_LINE + 1
+            )
+            if any(line in pending_lines for line in lines):
+                drain()
+            device.copy(
+                self.region.offset + backup_off,
+                self.heap_region.offset + entry.offset,
+                size,
+            )
+            pending.append((backup_off, size))
+            pending_lines.update(lines)
+            self._lru.move_to_end(entry.offset)
+        if pending:
+            drain()
 
     def absorb(self, offset: int, size: int) -> None:
         entry = self.lookup.get(offset)

@@ -13,8 +13,10 @@ Layout of the ``intent_log`` region::
 
     slot := [slot header 64B][entry 0..max_entries-1][data area]
 
-Each entry is 32 bytes (two per cache line) and self-checksummed so a
-torn entry is detectable; the slot header's durable ``n_entries`` count
+Each entry is 32 bytes (two per cache line) and self-checksummed — with
+the owning txid folded into the check — so a torn entry, or a stale one
+left by the slot's previous owner, is detectable; the slot header's
+durable ``n_entries`` count
 gates recovery, and is only flushed together with the entries it counts
 (:meth:`TxLog.make_durable`) — one flush per declared batch, matching
 the paper's "fine-grained logging of fixed-size write intents with
@@ -69,11 +71,26 @@ class IntentEntry(NamedTuple):
     data_off: int  # slot-data-area offset of captured bytes (undo/CoW), or 0
 
 
-def _entry_check(offset: int, size: int, kind: int, data_off: int) -> int:
-    """Cheap self-check so a torn (partially persisted) entry is detectable."""
-    return (offset * 0x9E3779B97F4A7C15 + size * 0x100000001B3 + kind + data_off + 1) & (
-        (1 << 64) - 1
-    )
+def _entry_check(offset: int, size: int, kind: int, data_off: int, txid: int) -> int:
+    """Cheap self-check so a torn (partially persisted) entry is detectable.
+
+    The owning transaction's id is folded in (never stored) so a *stale*
+    entry — durably valid, but written by the slot's previous owner — is
+    rejected exactly like a torn one when checked against the header's
+    txid.  Without this, a reused slot whose new header write tears under
+    word-granular crash resolution (new ``state`` word survives, old
+    ``txid``/``n_entries`` words remain) would resurrect the previous,
+    already-committed transaction's intents and roll them back over
+    committed data.
+    """
+    return (
+        offset * 0x9E3779B97F4A7C15
+        + size * 0x100000001B3
+        + kind
+        + data_off
+        + txid * 0xC2B2AE3D27D4EB4F
+        + 1
+    ) & ((1 << 64) - 1)
 
 
 class TxLog:
@@ -122,7 +139,7 @@ class TxLog:
             kind.value,
             0,
             data_off,
-            _entry_check(offset, size, kind.value, data_off),
+            _entry_check(offset, size, kind.value, data_off, self.txid),
         )
         self.manager.region.write(self._entry_off(len(self.entries)), raw)
         self.entries.append(entry)
@@ -305,6 +322,14 @@ class LogManager:
         terminates the scan of that slot — data writes covered by it can
         never have happened, because intents are made durable before the
         stores they cover.
+
+        Entry checks are bound to the header's ``txid``, which also
+        defuses slot reuse: ``make_durable`` flushes each entry batch
+        *before* the header store, so whenever the state word durably
+        reads non-FREE the new owner's entries are already durable from
+        entry 0 — any resolution of the torn header (old or new txid /
+        ``n_entries``) therefore validates at most a prefix of exactly
+        one transaction's entries, never a mix and never a stale tail.
         """
         found: List[RecoveredLog] = []
         for index in range(self.n_slots):
@@ -324,7 +349,7 @@ class LogManager:
             for i in range(n_entries):
                 eraw = self.region.read(base + _SLOT_HDR_SIZE + i * ENTRY_SIZE, ENTRY_SIZE)
                 off, size, kind_v, _flags, data_off, check = struct.unpack(_ENTRY_FMT, eraw)
-                if check != _entry_check(off, size, kind_v, data_off) or size == 0:
+                if check != _entry_check(off, size, kind_v, data_off, txid) or size == 0:
                     break
                 entries.append(IntentEntry(off, size, IntentKind(kind_v), data_off))
             found.append(RecoveredLog(index, state, txid, entries))

@@ -1,0 +1,122 @@
+"""The wall-clock harness: schema, invariance self-check, regressions."""
+
+import json
+
+import pytest
+
+from repro.bench import wallclock
+from repro.bench.runners import run_ycsb_online
+from repro.nvm import NVMDevice, ReferenceNVMDevice
+
+
+def _tiny(naive):
+    """A miniature fig12 hot loop that finishes in well under a second."""
+    kwargs = wallclock._stack_kwargs(naive, "kamino-simple")
+    return run_ycsb_online(
+        "kamino-simple",
+        "A",
+        2,
+        nrecords=40,
+        nops=80,
+        value_size=256,
+        heap_mb=8,
+        coalesce_flushes=True,
+        **kwargs,
+    )
+
+
+class TestStackKwargs:
+    def test_optimized_side(self):
+        kw = wallclock._stack_kwargs(False, "kamino-simple")
+        assert kw["device_cls"] is NVMDevice
+        assert kw["lock_mode"] == "uncontended"
+        assert kw["coalesce_sync"] is True
+
+    def test_naive_side(self):
+        kw = wallclock._stack_kwargs(True, "kamino-dynamic")
+        assert kw["device_cls"] is ReferenceNVMDevice
+        assert kw["lock_mode"] == "locked"
+        assert kw["coalesce_sync"] is False
+
+    def test_non_kamino_engines_get_no_sync_knob(self):
+        assert "coalesce_sync" not in wallclock._stack_kwargs(False, "undo")
+
+
+def test_both_stacks_simulate_identically():
+    """The harness's denominator is honest: same sim results both sides."""
+    opt = _tiny(naive=False)
+    ref = _tiny(naive=True)
+    assert opt.duration_ns == ref.duration_ns
+    assert opt.ops == ref.ops
+    assert opt.latencies_ns == ref.latencies_ns
+
+
+def test_run_benchmarks_quick_serial_schema(tmp_path):
+    doc = wallclock.run_benchmarks(names=["fig12_hot_loop"], quick=True, workers=0)
+    assert doc["schema_version"] == wallclock.SCHEMA_VERSION
+    assert doc["quick"] is True
+    entry = doc["benchmarks"]["fig12_hot_loop"]
+    for key in ("wall_s", "sim_time", "txs", "naive_wall_s", "speedup_vs_naive"):
+        assert key in entry
+    assert entry["txs"] == wallclock.QUICK_SIZES["nops"]
+    assert entry["wall_s"] > 0
+    path = tmp_path / "bench.json"
+    wallclock.save(doc, str(path))
+    assert wallclock.load(str(path)) == json.loads(path.read_text())
+
+
+def test_run_benchmarks_without_naive():
+    doc = wallclock.run_benchmarks(
+        names=["fig12_hot_loop"], quick=True, with_naive=False
+    )
+    entry = doc["benchmarks"]["fig12_hot_loop"]
+    assert "speedup_vs_naive" not in entry
+    assert "naive_wall_s" not in entry
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(KeyError):
+        wallclock.run_benchmarks(names=["no_such_bench"])
+
+
+class TestRegressionReport:
+    BASE = {"benchmarks": {"b": {"speedup_vs_naive": 4.0}}}
+
+    def test_ok_within_tolerance(self):
+        cur = {"benchmarks": {"b": {"speedup_vs_naive": 3.2}}}
+        assert wallclock.regression_report(cur, self.BASE, tolerance=0.25) == []
+
+    def test_flags_below_floor(self):
+        cur = {"benchmarks": {"b": {"speedup_vs_naive": 2.9}}}
+        problems = wallclock.regression_report(cur, self.BASE, tolerance=0.25)
+        assert len(problems) == 1 and "b:" in problems[0]
+
+    def test_flags_missing_benchmark(self):
+        problems = wallclock.regression_report({"benchmarks": {}}, self.BASE)
+        assert any("not re-measured" in p for p in problems)
+
+    def test_baseline_without_speedup_is_skipped(self):
+        base = {"benchmarks": {"b": {"wall_s": 1.0}}}
+        assert wallclock.regression_report({"benchmarks": {}}, base) == []
+
+    def test_quick_run_compares_against_quick_section(self):
+        """A quick run vs a full-size trajectory point must use the
+        baseline's quick_benchmarks section, not the full-size speedups."""
+        base = {
+            "quick": False,
+            "benchmarks": {"b": {"speedup_vs_naive": 100.0}},
+            "quick_benchmarks": {"b": {"speedup_vs_naive": 4.0}},
+        }
+        cur = {"quick": True, "benchmarks": {"b": {"speedup_vs_naive": 3.5}}}
+        assert wallclock.regression_report(cur, base, tolerance=0.25) == []
+        cur["benchmarks"]["b"]["speedup_vs_naive"] = 2.0
+        assert len(wallclock.regression_report(cur, base, tolerance=0.25)) == 1
+
+    def test_full_run_uses_full_section(self):
+        base = {
+            "quick": False,
+            "benchmarks": {"b": {"speedup_vs_naive": 4.0}},
+            "quick_benchmarks": {"b": {"speedup_vs_naive": 100.0}},
+        }
+        cur = {"quick": False, "benchmarks": {"b": {"speedup_vs_naive": 3.5}}}
+        assert wallclock.regression_report(cur, base, tolerance=0.25) == []

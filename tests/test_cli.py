@@ -66,3 +66,28 @@ class TestCommands:
         rc = main(["info", "--engine", "undo", "--mb", "32", "--records", "10"])
         assert rc == 0
         assert "backup:" not in capsys.readouterr().out
+
+    def test_bench_quick_writes_json(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        rc = main([
+            "bench", "--quick", "--names", "fig12_hot_loop",
+            "--out", str(out_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig12_hot_loop" in out
+        assert out_path.exists()
+
+    def test_bench_compare_regression_fails(self, capsys, tmp_path):
+        import json
+
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({
+            "benchmarks": {"fig12_hot_loop": {"speedup_vs_naive": 10_000.0}}
+        }))
+        rc = main([
+            "bench", "--quick", "--names", "fig12_hot_loop",
+            "--compare", str(baseline),
+        ])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().err

@@ -48,6 +48,34 @@ class TestBackupSyncer:
         syncer.start()
         syncer.stop()
 
+    def test_crashed_device_surfaces_summary_not_exception(self):
+        """A power failure under the syncer must not explode __exit__.
+
+        The pending roll-forwards belong to crash recovery at that
+        point; stop(drain=True) records a clean crash_summary instead of
+        raising DeviceCrashedError out of the with-block teardown.
+        """
+        heap, engine, device = build_heap(kamino_simple)
+        with BackupSyncer(engine, poll_interval=0.001) as syncer:
+            with heap.transaction():
+                p = heap.alloc(Pair)
+                p.key = 7
+            device.crash()  # power failure on "another thread"
+        assert syncer.crashed
+        assert "crash" in syncer.crash_summary
+        # a restart (next recovered run) begins with a clean slate
+        device.restart()
+        syncer.start()
+        assert syncer.crash_summary is None
+        syncer.stop()
+
+    def test_explicit_drain_after_crash_records_summary(self):
+        heap, engine, device = build_heap(kamino_simple)
+        syncer = BackupSyncer(engine).start()
+        device.crash()
+        syncer.stop(drain=True)  # must not raise
+        assert syncer.crashed
+
 
 class TestFullBackupMechanics:
     def test_absorb_then_restore_roundtrip(self):

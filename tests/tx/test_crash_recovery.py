@@ -180,3 +180,44 @@ class TestCrashWithAllocations:
         device.crash(CrashPolicy.RANDOM, survival_prob=0.5)
         heap2, _, _ = reopen_after_crash(device, factory)
         assert not heap2.allocator.is_allocated(blk)
+
+
+class TestSlotReuseTornHeader:
+    @pytest.mark.parametrize("name", sorted(ENGINE_FACTORIES))
+    def test_crash_on_reused_slot_keeps_committed_state(self, name):
+        """Regression: a later transaction reuses a committed one's log
+        slot; the crash tears the reused slot's unflushed header so the
+        new RUNNING state word survives next to the previous owner's
+        txid and n_entries words.  Recovery used to roll the *committed*
+        transaction's durably-valid entries back over its own data
+        (observed with the undo engine at seed 1, crash after 6 device
+        ops: the keeper's allocation bitmap bit was erased)."""
+        from repro.errors import DeviceCrashedError
+
+        factory = ENGINE_FACTORIES[name]
+        heap, engine, device = build_heap(factory, seed=1)
+        with heap.transaction():
+            keeper = heap.alloc(Pair)
+            keeper.key = 7
+            heap.set_root(keeper)
+        heap.drain()
+        used = heap.allocator.allocated_bytes
+        device.schedule_crash(6, CrashPolicy.RANDOM, survival_prob=0.5)
+        try:
+            with heap.transaction():
+                tmp = heap.alloc(Pair)
+                tmp.key = 1
+            with heap.transaction():
+                heap.free(tmp)
+            heap.drain()
+        except DeviceCrashedError:
+            pass
+        device.cancel_scheduled_crash()
+        if not device.crashed:
+            device.crash(CrashPolicy.RANDOM, survival_prob=0.5)
+        heap2, _engine2, _report = reopen_after_crash(device, factory)
+        # the keeper's transaction committed before the crash: its
+        # allocation and root object must survive any recovery outcome
+        assert heap2.allocator.allocated_bytes in (used, used + 128)
+        assert heap2.allocator.is_allocated(heap2.root(Pair).block_offset)
+        assert heap2.root(Pair).key == 7

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import LogFullError, PoolCorruptionError, TxError
+from repro.errors import DeviceCrashedError, LogFullError, PoolCorruptionError, TxError
 from repro.nvm import CrashPolicy, NVMDevice, PmemPool
 from repro.tx import IntentKind, LogManager, SlotState
 from repro.tx.intent_log import ENTRY_SIZE
@@ -140,6 +140,50 @@ class TestDurabilityProtocol:
             for rec in log2.scan():
                 # header count was never flushed, so no entries may surface
                 assert rec.entries == []
+
+    def test_reused_slot_never_resurrects_previous_owner(self):
+        # Regression: a committed transaction's released slot still holds
+        # its durably-valid entries and old n_entries word.  When a new
+        # owner's header write tears under word-granular random survival
+        # (new RUNNING state word + old txid/n_entries words), the scan
+        # must not surface the previous owner's entries — the txid-bound
+        # entry check rejects them like torn ones.  Exercised at every
+        # crash point of the reuse protocol across many seeds.
+        stale_offsets = {1000, 2000, 3000}
+        for seed in range(10):
+            for crash_after in range(1, 6):
+                device = NVMDevice(1 << 20, seed=seed)
+                pool = PmemPool.create(device)
+                region = pool.create_region(
+                    "intent_log", LogManager.required_size(2, 8, 0)
+                )
+                log = LogManager(region, 2, 8, 0)
+                log.format()
+                slot = log.acquire(txid=1)
+                for off in sorted(stale_offsets):
+                    slot.append(off, 64, IntentKind.WRITE)
+                slot.make_durable()
+                slot.release()  # durable FREE; entries + old count remain
+                slot2 = log.acquire(txid=2)
+                assert slot2.index == slot.index
+                device.schedule_crash(crash_after, CrashPolicy.RANDOM)
+                try:
+                    slot2.append(500, 64, IntentKind.WRITE)
+                    slot2.make_durable()
+                except DeviceCrashedError:
+                    pass
+                device.cancel_scheduled_crash()
+                if not device.crashed:
+                    device.crash(CrashPolicy.RANDOM)
+                device.restart()
+                log2 = LogManager(region, 2, 8, 0)
+                log2.open()
+                for rec in log2.scan():
+                    offsets = {e.offset for e in rec.entries}
+                    assert not (offsets & stale_offsets), (
+                        f"seed={seed} crash_after={crash_after}: stale "
+                        f"entries resurrected: {sorted(offsets)}"
+                    )
 
     def test_committed_state_survives(self):
         log, device, region = make_log()

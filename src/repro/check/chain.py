@@ -1,0 +1,342 @@
+"""Crash-state exploration for the replication chain (§5.2–§5.3).
+
+The in-place replica engine (``intent-only``) cannot recover alone — its
+intent logs only *identify* incomplete write ranges; repairing them
+takes a chain neighbour.  So its crash sweep runs here, over a live
+:class:`~repro.replication.chain.ChainCluster`, instead of the
+standalone heap explorer.  Two complementary sweeps:
+
+* **Event-boundary interventions** — run the deterministic event
+  simulation for exactly ``k`` events, then hit one replica with a
+  §5.3 quick reboot (crash + in-place repair + replay) or a §5.2
+  fail-stop (remove + re-stitch the chain), for every ``k`` and every
+  replica.  This enumerates the protocol's message-loss windows:
+  forwards in flight, unacknowledged tails, half-propagated cleanups.
+* **Device-op crashes** — arm a power failure on one replica's NVM
+  device so it fires *inside* transaction execution mid-chain, leaving
+  a RUNNING intent-log slot; quick reboot must then repair exactly the
+  logged ranges from the predecessor (Figure 9, case 1).
+
+After an intervention the driver **pumps** the chain: each surviving
+replica re-forwards its in-flight window to its successor (the protocol
+messages are idempotent — ``applied_seq`` filters replays), modelling
+the timeout-driven retransmission a deployment would run, then drains
+the simulator.  The oracle then demands:
+
+1. every replica's logical KV state is identical
+   (:meth:`ChainCluster.assert_replicas_consistent`);
+2. quick reboots lose nothing: the final state equals the undisturbed
+   baseline run's;
+3. fail-stops lose at most unacked work: every write whose tail ack had
+   been delivered to the head before the failure is still present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import DeviceCrashedError
+from ..nvm.device import CrashPolicy
+from ..replication.chain import KAMINO, ChainCluster
+from ..replication.messages import TailAck, TxForward
+from ..replication.recovery import fail_stop, quick_reboot
+from .explorer import OP_BUDGET, _sample_points
+
+QUICK_REBOOT = "quick_reboot"
+FAIL_STOP = "fail_stop"
+
+
+@dataclass(frozen=True)
+class ChainScenario:
+    """One chain intervention experiment.
+
+    ``after_events`` pauses the simulation at that event count before
+    intervening; ``device_crash_after`` instead arms a device fail-point
+    on the replica (counted in its mutating NVM ops) and lets the crash
+    interrupt execution wherever it lands.
+    """
+
+    mode: str = KAMINO
+    intervention: str = QUICK_REBOOT
+    replica: int = 1
+    after_events: int = 0
+    device_crash_after: Optional[int] = None
+    policy: CrashPolicy = CrashPolicy.DROP_ALL
+    survival: float = 0.5
+    double_reboot: bool = False
+
+    def describe(self) -> str:
+        parts = [f"mode={self.mode}", f"{self.intervention} r{self.replica}"]
+        if self.device_crash_after is not None:
+            parts.append(f"device_crash_after={self.device_crash_after}")
+        else:
+            parts.append(f"after_events={self.after_events}")
+        parts.append(f"policy={self.policy.value}")
+        if self.double_reboot:
+            parts.append("double_reboot")
+        return ", ".join(parts)
+
+
+@dataclass
+class ChainFailure:
+    scenario: ChainScenario
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.scenario.describe()}: {self.message}"
+
+
+@dataclass
+class ChainReport:
+    mode: str
+    states_explored: int = 0
+    failures: List[ChainFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        return f"{'chain-' + self.mode:>16} x kv     explored={self.states_explored:<5} {status}"
+
+
+class ChainCrashExplorer:
+    """Sweeps quick-reboot / fail-stop interventions over a small chain."""
+
+    def __init__(self, mode: str = KAMINO, f: int = 2, n_writes: int = 6):
+        self.mode = mode
+        self.f = f
+        self.n_writes = n_writes
+        self._baseline: Optional[Dict[int, bytes]] = None
+
+    # -- deterministic cluster construction ----------------------------------
+
+    def _build(self) -> Tuple[ChainCluster, Dict[int, bytes]]:
+        """Fresh cluster with the write script submitted; returns it plus
+        the seq -> expected-value map (distinct keys, one put each)."""
+        cluster = ChainCluster(f=self.f, mode=self.mode, heap_mb=2, value_size=64)
+        expected: Dict[int, bytes] = {}
+        for i in range(self.n_writes):
+            value = bytes([i + 1]) * 16
+            cluster.submit_write("put", (i, value), keys=(i,))
+            # distinct keys admit in order, so seq = i+1; stores are
+            # zero-padded to the fixed record size
+            expected[i + 1] = value.ljust(64, b"\x00")
+        return cluster, expected
+
+    def baseline(self) -> Dict[int, bytes]:
+        """Head KV state of an undisturbed run (the convergence target)."""
+        if self._baseline is None:
+            cluster, _expected = self._build()
+            cluster.drain()
+            cluster.assert_replicas_consistent()
+            self._baseline = cluster.kv_states()[0]
+        return self._baseline
+
+    def count_events(self) -> int:
+        cluster, _expected = self._build()
+        cluster.run()
+        return cluster.sim.processed
+
+    def count_device_ops(self, replica: int) -> int:
+        """Mutating NVM ops the replica performs while the chain runs."""
+        cluster, _expected = self._build()
+        device = cluster.chain[replica].device
+        device.schedule_crash(OP_BUDGET, CrashPolicy.DROP_ALL)
+        cluster.drain()
+        remaining = device.scheduled_crash_remaining()
+        device.cancel_scheduled_crash()
+        if remaining is None:
+            raise RuntimeError("chain run exceeded the fail-point budget")
+        return OP_BUDGET - remaining
+
+    # -- retransmission ------------------------------------------------------
+
+    @staticmethod
+    def pump(cluster: ChainCluster, rounds: int = 6) -> None:
+        """Re-forward stalled in-flight windows until the chain is quiet.
+
+        An intervention can strand a window: the crashed replica's
+        successor never saw a forward, or a tail ack died with the old
+        view.  Real deployments retransmit on timeout; here each round
+        re-sends every survivor's in-flight window downstream (the head's
+        is reconstructed from its client table) and re-acks from the
+        applied tail, then drains.  ``applied_seq`` and the idempotent
+        procedures make duplicates harmless.
+        """
+        for _ in range(rounds):
+            cluster.drain()
+            stalled = bool(cluster._inflight_writes) or any(
+                node.inflight for node in cluster.chain
+            )
+            if not stalled:
+                return
+            head = cluster.head
+            succ = cluster.successor(head)
+            # unacked client writes: rebuild the head's forwards from the
+            # client table (the head's volatile window dies with a reboot)
+            for seq, op in sorted(cluster._inflight_writes.items()):
+                msg = TxForward(cluster.view_id, seq, op.proc, op.args)
+                if succ is None:
+                    cluster._on_tail_ack(TailAck(cluster.view_id, seq))
+                else:
+                    cluster.net.send(head.node_id, succ.node_id, msg)
+            # every survivor's un-cleaned window, the head's included (a
+            # promoted head still owes its old downstream forwards)
+            for node in cluster.chain:
+                nxt = cluster.successor(node)
+                if nxt is None:
+                    continue
+                for seq in sorted(node.inflight):
+                    _txid, msg = node.inflight[seq]
+                    fresh = TxForward(cluster.view_id, msg.seq, msg.proc, msg.args)
+                    cluster.net.send(node.node_id, nxt.node_id, fresh)
+            # an applied-but-unacked tail: regenerate the completion acks
+            tail = cluster.tail
+            for seq in sorted(cluster._inflight_writes):
+                if tail.applied_seq >= seq:
+                    cluster.net.send(
+                        tail.node_id, cluster.head.node_id,
+                        TailAck(cluster.view_id, seq),
+                    )
+        cluster.drain()
+
+    # -- judging -------------------------------------------------------------
+
+    def _judge(
+        self,
+        cluster: ChainCluster,
+        scenario: ChainScenario,
+        expected: Dict[int, bytes],
+        acked_before: List[int],
+        baseline: Dict[int, bytes],
+    ) -> Optional[ChainFailure]:
+        try:
+            cluster.assert_replicas_consistent()
+        except AssertionError as exc:
+            return ChainFailure(scenario, f"replica divergence: {exc}")
+        state = cluster.kv_states()[0]
+        if scenario.intervention == QUICK_REBOOT:
+            if state != baseline:
+                missing = sorted(set(baseline) - set(state))
+                return ChainFailure(
+                    scenario,
+                    f"quick reboot lost committed work (missing keys {missing[:10]})",
+                )
+            return None
+        # fail-stop: anything acked to the client must survive the view change
+        for seq in acked_before:
+            key = seq - 1
+            if state.get(key) != expected[seq]:
+                return ChainFailure(
+                    scenario,
+                    f"acked write seq={seq} (key {key}) lost across fail-stop",
+                )
+        return None
+
+    # -- one scenario --------------------------------------------------------
+
+    def replay(self, scenario: ChainScenario) -> Optional[ChainFailure]:
+        cluster, expected = self._build()
+        baseline = self.baseline() if scenario.intervention == QUICK_REBOOT else {}
+        if scenario.device_crash_after is not None:
+            node = cluster.chain[scenario.replica]
+            node.device.schedule_crash(
+                scenario.device_crash_after, scenario.policy, scenario.survival
+            )
+            try:
+                cluster.drain()
+                node.device.cancel_scheduled_crash()
+                return None  # fail-point beyond the run: nothing to check
+            except DeviceCrashedError:
+                pass
+        else:
+            cluster.sim.run(max_events=scenario.after_events)
+        acked_before = sorted(cluster._tail_acked)
+        try:
+            if scenario.intervention == QUICK_REBOOT:
+                quick_reboot(
+                    cluster, scenario.replica, scenario.policy, scenario.survival
+                )
+                if scenario.double_reboot:
+                    # a second power failure before the chain moves on:
+                    # repair must be idempotent
+                    quick_reboot(
+                        cluster, scenario.replica, scenario.policy, scenario.survival
+                    )
+            else:
+                fail_stop(cluster, scenario.replica)
+        except Exception as exc:
+            return ChainFailure(
+                scenario, f"repair raised {type(exc).__name__}: {exc}"
+            )
+        try:
+            self.pump(cluster)
+        except Exception as exc:
+            return ChainFailure(
+                scenario, f"post-repair drain raised {type(exc).__name__}: {exc}"
+            )
+        return self._judge(cluster, scenario, expected, acked_before, baseline)
+
+    # -- the sweep -----------------------------------------------------------
+
+    def explore(
+        self,
+        max_points: Optional[int] = None,
+        interventions: Tuple[str, ...] = (QUICK_REBOOT, FAIL_STOP),
+        replicas: Optional[List[int]] = None,
+        device_crashes: bool = True,
+        max_device_points: Optional[int] = 6,
+        double_reboot: bool = True,
+    ) -> ChainReport:
+        """Sweep interventions at every event boundary (sampled by
+        ``max_points``) for every replica, plus device-op crash points on
+        one mid replica."""
+        report = ChainReport(mode=self.mode)
+        n_events = self.count_events()
+        n_replicas = len(self._build()[0].chain)
+        if replicas is None:
+            replicas = list(range(n_replicas))
+        for k in _sample_points(0, n_events, max_points):
+            for idx in replicas:
+                for intervention in interventions:
+                    scenarios = [
+                        ChainScenario(
+                            mode=self.mode,
+                            intervention=intervention,
+                            replica=idx,
+                            after_events=k,
+                        )
+                    ]
+                    if intervention == QUICK_REBOOT and double_reboot:
+                        scenarios.append(
+                            ChainScenario(
+                                mode=self.mode,
+                                intervention=QUICK_REBOOT,
+                                replica=idx,
+                                after_events=k,
+                                double_reboot=True,
+                            )
+                        )
+                    for scenario in scenarios:
+                        failure = self.replay(scenario)
+                        report.states_explored += 1
+                        if failure is not None:
+                            report.failures.append(failure)
+        if device_crashes and n_replicas > 2:
+            mid = 1  # first non-head replica: in-place + intent log
+            n_ops = self.count_device_ops(mid)
+            for p in _sample_points(0, n_ops - 1, max_device_points):
+                scenario = ChainScenario(
+                    mode=self.mode,
+                    intervention=QUICK_REBOOT,
+                    replica=mid,
+                    device_crash_after=p,
+                )
+                failure = self.replay(scenario)
+                report.states_explored += 1
+                if failure is not None:
+                    report.failures.append(failure)
+        return report

@@ -1,0 +1,468 @@
+"""Exhaustive crash-state exploration for a single heap + engine.
+
+The explorer turns "does this engine recover correctly?" into a finite
+enumeration:
+
+1. **Count** the workload's mutating device operations by arming an
+   unreachably large fail-point budget and reading back how much of it
+   ticked away (:meth:`NVMDevice.scheduled_crash_remaining`).  Setup is
+   excluded — the countdown is armed after setup commits and its backup
+   sync drains — so every numbered point lands inside a step transaction
+   or the trailing sync drain, the window recovery must handle.
+2. **Record the ledger**: one uncrashed golden run, observing the
+   logical state after setup and after every step
+   (:class:`~repro.check.oracle.Ledger`).
+3. For every crash point (or an evenly-spaced sample in quick mode),
+   **replay** the workload with the fail-point armed, let the power
+   failure fire, recover with :func:`~repro.tx.recovery.reopen_after_crash`,
+   and judge the recovered heap with the ledger oracle, the workload's
+   structure validators, and (for backup engines) main/backup agreement.
+4. **Prune** redundant states: the device records a digest of the
+   pre-resolution crash image (durable bytes + dirty-line overlay) at
+   crash time; two points with equal digests behave identically under
+   every crash policy, so only the first is explored.  Points separated
+   only by reads, or by a fence that persisted nothing new, collapse.
+5. **Nest**: for each novel crash state, re-crash at every mutating
+   operation *of recovery itself* (and its post-recovery sync drain),
+   then recover again — recovery must be idempotent under its own power
+   failures (paper §3: "both directions are idempotent").
+
+RANDOM-policy sampling replays surviving-word lotteries with distinct
+device seeds, covering torn writes beyond the all-or-nothing policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import DeviceCrashedError, RecoveryError
+from ..nvm.device import CrashPolicy, NVMDevice
+from ..runtime.registry import EngineInfo, engine_info, registered_engines
+from ..tx.recovery import reopen_after_crash, verify_backup_consistency
+from .oracle import Ledger, OracleViolation, check_against_ledger
+from .workload import CANNED_WORKLOADS, CheckWorkload, build_stack
+
+#: fail-point budget no sane canned workload exhausts
+OP_BUDGET = 1_000_000
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-determined crash experiment — the unit of replay.
+
+    ``crash_after`` counts completed mutating device operations from the
+    end of setup: the power fails just before operation
+    ``crash_after + 1`` (0 = before the first one).  ``nested_after``
+    additionally crashes recovery itself, counted the same way from the
+    start of the reopen.
+    """
+
+    engine: str
+    workload: str = "pairs"
+    crash_after: int = 1
+    policy: CrashPolicy = CrashPolicy.DROP_ALL
+    survival: float = 0.5
+    device_seed: int = 0
+    nested_after: Optional[int] = None
+    nested_policy: CrashPolicy = CrashPolicy.DROP_ALL
+
+    def describe(self) -> str:
+        parts = [
+            f"engine={self.engine}",
+            f"workload={self.workload}",
+            f"crash_after={self.crash_after}",
+            f"policy={self.policy.value}",
+        ]
+        if self.policy is CrashPolicy.RANDOM:
+            parts.append(f"survival={self.survival}")
+            parts.append(f"device_seed={self.device_seed}")
+        if self.nested_after is not None:
+            parts.append(
+                f"nested_after={self.nested_after} ({self.nested_policy.value})"
+            )
+        return ", ".join(parts)
+
+
+@dataclass
+class CheckFailure:
+    """A scenario whose recovered state an oracle rejected."""
+
+    scenario: Scenario
+    violation: OracleViolation
+
+    def __str__(self) -> str:
+        return f"{self.scenario.describe()}: {self.violation}"
+
+
+@dataclass
+class ExplorationReport:
+    """What one engine × workload sweep covered and found."""
+
+    engine: str
+    workload: str
+    n_ops: int = 0
+    states_explored: int = 0
+    states_pruned: int = 0
+    nested_explored: int = 0
+    failures: List[CheckFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        return (
+            f"{self.engine:>16} x {self.workload:<6} "
+            f"ops={self.n_ops:<4} explored={self.states_explored:<5} "
+            f"pruned={self.states_pruned:<5} nested={self.nested_explored:<5} {status}"
+        )
+
+
+def _sample_points(lo: int, hi: int, limit: Optional[int]) -> List[int]:
+    """All integers lo..hi, or an evenly spaced sample hitting both ends."""
+    n = hi - lo + 1
+    if n <= 0:
+        return []
+    if limit is None or n <= limit:
+        return list(range(lo, hi + 1))
+    if limit == 1:
+        return [lo]
+    step = (n - 1) / (limit - 1)
+    return sorted({lo + round(i * step) for i in range(limit)})
+
+
+class CrashExplorer:
+    """Sweeps every crash state of one engine running one workload.
+
+    Args:
+        engine: registered engine name (resolved via the runtime
+            registry; the same factory rebuilds the engine for
+            recovery, like a restart with the same binary).
+        workload: canned workload name, or pass ``workload_factory``.
+        workload_factory: zero-arg callable returning a fresh
+            :class:`CheckWorkload`; overrides ``workload``.
+        engine_factory: override the registry factory (tests inject
+            deliberately broken engines this way).
+        device_seed: base seed; RANDOM samples perturb it.
+    """
+
+    def __init__(
+        self,
+        engine: str,
+        workload: str = "pairs",
+        workload_factory: Optional[Callable[[], CheckWorkload]] = None,
+        engine_factory: Optional[Callable[[], Any]] = None,
+        device_seed: int = 0,
+    ):
+        self.engine_name = engine
+        if engine_factory is not None:
+            self._engine_factory = engine_factory
+        else:
+            info: EngineInfo = engine_info(engine)
+            self._engine_factory = info.factory
+        if workload_factory is None:
+            if workload not in CANNED_WORKLOADS:
+                raise ValueError(
+                    f"unknown workload '{workload}'; choose from {sorted(CANNED_WORKLOADS)}"
+                )
+            workload_factory = CANNED_WORKLOADS[workload]
+        self.workload_name = workload
+        self._workload_factory = workload_factory
+        self.device_seed = device_seed
+
+    # -- replay primitives ---------------------------------------------------
+
+    def _fresh(self, seed: int) -> Tuple[Any, Any, NVMDevice, CheckWorkload]:
+        heap, engine, device = build_stack(self._engine_factory, seed=seed)
+        workload = self._workload_factory()
+        workload.setup(heap)
+        heap.drain()
+        return heap, engine, device, workload
+
+    def count_ops(self) -> int:
+        """Mutating device operations between end-of-setup and quiescence."""
+        heap, _engine, device, workload = self._fresh(self.device_seed)
+        device.schedule_crash(OP_BUDGET, CrashPolicy.DROP_ALL)
+        for i in range(workload.n_steps):
+            workload.step(heap, i)
+        heap.drain()
+        remaining = device.scheduled_crash_remaining()
+        device.cancel_scheduled_crash()
+        if remaining is None:
+            raise RuntimeError("workload exceeded the fail-point budget")
+        return OP_BUDGET - remaining
+
+    def golden_ledger(self) -> Ledger:
+        """Uncrashed run recording the logical state after every step."""
+        heap, _engine, _device, workload = self._fresh(self.device_seed)
+        ledger = Ledger(workload=self.workload_name)
+        ledger.states.append(workload.observe(heap))
+        for i in range(workload.n_steps):
+            workload.step(heap, i)
+            ledger.states.append(workload.observe(heap))
+        heap.drain()
+        return ledger
+
+    # -- one scenario --------------------------------------------------------
+
+    def replay(
+        self, scenario: Scenario, ledger: Optional[Ledger] = None
+    ) -> Tuple[Optional[CheckFailure], Optional[str]]:
+        """Run one scenario; returns (failure-or-None, crash fingerprint).
+
+        A ``None`` fingerprint means the fail-point never fired (the
+        point lies beyond the workload), in which case nothing was
+        checked.
+        """
+        if ledger is None:
+            ledger = self.golden_ledger()
+        heap, _engine, device, workload = self._fresh(scenario.device_seed)
+        device.schedule_crash(
+            scenario.crash_after, scenario.policy, scenario.survival
+        )
+        steps_done = 0
+        crashed = False
+        try:
+            for i in range(workload.n_steps):
+                workload.step(heap, i)
+                steps_done += 1
+            heap.drain()
+        except DeviceCrashedError:
+            crashed = True
+        if not crashed:
+            device.cancel_scheduled_crash()
+            return None, None
+        fingerprint = device.last_crash_fingerprint
+
+        if scenario.nested_after is not None:
+            crashed_again = self._crash_inside_recovery(device, scenario)
+            if not crashed_again:
+                return None, fingerprint
+
+        violation = self._judge(device, workload, ledger, steps_done)
+        if violation is None:
+            return None, fingerprint
+        return CheckFailure(scenario=scenario, violation=violation), fingerprint
+
+    def _crash_inside_recovery(self, device: NVMDevice, scenario: Scenario) -> bool:
+        """Arm the nested fail-point and run recovery until it fires."""
+        device.schedule_crash(
+            scenario.nested_after, scenario.nested_policy, scenario.survival
+        )
+        try:
+            heap, _engine, _report = reopen_after_crash(device, self._engine_factory)
+            heap.drain()
+        except DeviceCrashedError:
+            return True
+        device.cancel_scheduled_crash()
+        return False
+
+    def _judge(
+        self,
+        device: NVMDevice,
+        workload: CheckWorkload,
+        ledger: Ledger,
+        steps_done: int,
+    ) -> Optional[OracleViolation]:
+        """Final (un-crashed) recovery + the full oracle battery."""
+        try:
+            heap, engine, _report = reopen_after_crash(device, self._engine_factory)
+        except Exception as exc:  # recovery itself must never fail
+            return OracleViolation(
+                kind="recovery",
+                message=f"recovery raised {type(exc).__name__}: {exc}",
+                steps_completed=steps_done,
+            )
+        try:
+            observed = workload.observe(heap)
+        except Exception as exc:
+            return OracleViolation(
+                kind="validator",
+                message=f"recovered heap unreadable: {type(exc).__name__}: {exc}",
+                steps_completed=steps_done,
+            )
+        violation = check_against_ledger(ledger, observed, steps_done)
+        if violation is not None:
+            return violation
+        try:
+            workload.validate(heap)
+        except AssertionError as exc:
+            return OracleViolation(
+                kind="validator",
+                message=str(exc) or "structure validator failed",
+                steps_completed=steps_done,
+                observed=observed,
+            )
+        heap.drain()
+        try:
+            verify_backup_consistency(heap)
+        except RecoveryError as exc:
+            return OracleViolation(
+                kind="backup",
+                message=str(exc),
+                steps_completed=steps_done,
+            )
+        return None
+
+    # -- recovery op counting (for nested sweeps) ----------------------------
+
+    def _count_recovery_ops(self, image: NVMDevice) -> int:
+        device = image.clone_durable(seed=self.device_seed)
+        device.schedule_crash(OP_BUDGET, CrashPolicy.DROP_ALL)
+        heap, _engine, _report = reopen_after_crash(device, self._engine_factory)
+        heap.drain()
+        remaining = device.scheduled_crash_remaining()
+        device.cancel_scheduled_crash()
+        if remaining is None:
+            raise RuntimeError("recovery exceeded the fail-point budget")
+        return OP_BUDGET - remaining
+
+    def _crash_image(self, scenario: Scenario) -> Optional[NVMDevice]:
+        """The durable post-crash device image for ``scenario``, if the
+        fail-point fires."""
+        heap, _engine, device, _workload = self._fresh(scenario.device_seed)
+        device.schedule_crash(
+            scenario.crash_after, scenario.policy, scenario.survival
+        )
+        try:
+            wl = _workload
+            for i in range(wl.n_steps):
+                wl.step(heap, i)
+            heap.drain()
+        except DeviceCrashedError:
+            return device.clone_durable(seed=self.device_seed)
+        device.cancel_scheduled_crash()
+        return None
+
+    # -- the sweep -----------------------------------------------------------
+
+    def explore(
+        self,
+        max_points: Optional[int] = None,
+        random_samples: int = 1,
+        survival: float = 0.5,
+        nested: bool = True,
+        max_nested_points: Optional[int] = 4,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> ExplorationReport:
+        """Sweep crash points; returns the coverage + failure report.
+
+        Args:
+            max_points: cap on outer crash points (evenly sampled when
+                the workload has more); ``None`` = exhaustive.
+            random_samples: RANDOM-policy lotteries per novel state
+                (0 disables torn-write sampling).
+            nested: also crash inside recovery at every novel state.
+            max_nested_points: cap on nested points per outer state.
+        """
+        report = ExplorationReport(engine=self.engine_name, workload=self.workload_name)
+        report.n_ops = self.count_ops()
+        ledger = self.golden_ledger()
+        seen: Dict[str, int] = {}
+        # crash_after=p fires just before mutating op p+1, so p ranges over
+        # 0 (nothing of the steps durable yet) .. n_ops-1 (all but the
+        # final operation done)
+        for point in _sample_points(0, report.n_ops - 1, max_points):
+            base = Scenario(
+                engine=self.engine_name,
+                workload=self.workload_name,
+                crash_after=point,
+                policy=CrashPolicy.DROP_ALL,
+                device_seed=self.device_seed,
+            )
+            failure, fingerprint = self.replay(base, ledger)
+            if fingerprint is None:
+                continue
+            if fingerprint in seen:
+                # same durable bytes + same dirty overlay as an earlier
+                # point: every policy resolves it identically
+                report.states_pruned += 1
+                continue
+            seen[fingerprint] = point
+            report.states_explored += 1
+            if failure is not None:
+                report.failures.append(failure)
+            for sample in range(random_samples):
+                scenario = replace(
+                    base,
+                    policy=CrashPolicy.RANDOM,
+                    survival=survival,
+                    device_seed=self.device_seed + 1 + sample,
+                )
+                failure, fired = self.replay(scenario, ledger)
+                if fired is not None:
+                    report.states_explored += 1
+                    if failure is not None:
+                        report.failures.append(failure)
+            if nested:
+                self._explore_nested(base, ledger, report, max_nested_points)
+            if progress is not None:
+                progress(
+                    f"{self.engine_name}/{self.workload_name}: point {point}/{report.n_ops}"
+                )
+        return report
+
+    def _explore_nested(
+        self,
+        base: Scenario,
+        ledger: Ledger,
+        report: ExplorationReport,
+        max_nested_points: Optional[int],
+    ) -> None:
+        image = self._crash_image(base)
+        if image is None:
+            return
+        n_recovery_ops = self._count_recovery_ops(image)
+        for q in _sample_points(0, n_recovery_ops - 1, max_nested_points):
+            scenario = replace(base, nested_after=q)
+            failure, fired = self.replay(scenario, ledger)
+            if fired is None:
+                continue
+            report.nested_explored += 1
+            if failure is not None:
+                report.failures.append(failure)
+
+
+def replay_scenario(
+    scenario: Scenario,
+    workload_factory: Optional[Callable[[], CheckWorkload]] = None,
+    engine_factory: Optional[Callable[[], Any]] = None,
+) -> Optional[CheckFailure]:
+    """Re-run one scenario from scratch — the repro-snippet entry point."""
+    explorer = CrashExplorer(
+        scenario.engine,
+        workload=scenario.workload,
+        workload_factory=workload_factory,
+        engine_factory=engine_factory,
+        device_seed=scenario.device_seed,
+    )
+    failure, _fingerprint = explorer.replay(scenario)
+    return failure
+
+
+def sweep_registry(
+    workloads: Sequence[str] = ("pairs",),
+    engines: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    **explore_kwargs: Any,
+) -> List[ExplorationReport]:
+    """Run the explorer over every standalone-recoverable registered engine.
+
+    Engines declaring ``needs_chain_repair`` (the in-place chain replica)
+    cannot recover alone and are swept by
+    :class:`repro.check.chain.ChainCrashExplorer` instead; deliberately
+    unsafe baselines (``recoverable=False``) are skipped.
+    """
+    reports: List[ExplorationReport] = []
+    for name, info in registered_engines().items():
+        if engines is not None and name not in engines:
+            continue
+        caps = info.capabilities
+        if not caps.recoverable or caps.needs_chain_repair:
+            continue
+        for workload in workloads:
+            explorer = CrashExplorer(name, workload=workload)
+            reports.append(explorer.explore(progress=progress, **explore_kwargs))
+    return reports

@@ -1,0 +1,86 @@
+"""Semantic oracles: what a recovered heap is allowed to look like.
+
+The checker's correctness contract is transaction-level atomicity +
+durability, judged against a **committed-transaction ledger** recorded
+from an uncrashed golden run of the same workload:
+
+* ``S_0`` — the logical state right after setup;
+* ``S_i`` — the state after the first ``i`` steps (each one transaction).
+
+A crash that fires after ``k`` steps returned (i.e. committed — every
+engine's commit is synchronous durability; only the *backup* sync is
+asynchronous) happened during step ``k`` or during the trailing sync
+drain.  The recovered state must then be exactly ``S_k`` (the in-flight
+step rolled back or never reached its commit point) or ``S_{k+1}`` (it
+committed before the power failed).  Anything else — a mix of the two, a
+resurrected aborted write, a lost committed one — is an atomicity or
+durability violation.
+
+On top of the ledger check, each workload contributes *structure
+validators* (B+Tree invariants, linked-list reachability, ring record
+CRCs) that catch corruption invisible at the logical level, and
+Kamino-family engines are additionally checked for main/backup agreement
+once the sync queue drains (:func:`repro.tx.recovery.verify_backup_consistency`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+@dataclass
+class Ledger:
+    """Logical states of the golden run: ``states[i]`` = after ``i`` steps."""
+
+    workload: str
+    states: List[Any] = field(default_factory=list)
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.states) - 1
+
+    def expected_after(self, steps_completed: int) -> List[Any]:
+        """The admissible recovered states after ``steps_completed``
+        steps returned: the crash fired inside step ``steps_completed``
+        (or after the last step, in the sync drain), so that step is
+        either absent or fully present."""
+        k = min(steps_completed, self.n_steps)
+        expected = [self.states[k]]
+        if k + 1 <= self.n_steps and k == steps_completed:
+            expected.append(self.states[k + 1])
+        return expected
+
+
+@dataclass
+class OracleViolation:
+    """One oracle/validator verdict for a recovered state."""
+
+    kind: str  # "atomicity" | "validator" | "recovery" | "backup"
+    message: str
+    steps_completed: int = 0
+    observed: Any = None
+    expected: Any = None
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.message}"
+
+
+def check_against_ledger(
+    ledger: Ledger, observed: Any, steps_completed: int
+) -> Optional[OracleViolation]:
+    """Ledger (prefix) oracle: ``None`` when ``observed`` is admissible."""
+    expected = ledger.expected_after(steps_completed)
+    if any(observed == state for state in expected):
+        return None
+    labels = [f"S_{min(steps_completed, ledger.n_steps) + i}" for i in range(len(expected))]
+    return OracleViolation(
+        kind="atomicity",
+        message=(
+            f"recovered state is neither of {{{', '.join(labels)}}} after "
+            f"{steps_completed} committed step(s): partial or lost transaction"
+        ),
+        steps_completed=steps_completed,
+        observed=observed,
+        expected=expected,
+    )

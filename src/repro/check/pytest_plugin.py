@@ -1,0 +1,97 @@
+"""Pytest integration for the crash-consistency checker.
+
+Loaded via ``pytest_plugins = ["repro.check.pytest_plugin"]`` (the
+repo's own ``tests/conftest.py`` does this).  It contributes:
+
+* ``--check-budget=quick|full`` — how deep crash sweeps go.  ``quick``
+  (the default, and what CI's check-smoke job runs) samples crash
+  points; ``full`` is exhaustive and meant for nightly/local runs.
+* the ``check_budget`` fixture — the resolved
+  :class:`CheckBudget`, which tests splat into
+  :meth:`CrashExplorer.explore` / :meth:`ChainCrashExplorer.explore`;
+* the ``assert_engine_crash_consistent`` fixture — the one-line form:
+  sweep an engine × workload under the session budget and fail the test
+  with each failure's minimized repro snippet if anything is found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import pytest
+
+from .explorer import CrashExplorer
+from .minimize import minimize_failure, repro_snippet
+
+
+@dataclass(frozen=True)
+class CheckBudget:
+    """Exploration depth knobs shared by every checker-driven test."""
+
+    name: str
+    max_points: Optional[int]
+    random_samples: int
+    max_nested_points: Optional[int]
+    chain_max_points: Optional[int]
+
+    def explore_kwargs(self) -> Dict[str, Any]:
+        return {
+            "max_points": self.max_points,
+            "random_samples": self.random_samples,
+            "max_nested_points": self.max_nested_points,
+        }
+
+
+BUDGETS = {
+    "quick": CheckBudget(
+        name="quick",
+        max_points=24,
+        random_samples=1,
+        max_nested_points=3,
+        chain_max_points=8,
+    ),
+    "full": CheckBudget(
+        name="full",
+        max_points=None,
+        random_samples=2,
+        max_nested_points=None,
+        chain_max_points=None,
+    ),
+}
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--check-budget",
+        choices=sorted(BUDGETS),
+        default="quick",
+        help="crash-consistency sweep depth (quick samples, full is exhaustive)",
+    )
+
+
+@pytest.fixture(scope="session")
+def check_budget(request) -> CheckBudget:
+    return BUDGETS[request.config.getoption("--check-budget")]
+
+
+@pytest.fixture
+def assert_engine_crash_consistent(check_budget: CheckBudget):
+    """Callable fixture: sweep and fail with minimized repros."""
+
+    def _assert(engine: str, workload: str = "pairs", **overrides: Any) -> None:
+        kwargs = {**check_budget.explore_kwargs(), **overrides}
+        explorer = CrashExplorer(engine, workload=workload)
+        report = explorer.explore(**kwargs)
+        if report.ok:
+            return
+        chunks = []
+        for failure in report.failures[:3]:
+            minimized = minimize_failure(failure)
+            chunks.append(f"{minimized}\n{repro_snippet(minimized)}")
+        pytest.fail(
+            f"{len(report.failures)} crash-consistency failure(s) for "
+            f"{engine} x {workload}:\n\n" + "\n\n".join(chunks)
+        )
+
+    return _assert

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro tpcc   --engines undo,kamino-simple --ops 400
     python -m repro chain  --workload A --f 2 --clients 4
     python -m repro crash  --engine kamino-simple --policy random
+    python -m repro check  --engine all --workloads pairs,kv --quick
     python -m repro bench  --quick --out BENCH.json --compare BENCH_PR2.json
     python -m repro info   --engine kamino-dynamic --alpha 0.3
 
@@ -197,6 +198,81 @@ def cmd_crash(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """Systematic crash-consistency sweep (repro.check)."""
+    from .check import (
+        ChainCrashExplorer,
+        CANNED_WORKLOADS,
+        minimize_failure,
+        repro_snippet,
+        sweep_registry,
+    )
+
+    if args.quick:
+        explore_kwargs = dict(max_points=16, random_samples=1, max_nested_points=3)
+        chain_kwargs = dict(max_points=3, max_device_points=3)
+    else:
+        explore_kwargs = dict(
+            max_points=args.max_points,
+            random_samples=args.random_samples,
+            max_nested_points=args.max_nested_points,
+        )
+        chain_kwargs = dict(max_points=12, max_device_points=8)
+    explore_kwargs["nested"] = not args.no_nested
+
+    workloads = (
+        sorted(CANNED_WORKLOADS)
+        if args.workloads == "all"
+        else _parse_list(args.workloads)
+    )
+    unknown = [w for w in workloads if w not in CANNED_WORKLOADS]
+    if unknown:
+        print(
+            f"unknown workload(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(sorted(CANNED_WORKLOADS))}",
+            file=sys.stderr,
+        )
+        return 2
+    engines = None if args.engine == "all" else _parse_list(args.engine)
+
+    progress = None
+    if args.verbose:
+        progress = lambda line: print(f"  .. {line}", file=sys.stderr)  # noqa: E731
+
+    reports = sweep_registry(
+        workloads=workloads, engines=engines, progress=progress, **explore_kwargs
+    )
+    failures = [f for r in reports for f in r.failures]
+    for report in reports:
+        print(report.summary())
+
+    # the in-place chain replica (needs_chain_repair) can only be swept
+    # inside a live chain: quick reboots, fail-stops, and device-op
+    # crashes mid-propagation, through the same scenario machinery
+    chain_failed = 0
+    if not args.no_chain and (engines is None or "intent-only" in engines):
+        for mode in ("kamino", "traditional"):
+            chain_report = ChainCrashExplorer(mode=mode).explore(**chain_kwargs)
+            print(chain_report.summary())
+            chain_failed += len(chain_report.failures)
+            for failure in chain_report.failures[:5]:
+                print(f"  FAILURE: {failure}")
+
+    for failure in failures[:5]:
+        minimized = minimize_failure(failure)
+        print(f"\nFAILURE: {minimized}")
+        print(repro_snippet(minimized))
+    if failures or chain_failed:
+        print(
+            f"\n{len(failures) + chain_failed} crash-consistency failure(s)",
+            file=sys.stderr,
+        )
+        return 1
+    total = sum(r.states_explored + r.nested_explored for r in reports)
+    print(f"all oracles satisfied over {total} crash states")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .bench import wallclock
 
@@ -298,6 +374,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--alpha", type=float, default=0.5)
     p.set_defaults(fn=cmd_crash)
+
+    p = sub.add_parser(
+        "check", help="systematic crash-consistency sweep with semantic oracles"
+    )
+    p.add_argument("--engine", default="all",
+                   help="comma-separated engine names, or 'all' (registry sweep)")
+    p.add_argument("--workloads", default="pairs",
+                   help="comma-separated canned workloads, or 'all'")
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized sweep (sampled crash points)")
+    p.add_argument("--max-points", type=int, default=None,
+                   help="cap outer crash points per engine (default exhaustive)")
+    p.add_argument("--random-samples", type=int, default=1,
+                   help="RANDOM-policy torn-write lotteries per crash state")
+    p.add_argument("--max-nested-points", type=int, default=4,
+                   help="cap nested (crash-during-recovery) points per state")
+    p.add_argument("--no-nested", action="store_true",
+                   help="skip nested recovery crashes")
+    p.add_argument("--no-chain", action="store_true",
+                   help="skip the replication-chain intervention sweep")
+    p.add_argument("--verbose", action="store_true",
+                   help="progress lines on stderr")
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("bench", help="wall-clock perf suite (BENCH_*.json trajectory)")
     p.add_argument("--quick", action="store_true", help="CI-sized runs")

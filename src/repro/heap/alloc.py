@@ -207,6 +207,32 @@ class SlabAllocator:
             )
         return ci, cls, within // cls
 
+    def live_ranges(self) -> List[Tuple[int, int]]:
+        """(offset, size) of every byte the mirror invariant covers:
+        the allocator metadata area plus each allocated block.
+
+        Free data bytes are exempt — rolling back an aborted/crashed
+        allocation undoes only the bitmap word (``IntentKind.ALLOC``
+        carries no undo data), so a torn store into a block that was
+        never successfully allocated legitimately survives in main
+        without a backup counterpart.  Adjacent ranges are coalesced.
+        """
+        ranges: List[Tuple[int, int]] = [(0, self.data_off)]
+        for ci, cls in enumerate(self._chunk_class):
+            if cls == 0:
+                continue
+            base = self.data_off + ci * self.chunk_size
+            words = self._words[ci]
+            for slot in range(self.chunk_size // cls):
+                if words[slot // _WORD_BITS] & (1 << (slot % _WORD_BITS)):
+                    off = base + slot * cls
+                    last_off, last_size = ranges[-1]
+                    if last_off + last_size == off:
+                        ranges[-1] = (last_off, last_size + cls)
+                    else:
+                        ranges.append((off, cls))
+        return ranges
+
     @property
     def allocated_bytes(self) -> int:
         total = 0

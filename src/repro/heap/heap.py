@@ -15,6 +15,7 @@ from contextlib import contextmanager
 from typing import Iterator, Optional, Type, TypeVar
 
 from ..errors import (
+    DeviceCrashedError,
     InvalidPointerError,
     NoActiveTransactionError,
     SchemaError,
@@ -113,6 +114,13 @@ class PersistentHeap:
         tx = self.begin()
         try:
             yield tx
+        except DeviceCrashedError:
+            # a simulated power failure is not an abort: the device
+            # refuses further writes and every volatile structure dies
+            # with the process, so just mark the transaction dead and
+            # let the crash propagate (recovery happens at reopen)
+            tx.state = TxState.ABORTED
+            raise
         except BaseException:
             if tx.state is TxState.ACTIVE:
                 tx.depth = 1  # an exception unwinds every nesting level

@@ -31,7 +31,9 @@ which the differential property tests enforce.
 
 from __future__ import annotations
 
+import hashlib
 import random
+import struct
 import threading
 from bisect import bisect_right, insort
 from enum import Enum
@@ -149,6 +151,11 @@ class NVMDevice:
         self._bulk: List[List] = []  # [start_line, bytearray]
         self._crashed = False
         self._rng = random.Random(seed)
+        # opt-in crash-state fingerprinting (see overlay_fingerprint):
+        # when set, crash() records a digest of the pre-resolution state
+        # so the crash-consistency checker can prune redundant points
+        self.fingerprint_crashes = False
+        self.last_crash_fingerprint: Optional[str] = None
         # one mutex serialises all device access: worker threads and the
         # background syncer share the overlay dictionaries (cheap under
         # the GIL; the benchmarks run single-threaded traces anyway)
@@ -209,6 +216,17 @@ class NVMDevice:
 
     def cancel_scheduled_crash(self) -> None:
         self._crash_countdown = None
+
+    def scheduled_crash_remaining(self) -> Optional[int]:
+        """Mutating operations left before the armed fail-point fires.
+
+        ``None`` when no fail-point is armed (or it already fired).  The
+        crash-consistency checker counts a workload's operations by
+        arming an unreachably large budget and reading back how much of
+        it ticked away — this accessor is the supported way to do that
+        (tests must not reach into ``_crash_countdown``).
+        """
+        return self._crash_countdown
 
     # -- bulk-range helpers ------------------------------------------------
 
@@ -633,6 +651,8 @@ class NVMDevice:
         """
         if self._crashed:
             return
+        if self.fingerprint_crashes:
+            self.last_crash_fingerprint = self.overlay_fingerprint()
         durable = self._durable
         if policy is not CrashPolicy.DROP_ALL:
             entries: List[Tuple[int, object, int]] = [
@@ -676,6 +696,45 @@ class NVMDevice:
         return self._crashed
 
     # -- introspection (tests) ----------------------------------------------
+
+    def overlay_fingerprint(self) -> str:
+        """Digest of (durable bytes, dirty-line set) — the crash state.
+
+        Two moments with the same fingerprint have identical durable
+        media *and* identical unflushed overlay contents/word masks, so
+        every crash policy resolves them to the same reachable set of
+        post-crash images.  The crash-consistency checker uses this to
+        explore each distinct pre-crash state exactly once.
+        """
+        digest = hashlib.sha1(bytes(self._durable))
+        for line in sorted(self._dirty):
+            buf, mask = self._dirty[line]
+            digest.update(struct.pack("<QQ", line, mask))
+            digest.update(bytes(buf))
+        for start, buf in self._bulk:
+            digest.update(struct.pack("<Qq", start, -1))
+            digest.update(bytes(buf))
+        return digest.hexdigest()
+
+    def clone_durable(self, seed: Optional[int] = None) -> "NVMDevice":
+        """A fresh device with this device's durable media and no overlay.
+
+        The clone starts in the same crashed/running state but with no
+        scheduled fail-point.  The checker replays recovery from one
+        post-crash image many times (once per nested crash point), which
+        needs the image preserved across destructive recovery runs.
+        """
+        clone = NVMDevice(
+            self.size,
+            model=self.model,
+            seed=seed,
+            coalesce_flushes=self.coalesce_flushes,
+            lock_mode=self.lock_mode,
+        )
+        clone._durable[:] = self._durable
+        clone._crashed = self._crashed
+        clone.fingerprint_crashes = self.fingerprint_crashes
+        return clone
 
     def durable_read(self, addr: int, size: int) -> bytes:
         """Read the media directly, ignoring the volatile overlay.

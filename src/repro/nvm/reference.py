@@ -163,6 +163,8 @@ class ReferenceNVMDevice(NVMDevice):
     ) -> None:
         if self._crashed:
             return
+        if self.fingerprint_crashes:
+            self.last_crash_fingerprint = self.overlay_fingerprint()
         for line in sorted(self._dirty):
             buf, mask = self._dirty[line]
             base = line * CACHE_LINE

@@ -232,6 +232,7 @@ class ChainCluster:
         msg = TxForward(self.view_id, op.seq, op.proc, op.args)
         successor = self.successor(head)
         head.inflight[op.seq] = (op.seq, msg)
+        head.applied_ranges[op.seq] = head.last_write_set
         if successor is None:  # degenerate single-node chain (tests)
             self.sim.at(done, self._on_tail_ack, TailAck(self.view_id, op.seq))
         else:
@@ -264,10 +265,17 @@ class ChainCluster:
     def _on_forward(self, node: ReplicaNode, msg: TxForward) -> None:
         if msg.view_id < self.view_id:
             return  # stale view: reject (§5.3)
+        if msg.seq > node.applied_seq + 1:
+            # sequence gap: a crash consumed an earlier forward and this
+            # one overtook its retransmission.  Applying it would commit
+            # a state that is no prefix, so drop it — the upstream
+            # retransmission window resends the run in order.
+            return
         qcost = node.persist_to_input_queue(64 + 8 * len(msg.args))
         if msg.seq > node.applied_seq:
             _result, cost = node.execute(msg.proc, msg.args)
             node.applied_seq = msg.seq
+            node.applied_ranges[msg.seq] = node.last_write_set
         else:
             cost = 0.0  # replayed during chain repair: already applied
         done = self._servers[node.node_id].request(self.sim.now, qcost + cost)
@@ -301,6 +309,7 @@ class ChainCluster:
         # (§5.1) — it happens at the tail ack, not after the backup sync
         self.committed += 1
         head.inflight.pop(msg.seq, None)
+        head.applied_ranges.pop(msg.seq, None)
         latency = self.sim.now - op.submitted_at
         self.write_latencies_ns.append(latency)
         if op.callback is not None:
@@ -319,6 +328,7 @@ class ChainCluster:
         if msg.view_id < self.view_id:
             return
         node.inflight.pop(msg.seq, None)
+        node.applied_ranges.pop(msg.seq, None)
         release = getattr(node.engine, "release_oldest_committed", None)
         if release is not None:
             release()

@@ -24,11 +24,22 @@ from collections import deque
 from typing import Deque, Dict, List, Tuple
 
 from ..errors import TxError
+from ..runtime.registry import EngineCapabilities, register_engine
 from ..tx._common import LockingLogEngine
 from ..tx.base import IntentKind, RecoveryReport, Transaction
 from ..tx.intent_log import SlotState, TxLog
 
 
+@register_engine(
+    "intent-only",
+    capabilities=EngineCapabilities(
+        description="chain replica: in-place updates + intent log; repair needs a neighbour",
+        copies_in_critical_path=False,
+        recoverable=False,
+        needs_chain_repair=True,
+        cost_profile="kamino",
+    ),
+)
 class IntentOnlyEngine(LockingLogEngine):
     """In-place updates guarded only by a persistent intent log."""
 

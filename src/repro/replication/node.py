@@ -21,6 +21,7 @@ from ..nvm.latency import NVDIMM, LatencyModel
 from ..nvm.pool import PmemPool
 from ..sim.resources import cost_model_for
 from ..tx import UndoLogEngine, kamino_dynamic, kamino_simple
+from ..tx.base import IntentKind
 from .inplace_engine import IntentOnlyEngine
 
 INPUT_QUEUE_REGION = "input_queue"
@@ -93,6 +94,12 @@ class ReplicaNode:
         self.applied_seq = 0
         #: seq -> (txid, TxForward) awaiting downstream clean-up
         self.inflight: Dict[int, Tuple[int, Any]] = {}
+        #: seq -> byte ranges the transaction wrote, kept while the seq
+        #: is in flight so a rebooting successor can repair by copying
+        #: the write-set instead of re-executing (see _replay_missed)
+        self.applied_ranges: Dict[int, List[Tuple[int, int]]] = {}
+        #: write-set of the most recent execute() (volatile scratch)
+        self.last_write_set: List[Tuple[int, int]] = []
 
     # -- procedures -------------------------------------------------------------
 
@@ -137,13 +144,26 @@ class ReplicaNode:
         of undo-logging's cost.
         """
         fn = self.procs[proc]
-        captured = {"intents": 0}
-        self.engine.trace_hook = lambda tx: captured.__setitem__("intents", len(tx.intents))
+        captured = {"intents": 0, "ranges": []}
+
+        def hook(tx):
+            captured["intents"] = len(tx.intents)
+            # the committed byte-level write-set (FREE'd blocks excluded:
+            # their contents are dead, and the bitmap clears have their
+            # own WRITE intents) — neighbours copy these during repair
+            captured["ranges"] = [
+                (off, size)
+                for off, size, kind in tx.intents
+                if kind is not IntentKind.FREE
+            ]
+
+        self.engine.trace_hook = hook
         s0 = self.device.stats.snapshot()
         try:
             result = fn(self.kv, *args)
         finally:
             self.engine.trace_hook = None
+        self.last_write_set = captured["ranges"]
         delta = self.device.stats.delta(s0)
         cost = delta.simulated_ns(self.model)
         cm = cost_model_for(self.engine.name)
@@ -173,6 +193,7 @@ class ReplicaNode:
         self.input_queue = PersistentRing.open(self.queue_region)
         self.kv = KVStore.open(self.heap)
         self.inflight = {}
+        self.applied_ranges = {}
 
     def read_heap_bytes(self, offset: int, size: int) -> bytes:
         """State-transfer read used by neighbours during repair."""

@@ -84,17 +84,45 @@ def quick_reboot(
 
 
 def _replay_missed(cluster: ChainCluster, node: ReplicaNode) -> None:
-    """Replay in-flight transactions the replica missed while down."""
+    """Replay in-flight transactions the replica missed while down.
+
+    Replay ships each missed transaction's *byte-level write-set* from
+    the predecessor rather than re-executing the procedure: the §5.3
+    range repair may already have rolled fragments of later
+    transactions forward (the predecessor is strictly newer, and its
+    bytes for any shared range reflect its whole history), so the
+    replica's heap is not guaranteed to be a state the procedure can
+    re-execute against.  Copying the write-sets in order is idempotent
+    and lands exactly on the predecessor's prefix.
+    """
     pred = cluster.predecessor(node)
     if pred is None:
         return
+    copied = False
     for seq in sorted(pred.inflight):
         _txid, msg = pred.inflight[seq]
-        if msg.seq > node.applied_seq:
-            node.persist_to_input_queue(64)
+        if msg.seq <= node.applied_seq:
+            continue
+        node.persist_to_input_queue(64)
+        ranges = pred.applied_ranges.get(seq)
+        if ranges is not None:
+            _copy_ranges(node, pred, ranges)
+            copied = True
+        else:
+            # predecessor no longer tracks the write-set (cleaned up):
+            # fall back to re-execution, refreshing volatile mirrors
+            # first if byte-level repair preceded it
+            if copied:
+                _reload_volatile(node)
+                copied = False
             node.execute(msg.proc, msg.args)
-            node.applied_seq = msg.seq
-            node.inflight[msg.seq] = (msg.seq, msg)
+        node.applied_seq = msg.seq
+        node.inflight[msg.seq] = (msg.seq, msg)
+        node.applied_ranges[msg.seq] = list(ranges) if ranges is not None else list(
+            node.last_write_set
+        )
+    if copied:
+        _reload_volatile(node)
 
 
 def fail_stop(cluster: ChainCluster, index: int) -> None:

@@ -52,8 +52,15 @@ class EngineCapabilities:
             commit point (undo's log capture, CoW's shadow copies).
         has_backup: maintains a backup region the recovery protocol must
             re-synchronise (the Kamino family).
-        recoverable: participates in crash-injection sweeps; False only
-            for deliberately unsafe baselines (``nolog``).
+        recoverable: can restore a consistent heap on its own after a
+            crash, so it participates in standalone crash-injection
+            sweeps; False for deliberately unsafe baselines (``nolog``)
+            and for engines whose repair needs outside help.
+        needs_chain_repair: recovery only *identifies* incomplete work;
+            repairing it requires a chain neighbour (§5.3's in-place
+            replica engine).  The crash checker sweeps these engines
+            through the replication-chain explorer instead of the
+            standalone heap explorer.
         locks_released_after_sync: write locks are held past commit until
             the asynchronous backup sync lands, so dependent transactions
             wait longer (paper §7.1).
@@ -68,6 +75,7 @@ class EngineCapabilities:
     copies_in_critical_path: bool = True
     has_backup: bool = False
     recoverable: bool = True
+    needs_chain_repair: bool = False
     locks_released_after_sync: bool = False
     cost_profile: str = "default"
     options: Tuple[str, ...] = field(default_factory=tuple)
@@ -84,20 +92,31 @@ class EngineInfo:
 
 _REGISTRY: Dict[str, EngineInfo] = {}
 _BUILTINS_LOADED = False
+_EXTRAS_LOADED = False
 
 
 def _ensure_builtins_loaded() -> None:
-    """Import :mod:`repro.tx` so its engines self-register.
+    """Import the engine-defining modules so they self-register.
 
     The flag is set *before* the import: ``repro.tx`` itself imports this
     module (for the decorator), and re-entering here mid-import would
-    recurse.
+    recurse.  The replication package's in-place engine lives outside
+    ``repro.tx`` and its import chain needs a fully initialised
+    :mod:`repro.heap`; during the bootstrap import (heap → tx → registry)
+    the heap is mid-import, so its registration is deferred to the next
+    registry query after start-up.
     """
-    global _BUILTINS_LOADED
-    if _BUILTINS_LOADED:
-        return
-    _BUILTINS_LOADED = True
-    import repro.tx  # noqa: F401  (side effect: engine registration)
+    global _BUILTINS_LOADED, _EXTRAS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        import repro.tx  # noqa: F401  (side effect: engine registration)
+    if not _EXTRAS_LOADED:
+        import sys
+
+        heap_mod = sys.modules.get("repro.heap")
+        if heap_mod is None or hasattr(heap_mod, "PersistentHeap"):
+            _EXTRAS_LOADED = True
+            import repro.replication.inplace_engine  # noqa: F401  (intent-only)
 
 
 def register_engine(

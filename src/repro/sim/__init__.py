@@ -1,7 +1,7 @@
 """Deterministic simulation: events, shared resources, network, failures."""
 
 from .events import Event, EventSimulator
-from .failure import crash_points, run_until_crash, sweep_crashes
+from .failure import crash_points, run_until_crash
 from .network import DEFAULT_HOP_NS, SimNetwork
 from .resources import (
     ENGINE_COST_MODELS,
@@ -25,5 +25,4 @@ __all__ = [
     "cost_model_for",
     "crash_points",
     "run_until_crash",
-    "sweep_crashes",
 ]

@@ -1,14 +1,16 @@
 """Failure injectors shared by crash and replication tests.
 
 Small composable helpers that arm the failure modes the paper's recovery
-protocols must survive: device power-failure at a chosen operation,
-replica fail-stop, and the "quick reboot" that recovers before the
-failure detector notices (§5.3).
+protocols must survive: device power-failure at a chosen operation and
+the "run until the armed fail-point fires" idiom.  Systematic crash-point
+*enumeration* (sweeps, pruning, nested crashes, oracles) lives in
+:mod:`repro.check`, which subsumed the hand-rolled sweep generator that
+used to live here.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Optional
+from typing import Callable
 
 from ..errors import DeviceCrashedError
 from ..nvm.device import CrashPolicy, NVMDevice
@@ -28,22 +30,11 @@ def crash_points(run: Callable[[NVMDevice], None], device_factory: Callable[[], 
         run(device)
     except DeviceCrashedError:
         raise RuntimeError("workload hit the sweep bound; raise max_points") from None
-    remaining = device._crash_countdown
+    remaining = device.scheduled_crash_remaining()
     device.cancel_scheduled_crash()
     if remaining is None:
         raise RuntimeError("workload hit the sweep bound; raise max_points")
     return max_points - remaining
-
-
-def sweep_crashes(
-    nops: int,
-    stride: int = 1,
-    policies: Iterable[CrashPolicy] = (CrashPolicy.DROP_ALL, CrashPolicy.RANDOM),
-) -> Iterator[tuple]:
-    """Yield (crash_after, policy) pairs covering a workload's ops."""
-    for point in range(0, nops, stride):
-        for policy in policies:
-            yield point, policy
 
 
 def run_until_crash(fn: Callable[[], None]) -> bool:

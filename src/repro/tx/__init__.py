@@ -56,7 +56,14 @@ __all__ = [
     "verify_backup_consistency",
 ]
 
-#: Legacy view of the registry (name -> factory).  Prefer
-#: :func:`repro.runtime.registry.registered_engines`, which also carries
-#: each engine's capabilities.
-ENGINE_FACTORIES = {info.name: info.factory for info in registered_engines().values()}
+def __getattr__(name):
+    """Legacy view of the registry (name -> factory), computed on demand.
+
+    A static snapshot would miss registrations the registry defers past
+    the bootstrap import (the replication package's in-place engine).
+    Prefer :func:`repro.runtime.registry.registered_engines`, which also
+    carries each engine's capabilities.
+    """
+    if name == "ENGINE_FACTORIES":
+        return {info.name: info.factory for info in registered_engines().values()}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

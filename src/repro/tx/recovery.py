@@ -40,12 +40,17 @@ def reopen_after_crash(device: NVMDevice, engine_factory: Callable[[], Atomicity
 
 
 def verify_backup_consistency(heap, sample_every: int = 1) -> None:
-    """Assert main == backup across the heap region (Kamino invariant).
+    """Assert main == backup over all *live* heap bytes (Kamino invariant).
 
     Only valid while no transactions are in flight and the sync queue is
-    drained.  For the dynamic backup, each cached entry is checked
-    against its main-heap bytes.  Raises :class:`RecoveryError` on any
-    divergence — this is the workhorse of the property-based crash tests.
+    drained.  The full mirror is compared over the allocator metadata and
+    every allocated block (:meth:`SlabAllocator.live_ranges`) — free
+    space is exempt, because rolling back a crashed allocation restores
+    only the bitmap word, legitimately leaving the never-allocated
+    block's torn contents behind in main.  For the dynamic backup, each
+    cached entry is checked against its main-heap bytes.  Raises
+    :class:`RecoveryError` on any divergence — this is the workhorse of
+    the property-based crash tests and the crash checker's backup oracle.
     """
     engine = heap.engine
     backup = getattr(engine, "backup", None)
@@ -56,11 +61,18 @@ def verify_backup_consistency(heap, sample_every: int = 1) -> None:
     from .backup import FullBackup
 
     if isinstance(backup, FullBackup):
+        allocator = getattr(heap, "allocator", None)
+        ranges = (
+            allocator.live_ranges()
+            if allocator is not None
+            else [(0, heap.region.size)]
+        )
         step = 4096 * max(1, sample_every)
-        for off in range(0, heap.region.size, step):
-            size = min(4096, heap.region.size - off)
-            if backup.region.read(off, size) != heap.region.read(off, size):
-                raise RecoveryError(f"backup diverges from main at offset {off}")
+        for start, length in ranges:
+            for off in range(start, start + length, step):
+                size = min(4096, start + length - off)
+                if backup.region.read(off, size) != heap.region.read(off, size):
+                    raise RecoveryError(f"backup diverges from main at offset {off}")
         return
     # dynamic backup: validate every cached copy
     for heap_off, (_i, backup_off, size, _slot) in backup.lookup.index.items():

@@ -1,0 +1,89 @@
+"""Acceptance: a deliberately broken engine is caught and minimized.
+
+The injected bug is the classic ordering mistake Kamino-Tx's commit
+protocol exists to prevent: rolling the backup forward *before* the
+commit record is durable.  A power failure between the premature backup
+sync and the COMMITTED mark leaves a RUNNING intent-log slot whose
+rollback source — the backup — already holds the new values, so recovery
+"rolls back" the in-flight transaction to a mix of old and new data.
+
+The explorer must find it, the minimizer must shrink it to a
+deterministic earliest crash point, and the emitted snippet's scenario
+must replay (with the broken factory) and pass on the correct engine.
+"""
+
+from dataclasses import replace
+
+from repro.check import CrashExplorer, minimize_failure, replay_scenario, repro_snippet
+from repro.tx.backup import FullBackup
+from repro.tx.base import IntentKind
+from repro.tx.kamino import KaminoEngine
+
+
+class BackupSyncBeforeCommit(KaminoEngine):
+    """Broken on purpose: backup absorbs dirty data pre-commit-record."""
+
+    def commit(self, tx):
+        for offset, size, kind in tx.intents:
+            if kind is IntentKind.WRITE:
+                self.backup.absorb(offset, size)
+        super().commit(tx)
+
+
+def broken_factory():
+    engine = BackupSyncBeforeCommit(backup=FullBackup())
+    engine.name = "kamino-simple"
+    return engine
+
+
+def test_broken_engine_is_caught_with_minimized_repro():
+    explorer = CrashExplorer("kamino-simple", engine_factory=broken_factory)
+    report = explorer.explore(max_points=None, random_samples=0, nested=False)
+    assert not report.ok, "the checker missed a premature backup sync"
+
+    failure = report.failures[0]
+    minimized = minimize_failure(failure, engine_factory=broken_factory)
+    assert minimized.scenario.crash_after <= failure.scenario.crash_after
+    assert minimized.scenario.nested_after is None
+
+    # the minimized scenario still reproduces against the broken engine...
+    assert (
+        replay_scenario(minimized.scenario, engine_factory=broken_factory)
+        is not None
+    )
+    # ...and the correct engine passes the very same scenario
+    assert replay_scenario(minimized.scenario) is None
+
+    snippet = repro_snippet(minimized)
+    assert "replay_scenario(Scenario(" in snippet
+    assert f"crash_after={minimized.scenario.crash_after}" in snippet
+    assert "kamino-simple" in snippet
+
+
+def test_broken_recovery_direction_is_caught():
+    """A recovery that rolls RUNNING slots *forward* instead of back
+    leaves an in-flight transaction's partially-flushed writes in place;
+    the ledger oracle rejects the mixed state."""
+
+    class BrokenRecovery(KaminoEngine):
+        def recover(self, lazy=None):
+            from repro.tx.base import RecoveryReport
+
+            for rec in self.log.scan():
+                # WRONG: absorb everything, committed or not
+                for entry in rec.entries:
+                    if entry.kind is IntentKind.WRITE:
+                        self.backup.absorb(entry.offset, entry.size)
+                self.log.free_slot_by_index(rec.index)
+            return RecoveryReport()
+
+    def factory():
+        engine = BrokenRecovery(backup=FullBackup())
+        engine.name = "kamino-simple"
+        return engine
+
+    explorer = CrashExplorer("kamino-simple", engine_factory=factory)
+    report = explorer.explore(max_points=None, random_samples=0, nested=False)
+    assert not report.ok
+    minimized = minimize_failure(report.failures[0], engine_factory=factory)
+    assert replay_scenario(minimized.scenario, engine_factory=factory) is not None

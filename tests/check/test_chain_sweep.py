@@ -1,0 +1,88 @@
+"""Replication-chain crash sweeps (satellite: §5.2 fail-stop + §5.3
+quick reboot mid-propagation must converge to a consistent chain)."""
+
+import pytest
+
+from repro.check import FAIL_STOP, QUICK_REBOOT, ChainCrashExplorer, ChainScenario
+from repro.replication.chain import KAMINO, TRADITIONAL
+
+MODES = [KAMINO, TRADITIONAL]
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_event_boundary_interventions_converge(mode):
+    """Quick reboots (single + double) and fail-stops at sampled event
+    boundaries, every replica: survivors must agree and no acked (for
+    fail-stop) or committed (for quick-reboot) write may vanish."""
+    explorer = ChainCrashExplorer(mode=mode, f=2, n_writes=4)
+    report = explorer.explore(max_points=3, device_crashes=False)
+    assert report.ok, "\n".join(str(f) for f in report.failures)
+    assert report.states_explored > 0
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_device_crash_mid_chain_quick_reboot(mode):
+    """Power failure *inside* a mid replica's transaction execution: the
+    RUNNING intent-log slot identifies the incomplete ranges and the
+    §5.3 repair path rolls them forward from the predecessor."""
+    explorer = ChainCrashExplorer(mode=mode, f=2, n_writes=4)
+    report = explorer.explore(
+        max_points=1,
+        interventions=(QUICK_REBOOT,),
+        replicas=[1],
+        device_crashes=True,
+        max_device_points=5,
+        double_reboot=False,
+    )
+    assert report.ok, "\n".join(str(f) for f in report.failures)
+
+
+def test_fail_stop_mid_propagation_keeps_acked_writes():
+    """Targeted §5.2 case: remove a mid replica while forwards are in
+    flight; the predecessor re-forwards its window to the new successor
+    and the chain re-converges."""
+    explorer = ChainCrashExplorer(mode=KAMINO, f=2, n_writes=4)
+    n_events = explorer.count_events()
+    for after_events in (0, n_events // 2, n_events):
+        failure = explorer.replay(
+            ChainScenario(
+                mode=KAMINO,
+                intervention=FAIL_STOP,
+                replica=1,
+                after_events=after_events,
+            )
+        )
+        assert failure is None, str(failure)
+
+
+def test_quick_reboot_of_head_restores_from_local_backup():
+    """§5.3 case 2: the head repairs from its own backup, then replays
+    missed transactions from nobody (it has no predecessor)."""
+    explorer = ChainCrashExplorer(mode=KAMINO, f=2, n_writes=4)
+    n_events = explorer.count_events()
+    for after_events in (1, n_events // 2):
+        failure = explorer.replay(
+            ChainScenario(
+                mode=KAMINO,
+                intervention=QUICK_REBOOT,
+                replica=0,
+                after_events=after_events,
+            )
+        )
+        assert failure is None, str(failure)
+
+
+def test_double_reboot_repair_is_idempotent():
+    """A second power failure before the chain moves on: §5.3 repair
+    must be re-runnable."""
+    explorer = ChainCrashExplorer(mode=KAMINO, f=2, n_writes=3)
+    failure = explorer.replay(
+        ChainScenario(
+            mode=KAMINO,
+            intervention=QUICK_REBOOT,
+            replica=2,
+            after_events=explorer.count_events() // 2,
+            double_reboot=True,
+        )
+    )
+    assert failure is None, str(failure)

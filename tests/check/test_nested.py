@@ -1,0 +1,48 @@
+"""Nested crashes: power failures during recovery itself (satellite 2).
+
+The paper's recovery argument (§3) rests on both repair directions being
+idempotent — a crash *during* recovery is handled by simply running
+recovery again.  The explorer makes that mechanical: for every novel
+outer crash state it re-crashes at sampled points of recovery's own
+mutating device operations, then recovers again and runs the full oracle
+battery.  Every registered standalone-recoverable engine is swept.
+"""
+
+import pytest
+
+from repro.check import CrashExplorer, Scenario, replay_scenario
+from repro.nvm import CrashPolicy
+from repro.runtime.registry import registered_engines
+
+ENGINES = sorted(
+    name
+    for name, info in registered_engines().items()
+    if info.capabilities.recoverable and not info.capabilities.needs_chain_repair
+)
+
+
+@pytest.mark.parametrize("name", ENGINES)
+def test_nested_crash_sweep(name):
+    """Sampled outer points x sampled recovery points, all oracles."""
+    report = CrashExplorer(name).explore(
+        max_points=8, random_samples=0, nested=True, max_nested_points=3
+    )
+    assert report.ok, "\n".join(str(f) for f in report.failures)
+    # the sweep must actually have crashed inside recovery
+    assert report.nested_explored > 0
+
+
+@pytest.mark.parametrize("name", ENGINES)
+def test_nested_crash_with_torn_recovery_writes(name):
+    """Recovery's own writes torn by a RANDOM-policy nested crash."""
+    for nested_after in (0, 2, 5):
+        scenario = Scenario(
+            engine=name,
+            crash_after=12,
+            policy=CrashPolicy.DROP_ALL,
+            nested_after=nested_after,
+            nested_policy=CrashPolicy.RANDOM,
+            device_seed=nested_after,
+        )
+        failure = replay_scenario(scenario)
+        assert failure is None, str(failure)

@@ -1,0 +1,47 @@
+"""Ledger (committed-prefix) oracle unit tests."""
+
+from repro.check import Ledger, check_against_ledger
+
+
+def make_ledger():
+    # S_0 after setup, then two steps
+    return Ledger(workload="pairs", states=[{0: 0}, {0: 1}, {0: 2}])
+
+
+class TestExpectedAfter:
+    def test_mid_run_admits_current_and_next(self):
+        ledger = make_ledger()
+        assert ledger.expected_after(0) == [{0: 0}, {0: 1}]
+        assert ledger.expected_after(1) == [{0: 1}, {0: 2}]
+
+    def test_after_last_step_admits_final_only(self):
+        # crash in the trailing sync drain: nothing left to commit
+        assert make_ledger().expected_after(2) == [{0: 2}]
+
+    def test_steps_clamped_to_ledger_length(self):
+        assert make_ledger().expected_after(17) == [{0: 2}]
+
+    def test_n_steps(self):
+        assert make_ledger().n_steps == 2
+
+
+class TestCheckAgainstLedger:
+    def test_admissible_states_pass(self):
+        ledger = make_ledger()
+        assert check_against_ledger(ledger, {0: 1}, 1) is None  # rolled back
+        assert check_against_ledger(ledger, {0: 2}, 1) is None  # committed
+
+    def test_alien_state_is_atomicity_violation(self):
+        ledger = make_ledger()
+        violation = check_against_ledger(ledger, {0: 99}, 1)
+        assert violation is not None
+        assert violation.kind == "atomicity"
+        assert violation.observed == {0: 99}
+        assert {0: 1} in violation.expected and {0: 2} in violation.expected
+        assert "S_1" in violation.message and "S_2" in violation.message
+
+    def test_lost_committed_step_is_caught(self):
+        # one step returned (committed) but the recovered state is S_0
+        violation = check_against_ledger(make_ledger(), {0: 0}, 1)
+        assert violation is not None
+        assert violation.kind == "atomicity"

@@ -1,0 +1,23 @@
+"""The checker's pytest integration (--check-budget + fixtures)."""
+
+from repro.check.pytest_plugin import BUDGETS
+
+
+def test_budget_catalogue():
+    assert set(BUDGETS) == {"quick", "full"}
+    quick, full = BUDGETS["quick"], BUDGETS["full"]
+    assert quick.max_points is not None  # quick samples
+    assert full.max_points is None  # full is exhaustive
+    kwargs = quick.explore_kwargs()
+    assert set(kwargs) == {"max_points", "random_samples", "max_nested_points"}
+
+
+def test_session_budget_resolves(check_budget):
+    assert check_budget is BUDGETS[check_budget.name]
+
+
+def test_fixture_sweeps_engine(assert_engine_crash_consistent):
+    """The one-line form: sweep an engine under the session budget."""
+    assert_engine_crash_consistent(
+        "undo", max_points=6, random_samples=0, max_nested_points=2
+    )

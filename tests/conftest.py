@@ -6,6 +6,10 @@ from repro.heap import FixedStr, Int64, PPtr, PersistentHeap, PersistentStruct, 
 from repro.nvm import NVMDevice, PmemPool
 from repro.tx import CoWEngine, UndoLogEngine, kamino_dynamic, kamino_simple
 
+#: the crash-consistency checker's fixtures (--check-budget,
+#: assert_engine_crash_consistent) are available suite-wide
+pytest_plugins = ["repro.check.pytest_plugin"]
+
 POOL_SIZE = 8 << 20
 HEAP_SIZE = 2 << 20
 

@@ -1,148 +1,51 @@
 """Exhaustive crash sweep: power-fail at EVERY device operation.
 
 Where the hypothesis suite samples crash points, this test enumerates
-them: a small fixed workload is run once to count its device operations,
-then re-run once per operation index with a power failure scheduled
-exactly there.  After each crash, recovery must produce an all-or-nothing
-view of every transaction.  This is the strongest single statement the
-repository makes about the engines' correctness.
+them — via :class:`repro.check.CrashExplorer`, which replays the canned
+``pairs`` workload (the same transaction script the hand-rolled version
+of this test used) with a power failure scheduled at every mutating
+device operation and judges each recovered heap against the committed-
+transaction ledger, the workload's structure validators, and (for backup
+engines) main/backup agreement.  This is the strongest single statement
+the repository makes about the engines' correctness.
+
+The engine list comes from the runtime registry: a newly registered
+recoverable engine is swept automatically, with no edit here.
 """
 
 import pytest
 
-from repro.errors import DeviceCrashedError
-from repro.nvm import CrashPolicy
-from repro.tx import (
-    CoWEngine,
-    UndoLogEngine,
-    kamino_dynamic,
-    kamino_simple,
-    reopen_after_crash,
-    verify_backup_consistency,
+from repro.check import CrashExplorer
+from repro.runtime.registry import registered_engines
+
+ENGINES = sorted(
+    name
+    for name, info in registered_engines().items()
+    if info.capabilities.recoverable and not info.capabilities.needs_chain_repair
 )
 
-from ..conftest import Pair, build_heap
 
-ENGINES = {
-    "undo": UndoLogEngine,
-    "cow": CoWEngine,
-    "kamino-simple": kamino_simple,
-    "kamino-dynamic": lambda: kamino_dynamic(alpha=0.5),
-}
-
-#: per-transaction updates: (object index, value); each tx is atomic
-TXS = [
-    [(0, 11), (1, 12)],
-    [(2, 21)],
-    [(0, 31), (2, 32), (3, 33)],
-    [(1, 41)],
-]
-N_OBJECTS = 4
+def test_registry_supplies_engines():
+    assert set(ENGINES) >= {"undo", "cow", "kamino-simple", "kamino-dynamic"}
 
 
-def _run_workload(heap, objs):
-    for writes in TXS:
-        with heap.transaction():
-            for idx, val in writes:
-                objs[idx].tx_add()
-                objs[idx].key = val
-                objs[idx].value = f"v{val}"
-        heap.engine.sync_pending()
-
-
-def _setup(factory, seed):
-    heap, engine, device = build_heap(factory, seed=seed)
-    with heap.transaction():
-        objs = [heap.alloc(Pair) for _ in range(N_OBJECTS)]
-        for i, o in enumerate(objs):
-            o.key = i
-            o.value = f"v{i}"
-        heap.set_root(objs[0])
-    heap.drain()
-    return heap, engine, device, objs
-
-
-def _count_ops(factory):
-    heap, _, device, objs = _setup(factory, seed=0)
-    device.schedule_crash(10**6)
-    _run_workload(heap, objs)
-    remaining = device._crash_countdown
-    device.cancel_scheduled_crash()
-    return 10**6 - remaining
-
-
-def _valid_states():
-    """Every prefix of the transaction sequence, plus one-extra states.
-
-    Transactions run sequentially, so the observable state after a crash
-    is 'first k transactions applied' for some k (a crash inside tx k+1
-    either rolls back or — if past its commit record — rolls forward).
-    """
-    states = []
-    model = {i: i for i in range(N_OBJECTS)}
-    states.append(dict(model))
-    for writes in TXS:
-        for idx, val in writes:
-            model[idx] = val
-        states.append(dict(model))
-    return states
-
-
-@pytest.mark.parametrize("name", sorted(ENGINES))
+@pytest.mark.parametrize("name", ENGINES)
 def test_crash_at_every_operation(name):
-    factory = ENGINES[name]
-    nops = _count_ops(factory)
-    assert 50 < nops < 3000, f"workload footprint changed unexpectedly: {nops}"
-    valid = _valid_states()
-    # sweep every 3rd op with DROP_ALL, plus a RANDOM pass on a stride,
-    # to keep the runtime reasonable while covering each phase
-    points = list(range(0, nops, 3))
-    for point in points:
-        heap, engine, device, objs = _setup(factory, seed=point)
-        oids = [o.oid for o in objs]
-        device.schedule_crash(point, CrashPolicy.DROP_ALL)
-        try:
-            _run_workload(heap, objs)
-            heap.drain()
-        except DeviceCrashedError:
-            pass
-        device.cancel_scheduled_crash()
-        if not device.crashed:
-            device.crash(CrashPolicy.DROP_ALL)
-        heap2, engine2, _ = reopen_after_crash(device, factory)
-        observed = {i: heap2.deref(oid, Pair).key for i, oid in enumerate(oids)}
-        assert observed in valid, (
-            f"{name}: crash at op {point} exposed invalid state {observed}"
-        )
-        for i, oid in enumerate(oids):
-            o = heap2.deref(oid, Pair)
-            assert o.value == f"v{o.key}", (
-                f"{name}: crash at op {point}: object {i} torn inside"
-            )
-        if hasattr(engine2, "backup"):
-            verify_backup_consistency(heap2)
+    """Exhaustive DROP_ALL enumeration of every crash point."""
+    explorer = CrashExplorer(name, workload="pairs")
+    report = explorer.explore(max_points=None, random_samples=0, nested=False)
+    assert 50 < report.n_ops < 3000, (
+        f"workload footprint changed unexpectedly: {report.n_ops}"
+    )
+    # every point is either a novel crash state or pruned as a duplicate
+    assert report.states_explored + report.states_pruned == report.n_ops
+    assert report.ok, "\n".join(str(f) for f in report.failures)
 
 
-@pytest.mark.parametrize("name", sorted(ENGINES))
+@pytest.mark.parametrize("name", ENGINES)
 def test_crash_at_every_operation_with_torn_words(name):
-    """A sparser sweep under adversarial RANDOM word survival."""
-    factory = ENGINES[name]
-    nops = _count_ops(factory)
-    valid = _valid_states()
-    for point in range(0, nops, 17):
-        heap, engine, device, objs = _setup(factory, seed=1000 + point)
-        oids = [o.oid for o in objs]
-        device.schedule_crash(point, CrashPolicy.RANDOM, survival_prob=0.5)
-        try:
-            _run_workload(heap, objs)
-            heap.drain()
-        except DeviceCrashedError:
-            pass
-        device.cancel_scheduled_crash()
-        if not device.crashed:
-            device.crash(CrashPolicy.RANDOM, survival_prob=0.5)
-        heap2, engine2, _ = reopen_after_crash(device, factory)
-        observed = {i: heap2.deref(oid, Pair).key for i, oid in enumerate(oids)}
-        assert observed in valid, (
-            f"{name}: torn crash at op {point} exposed invalid state {observed}"
-        )
+    """A sampled sweep under adversarial RANDOM word survival."""
+    explorer = CrashExplorer(name, workload="pairs")
+    report = explorer.explore(max_points=24, random_samples=2, nested=False)
+    assert report.states_explored > 24  # DROP_ALL probes plus RANDOM lotteries
+    assert report.ok, "\n".join(str(f) for f in report.failures)

@@ -113,7 +113,7 @@ class TestCrash:
         device.schedule_crash(10**6)
         for p in payloads:
             ring.append(p)
-        nops = 10**6 - device._crash_countdown
+        nops = 10**6 - device.scheduled_crash_remaining()
         device.cancel_scheduled_crash()
         from repro.errors import DeviceCrashedError
 

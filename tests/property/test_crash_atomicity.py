@@ -5,27 +5,28 @@ device at an arbitrary operation inside an arbitrary transaction — after
 recovery, every transaction is all-or-nothing and (for Kamino engines)
 the backup again mirrors the main heap.**
 
-Hypothesis chooses: the engine, the sequence of committed updates, the
-in-flight transaction's writes, the exact device operation at which power
-fails, and the cache-eviction behaviour at the failure (drop / keep /
-random torn words).
+Hypothesis chooses: the engine, the transaction script, the exact device
+operation at which power fails, the cache-eviction behaviour at the
+failure (drop / keep / random torn words), and — sometimes — a second
+crash inside recovery itself.  The replay and the oracle battery are the
+checker's (:func:`repro.check.replay_scenario`): the model bookkeeping,
+the recovery, the ledger comparison, and the backup-mirror check all run
+exactly as they do in ``repro check``, so a hypothesis counterexample is
+already a ready-to-paste :class:`~repro.check.Scenario`.
 """
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.errors import DeviceCrashedError
+from repro.check import PairsWorkload, Scenario, replay_scenario
 from repro.nvm import CrashPolicy
 from repro.runtime.registry import registered_engines
-from repro.tx import reopen_after_crash, verify_backup_consistency
-
-from ..conftest import Pair, build_heap
 
 #: every registered engine whose capabilities declare it recoverable —
 #: a newly registered engine is swept automatically, with no edit here
 ENGINES = {
     name: info.factory
     for name, info in registered_engines().items()
-    if info.capabilities.recoverable
+    if info.capabilities.recoverable and not info.capabilities.needs_chain_repair
 }
 
 
@@ -33,6 +34,8 @@ def test_registry_supplies_engines():
     """The sweep is registry-driven and excludes unsafe baselines."""
     assert set(ENGINES) >= {"undo", "cow", "kamino-simple", "kamino-dynamic"}
     assert "nolog" not in ENGINES
+    assert "intent-only" not in ENGINES
+
 
 POLICIES = [CrashPolicy.DROP_ALL, CrashPolicy.KEEP_ALL, CrashPolicy.RANDOM]
 
@@ -45,107 +48,49 @@ SETTINGS = settings(
 )
 
 
-def _apply_tx(heap, objs, writes):
-    """Run one transaction updating objs[i] = v for each (i, v)."""
-    with heap.transaction():
-        for i, v in writes:
-            o = objs[i]
-            o.tx_add()
-            o.key = v
-            o.value = f"v{v}"
-
-
 @st.composite
 def crash_scenarios(draw):
+    """An engine, a transaction script, and a fully-determined crash."""
     engine_name = draw(st.sampled_from(sorted(ENGINES)))
     policy = draw(st.sampled_from(POLICIES))
     seed = draw(st.integers(0, 2**20))
-    committed = draw(
+    txs = draw(
         st.lists(
             st.lists(
-                st.tuples(st.integers(0, N_OBJECTS - 1), st.integers(1, 1000)),
+                st.tuples(st.integers(0, N_OBJECTS - 1), st.integers(1, 2000)),
                 min_size=1,
-                max_size=3,
+                max_size=4,
+                unique_by=lambda t: t[0],
             ),
-            min_size=0,
-            max_size=3,
-        )
-    )
-    inflight = draw(
-        st.lists(
-            st.tuples(st.integers(0, N_OBJECTS - 1), st.integers(1001, 2000)),
             min_size=1,
             max_size=4,
-            unique_by=lambda t: t[0],
         )
     )
     crash_after = draw(st.integers(0, 120))
-    return engine_name, policy, seed, committed, inflight, crash_after
+    nested_after = draw(st.one_of(st.none(), st.integers(0, 30)))
+    scenario = Scenario(
+        engine=engine_name,
+        workload="pairs",
+        crash_after=crash_after,
+        policy=policy,
+        survival=0.5,
+        device_seed=seed,
+        nested_after=nested_after,
+    )
+    return scenario, txs
 
 
 @given(crash_scenarios())
 @SETTINGS
-def test_crash_anywhere_is_atomic(scenario):
-    engine_name, policy, seed, committed, inflight, crash_after = scenario
-    factory = ENGINES[engine_name]
-    heap, engine, device = build_heap(factory, seed=seed)
-
-    # establish a baseline of N committed objects
-    with heap.transaction():
-        objs = [heap.alloc(Pair) for _ in range(N_OBJECTS)]
-        for i, o in enumerate(objs):
-            o.key = i
-            o.value = f"v{i}"
-        heap.set_root(objs[0])
-    heap.drain()
-    oids = [o.oid for o in objs]
-    model = {i: i for i in range(N_OBJECTS)}
-
-    # committed transactions update the model
-    for writes in committed:
-        _apply_tx(heap, objs, writes)
-        for i, v in writes:
-            model[i] = v
-    heap.drain()
-
-    # in-flight transaction with a scheduled crash somewhere inside it
-    pre_model = dict(model)
-    post_model = dict(model)
-    for i, v in inflight:
-        post_model[i] = v
-    device.schedule_crash(crash_after, policy, survival_prob=0.5)
-    crashed = True
-    try:
-        _apply_tx(heap, objs, inflight)
-        heap.drain()
-        crashed = False
-    except DeviceCrashedError:
-        pass
-    device.cancel_scheduled_crash()
-    if not crashed:
-        # budget never hit: the whole tx (and sync) completed normally
-        model = post_model
-        if device.crashed:  # pragma: no cover - defensive
-            device.restart()
-        device.crash(policy, survival_prob=0.5)
-    heap2, engine2, _report = reopen_after_crash(device, factory)
-    objs2 = [heap2.deref(oid, Pair) for oid in oids]
-    observed = {i: o.key for i, o in enumerate(objs2)}
-
-    if crashed:
-        assert observed in (pre_model, post_model), (
-            f"{engine_name}/{policy}: partial transaction visible: "
-            f"{observed} is neither {pre_model} nor {post_model}"
-        )
-    else:
-        assert observed == model
-
-    # field-level atomicity: value must match key within each object
-    for i, o in enumerate(objs2):
-        assert o.value == f"v{o.key}"
-
-    if hasattr(engine2, "backup"):
-        verify_backup_consistency(heap2)
+def test_crash_anywhere_is_atomic(case):
+    scenario, txs = case
+    failure = replay_scenario(
+        scenario,
+        workload_factory=lambda: PairsWorkload(txs=txs, n_objects=N_OBJECTS),
+    )
+    assert failure is None, (
+        f"{failure}\n(transaction script: {txs!r})"
+    )
 
 
 @given(
@@ -155,7 +100,17 @@ def test_crash_anywhere_is_atomic(scenario):
 )
 @SETTINGS
 def test_crash_during_alloc_free_cycle(engine_name, crash_after, seed):
-    """Allocator metadata obeys the same atomicity as user data."""
+    """Allocator metadata obeys the same atomicity as user data.
+
+    Alloc/free transactions mutate the bitmap words and deferred-free
+    machinery rather than user structs, so this keeps its own workload
+    instead of the canned pairs script.
+    """
+    from repro.errors import DeviceCrashedError
+    from repro.tx import reopen_after_crash, verify_backup_consistency
+
+    from ..conftest import Pair, build_heap
+
     factory = ENGINES[engine_name]
     heap, engine, device = build_heap(factory, seed=seed)
     with heap.transaction():

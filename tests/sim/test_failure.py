@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.errors import DeviceCrashedError
 from repro.nvm import CrashPolicy, NVMDevice
-from repro.sim import crash_points, run_until_crash, sweep_crashes
+from repro.sim import crash_points, run_until_crash
 
 
 class TestCrashPoints:
@@ -17,6 +16,14 @@ class TestCrashPoints:
         n = crash_points(run, lambda: NVMDevice(4096))
         assert n == 3
 
+    def test_reads_do_not_tick(self):
+        def run(device):
+            device.write(0, b"x" * 8)
+            device.read(0, 8)
+            device.read(0, 8)
+
+        assert crash_points(run, lambda: NVMDevice(4096)) == 1
+
     def test_raises_when_bound_exceeded(self):
         def run(device):
             for _ in range(10):
@@ -25,16 +32,16 @@ class TestCrashPoints:
         with pytest.raises(RuntimeError):
             crash_points(run, lambda: NVMDevice(4096), max_points=5)
 
-
-class TestSweep:
-    def test_covers_ops_times_policies(self):
-        points = list(sweep_crashes(4, stride=2))
-        assert len(points) == 2 * 2  # ops {0, 2} x two default policies
-        assert all(isinstance(p, CrashPolicy) for _i, p in points)
-
-    def test_custom_policies(self):
-        points = list(sweep_crashes(2, policies=[CrashPolicy.KEEP_ALL]))
-        assert [p for _i, p in points] == [CrashPolicy.KEEP_ALL] * 2
+    def test_uses_public_accessor(self):
+        """The count comes from NVMDevice.scheduled_crash_remaining()."""
+        device = NVMDevice(4096)
+        assert device.scheduled_crash_remaining() is None
+        device.schedule_crash(10, CrashPolicy.DROP_ALL)
+        assert device.scheduled_crash_remaining() == 10
+        device.write(0, b"x")
+        assert device.scheduled_crash_remaining() == 9
+        device.cancel_scheduled_crash()
+        assert device.scheduled_crash_remaining() is None
 
 
 class TestRunUntilCrash:

@@ -67,6 +67,18 @@ class TestCommands:
         assert rc == 0
         assert "backup:" not in capsys.readouterr().out
 
+    def test_check_quick_single_engine(self, capsys):
+        rc = main(["check", "--engine", "undo", "--quick", "--no-chain"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "undo" in out and "explored=" in out
+        assert "all oracles satisfied" in out
+
+    def test_check_rejects_unknown_workload(self, capsys):
+        rc = main(["check", "--workloads", "bogus", "--engine", "undo"])
+        assert rc == 2
+        assert "unknown workload" in capsys.readouterr().err
+
     def test_bench_quick_writes_json(self, capsys, tmp_path):
         out_path = tmp_path / "bench.json"
         rc = main([

@@ -8,23 +8,18 @@ backup again mirrors the main heap.
 
 import pytest
 
+from repro.check import Scenario, replay_scenario
 from repro.nvm import CrashPolicy
-from repro.tx import (
-    CoWEngine,
-    UndoLogEngine,
-    kamino_dynamic,
-    kamino_simple,
-    reopen_after_crash,
-    verify_backup_consistency,
-)
+from repro.runtime.registry import registered_engines
+from repro.tx import reopen_after_crash, verify_backup_consistency
 
 from ..conftest import Pair, build_heap
 
+#: registry-driven: every standalone-recoverable engine is in the matrix
 ENGINE_FACTORIES = {
-    "undo": UndoLogEngine,
-    "cow": CoWEngine,
-    "kamino-simple": kamino_simple,
-    "kamino-dynamic": lambda: kamino_dynamic(alpha=0.5),
+    name: info.factory
+    for name, info in registered_engines().items()
+    if info.capabilities.recoverable and not info.capabilities.needs_chain_repair
 }
 
 POLICIES = [CrashPolicy.DROP_ALL, CrashPolicy.KEEP_ALL, CrashPolicy.RANDOM]
@@ -130,6 +125,21 @@ class TestRecoveryIdempotence:
         # immediately crash again (recovery wrote flushed data only)
         device.crash(CrashPolicy.DROP_ALL)
         check_after(device, factory, "committed")
+
+    def test_crash_inside_recovery_converges(self, name):
+        """Explorer-driven nested crashes: power-fail mid-transaction,
+        then again at several points *inside recovery's own writes*; the
+        final recovery must still satisfy every oracle."""
+        for nested_after in (0, 1, 3, 7):
+            scenario = Scenario(
+                engine=name,
+                workload="pairs",
+                crash_after=9,
+                policy=CrashPolicy.DROP_ALL,
+                nested_after=nested_after,
+            )
+            failure = replay_scenario(scenario)
+            assert failure is None, str(failure)
 
     def test_recovery_report_counts(self, name):
         factory = ENGINE_FACTORIES[name]

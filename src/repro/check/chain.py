@@ -39,8 +39,7 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import DeviceCrashedError
 from ..nvm.device import CrashPolicy
 from ..replication.chain import KAMINO, ChainCluster
-from ..replication.messages import TailAck, TxForward
-from ..replication.recovery import fail_stop, quick_reboot
+from ..replication.recovery import fail_stop, quick_reboot, settle
 from .explorer import OP_BUDGET, _sample_points
 
 QUICK_REBOOT = "quick_reboot"
@@ -158,50 +157,10 @@ class ChainCrashExplorer:
     def pump(cluster: ChainCluster, rounds: int = 6) -> None:
         """Re-forward stalled in-flight windows until the chain is quiet.
 
-        An intervention can strand a window: the crashed replica's
-        successor never saw a forward, or a tail ack died with the old
-        view.  Real deployments retransmit on timeout; here each round
-        re-sends every survivor's in-flight window downstream (the head's
-        is reconstructed from its client table) and re-acks from the
-        applied tail, then drains.  ``applied_seq`` and the idempotent
-        procedures make duplicates harmless.
+        Delegates to :func:`repro.replication.recovery.settle`, the
+        retransmission driver shared with the nemesis runner.
         """
-        for _ in range(rounds):
-            cluster.drain()
-            stalled = bool(cluster._inflight_writes) or any(
-                node.inflight for node in cluster.chain
-            )
-            if not stalled:
-                return
-            head = cluster.head
-            succ = cluster.successor(head)
-            # unacked client writes: rebuild the head's forwards from the
-            # client table (the head's volatile window dies with a reboot)
-            for seq, op in sorted(cluster._inflight_writes.items()):
-                msg = TxForward(cluster.view_id, seq, op.proc, op.args)
-                if succ is None:
-                    cluster._on_tail_ack(TailAck(cluster.view_id, seq))
-                else:
-                    cluster.net.send(head.node_id, succ.node_id, msg)
-            # every survivor's un-cleaned window, the head's included (a
-            # promoted head still owes its old downstream forwards)
-            for node in cluster.chain:
-                nxt = cluster.successor(node)
-                if nxt is None:
-                    continue
-                for seq in sorted(node.inflight):
-                    _txid, msg = node.inflight[seq]
-                    fresh = TxForward(cluster.view_id, msg.seq, msg.proc, msg.args)
-                    cluster.net.send(node.node_id, nxt.node_id, fresh)
-            # an applied-but-unacked tail: regenerate the completion acks
-            tail = cluster.tail
-            for seq in sorted(cluster._inflight_writes):
-                if tail.applied_seq >= seq:
-                    cluster.net.send(
-                        tail.node_id, cluster.head.node_id,
-                        TailAck(cluster.view_id, seq),
-                    )
-        cluster.drain()
+        settle(cluster, rounds=rounds)
 
     # -- judging -------------------------------------------------------------
 
@@ -340,3 +299,32 @@ class ChainCrashExplorer:
                 if failure is not None:
                     report.failures.append(failure)
         return report
+
+
+def explore_nemesis(
+    mode: str = KAMINO,
+    scenarios=None,
+    seeds: int = 5,
+    f: int = 2,
+) -> ChainReport:
+    """Run the nemesis fault corpus and fold the verdicts into a
+    :class:`ChainReport`, so `repro check` surfaces both sweeps with one
+    summary format.  ``scenarios=None`` runs the full built-in corpus."""
+    # local import: repro.faults pulls in the replication stack, and the
+    # checker must stay importable without it
+    from ..faults import CORPUS, run_scenario
+
+    report = ChainReport(mode=f"{mode}-nemesis")
+    for scenario in (scenarios if scenarios is not None else CORPUS):
+        for seed in range(seeds):
+            result = run_scenario(scenario, seed=seed, mode=mode, f=f)
+            report.states_explored += 1
+            if not result.ok:
+                report.failures.append(
+                    ChainFailure(
+                        ChainScenario(mode=mode),
+                        f"nemesis {scenario.name} seed={seed}: "
+                        + "; ".join(result.problems),
+                    )
+                )
+    return report

@@ -68,11 +68,24 @@ def pytest_addoption(parser) -> None:
         default="quick",
         help="crash-consistency sweep depth (quick samples, full is exhaustive)",
     )
+    parser.addoption(
+        "--nemesis-seeds",
+        type=int,
+        default=2,
+        help="seeds per nemesis fault scenario (tests/faults); raise for "
+        "deeper sweeps, e.g. --nemesis-seeds=5",
+    )
 
 
 @pytest.fixture(scope="session")
 def check_budget(request) -> CheckBudget:
     return BUDGETS[request.config.getoption("--check-budget")]
+
+
+@pytest.fixture(scope="session")
+def nemesis_seeds(request) -> int:
+    """How many seeds each nemesis scenario runs under."""
+    return request.config.getoption("--nemesis-seeds")
 
 
 @pytest.fixture

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro chain  --workload A --f 2 --clients 4
     python -m repro crash  --engine kamino-simple --policy random
     python -m repro check  --engine all --workloads pairs,kv --quick
+    python -m repro nemesis --quick
     python -m repro bench  --quick --out BENCH.json --compare BENCH_PR2.json
     python -m repro info   --engine kamino-dynamic --alpha 0.3
 
@@ -273,6 +274,85 @@ def cmd_check(args) -> int:
     return 0
 
 
+def cmd_nemesis(args) -> int:
+    """Seeded fault-injection sweep over the replication chain."""
+    from .faults import (
+        CORPUS,
+        minimize,
+        repro_snippet,
+        run_scenario,
+        scenario_by_name,
+    )
+    from .replication.chain import RetryPolicy
+
+    if args.list:
+        print(format_table(
+            "nemesis scenario corpus",
+            ["scenario", "actions", "description"],
+            [[s.name, len(s.actions), s.description[:60]] for s in CORPUS],
+        ))
+        return 0
+
+    if args.scenarios:
+        scenarios = []
+        for name in _parse_list(args.scenarios):
+            scenario = scenario_by_name(name)
+            if scenario is None:
+                print(f"unknown scenario '{name}'; see --list", file=sys.stderr)
+                return 2
+            scenarios.append(scenario)
+    else:
+        scenarios = list(CORPUS)
+    seeds = args.seeds
+    if args.quick:
+        quick_names = {"flaky_link", "partition_and_heal", "crash_and_replace",
+                       "head_failover"}
+        scenarios = [s for s in scenarios if s.name in quick_names] or scenarios[:4]
+        seeds = min(seeds, 2)
+    retry = RetryPolicy.disabled() if args.unhardened else RetryPolicy()
+
+    rows, failures = [], []
+    for scenario in scenarios:
+        for seed in range(seeds):
+            r = run_scenario(scenario, seed=seed, mode=args.mode, f=args.f,
+                             retry=retry)
+            rows.append([
+                r.scenario, r.seed, f"{r.completed_ops}/{r.total_ops}",
+                r.retransmissions, r.net.dropped if r.net else 0,
+                "ok" if r.ok else f"FAIL({len(r.problems)})",
+            ])
+            if not r.ok:
+                failures.append((scenario, seed, r))
+    print(format_table(
+        f"nemesis sweep: {args.mode}, f={args.f}, {seeds} seed(s)"
+        + (", UNHARDENED (retries disabled)" if args.unhardened else ""),
+        ["scenario", "seed", "ops", "retx", "dropped", "verdict"],
+        rows,
+    ))
+    for _scenario, _seed, r in failures[:5]:
+        for problem in r.problems[:3]:
+            print(f"  {r.scenario} seed={r.seed}: {problem}")
+
+    if args.unhardened:
+        # the demonstration: the unhardened chain is SUPPOSED to fail;
+        # minimize the first failure and print its replay program
+        if not failures:
+            print("unhardened configuration unexpectedly survived every "
+                  "scenario", file=sys.stderr)
+            return 1
+        scenario, seed, _r = failures[0]
+        small = minimize(scenario, seed, mode=args.mode, f=args.f, retry=retry)
+        print(f"\nminimized failing repro ({small.name}, seed={seed}, "
+              f"{small.n_clients} client(s) x {small.ops_per_client} op(s)):\n")
+        print(repro_snippet(small, seed, mode=args.mode, hardened=False))
+        return 0
+    if failures:
+        print(f"\n{len(failures)} nemesis failure(s)", file=sys.stderr)
+        return 1
+    print(f"all {len(rows)} nemesis runs converged")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .bench import wallclock
 
@@ -397,6 +477,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="progress lines on stderr")
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "nemesis", help="seeded fault injection (lossy links, partitions, "
+        "crash/replace) with convergence oracles"
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke: scenario subset, 2 seeds")
+    p.add_argument("--scenarios", default="",
+                   help="comma-separated scenario names (default: full corpus)")
+    p.add_argument("--seeds", type=int, default=5, help="seeds per scenario")
+    p.add_argument("--mode", default="kamino", choices=["kamino", "traditional"])
+    p.add_argument("--f", type=int, default=2, help="failures to tolerate")
+    p.add_argument("--unhardened", action="store_true",
+                   help="disable retries/timeouts and demonstrate the failure "
+                   "(prints a minimized replayable repro)")
+    p.add_argument("--list", action="store_true", help="list the corpus")
+    p.set_defaults(fn=cmd_nemesis)
 
     p = sub.add_parser("bench", help="wall-clock perf suite (BENCH_*.json trajectory)")
     p.add_argument("--quick", action="store_true", help="CI-sized runs")

@@ -115,3 +115,27 @@ class ChainConfigError(ReplicationError):
 
 class NodeFailedError(ReplicationError):
     """An operation was routed to a failed replica."""
+
+
+class ClusterDegraded(ReplicationError):
+    """The chain is below its write quorum (or its circuit breaker is
+    open after repeated delivery failures); the write was rejected
+    without execution.  Surfaced to the client exactly once per
+    rejected operation."""
+
+
+class RequestTimeoutError(ReplicationError):
+    """The head exhausted its retransmission budget for a forwarded
+    transaction; the outcome is unknown (it may have partially
+    propagated).  Retries are safe: procedures are idempotent and the
+    head deduplicates by ``(client_id, request_id)``."""
+
+
+class ClientStuckError(ReplicationError):
+    """``run_clients`` drained the simulator but one or more closed-loop
+    clients never completed their streams — an operation was dropped
+    with retries disabled, or the cluster deadlocked."""
+
+    def __init__(self, message: str, client_ids=()):
+        super().__init__(message)
+        self.client_ids = tuple(client_ids)

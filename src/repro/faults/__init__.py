@@ -1,0 +1,40 @@
+"""repro.faults — seeded nemesis fault injection for the chain.
+
+Composes the :class:`~repro.sim.network.SimNetwork` fault surface
+(lossy/duplicating/reordering/corrupting links, partitions, slow
+nodes) with the recovery verbs (quick reboot, fail-stop, node
+replacement) into declarative, exactly-replayable fault scenarios, and
+judges each run with convergence oracles.  See ``docs/FAULTS.md``.
+"""
+
+from ..replication.chain import RetryPolicy
+from ..sim.network import LinkFaultPolicy, NetStats
+from .nemesis import FaultAction, Nemesis, NemesisScenario
+from .runner import (
+    NemesisResult,
+    client_streams,
+    demonstrate_unhardened,
+    minimize,
+    repro_snippet,
+    run_corpus,
+    run_scenario,
+)
+from .scenarios import CORPUS, scenario_by_name
+
+__all__ = [
+    "CORPUS",
+    "FaultAction",
+    "LinkFaultPolicy",
+    "Nemesis",
+    "NemesisResult",
+    "NemesisScenario",
+    "NetStats",
+    "RetryPolicy",
+    "client_streams",
+    "demonstrate_unhardened",
+    "minimize",
+    "repro_snippet",
+    "run_corpus",
+    "run_scenario",
+    "scenario_by_name",
+]

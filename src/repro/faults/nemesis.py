@@ -1,0 +1,191 @@
+"""The nemesis: a deterministic fault scheduler for chain clusters.
+
+A :class:`NemesisScenario` is a *declarative* fault script — a name plus
+a list of timed :class:`FaultAction` verbs — so the same scenario drives
+tests, the ``repro nemesis`` CLI, and the crash explorer's nemesis
+sweep, and round-trips through plain dicts (``to_dict``/``from_dict``)
+for ad-hoc scenario files.
+
+The :class:`Nemesis` arms every action as an event on the cluster's
+simulator; actions fire at virtual-time boundaries interleaved with
+protocol traffic, and every probabilistic draw downstream comes from the
+cluster's seeded RNG, so a ``(scenario, seed)`` pair replays exactly.
+
+Action verbs (``node`` / ``src`` / ``dst`` take a chain index or one of
+``"head"``, ``"mid"``, ``"tail"``, resolved against the topology *at
+fire time*):
+
+==============  ============================================================
+verb            effect
+==============  ============================================================
+flaky_link      install a :class:`LinkFaultPolicy` on ``src → dst`` (drop /
+                duplicate / reorder / corrupt / jitter); omit both
+                endpoints to set the network-wide default policy
+partition       split the chain into node groups that cannot cross-talk
+heal            remove the partition
+slow_node       add fixed delivery delay to or from one node
+clear_faults    remove every link fault, partition, and slow-down
+quick_reboot    §5.3 crash + in-place repair of one replica
+fail_stop       §5.2 removal + chain re-stitch (no replacement)
+crash_replace   fail-stop + splice in a caught-up spare, one view change
+==============  ============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from ..replication.chain import ChainCluster
+from ..replication.recovery import fail_stop, quick_reboot, replace_node
+from ..sim.network import LinkFaultPolicy
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One timed nemesis intervention: fire ``verb(**params)`` at
+    virtual time ``at_ns``."""
+
+    at_ns: float
+    verb: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"at_ns": self.at_ns, "verb": self.verb, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultAction":
+        return cls(
+            at_ns=float(data["at_ns"]),
+            verb=str(data["verb"]),
+            params=dict(data.get("params", {})),
+        )
+
+    def describe(self) -> str:
+        kv = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"t={self.at_ns / 1000:.0f}µs {self.verb}({kv})"
+
+
+@dataclass(frozen=True)
+class NemesisScenario:
+    """A named fault script plus the client workload it runs against.
+
+    Each client writes a private key range (client ``i`` owns keys
+    ``i * 1000 ...``), which keeps the convergence oracle's
+    last-acked-value-per-key check unambiguous under concurrency.
+    """
+
+    name: str
+    description: str = ""
+    actions: Tuple[FaultAction, ...] = ()
+    n_clients: int = 3
+    ops_per_client: int = 12
+    keyspace: int = 4
+    read_fraction: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "actions": [a.to_dict() for a in self.actions],
+            "n_clients": self.n_clients,
+            "ops_per_client": self.ops_per_client,
+            "keyspace": self.keyspace,
+            "read_fraction": self.read_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "NemesisScenario":
+        return cls(
+            name=str(data["name"]),
+            description=str(data.get("description", "")),
+            actions=tuple(
+                FaultAction.from_dict(a) for a in data.get("actions", ())
+            ),
+            n_clients=int(data.get("n_clients", 3)),
+            ops_per_client=int(data.get("ops_per_client", 12)),
+            keyspace=int(data.get("keyspace", 4)),
+            read_fraction=float(data.get("read_fraction", 0.0)),
+        )
+
+    def describe(self) -> str:
+        lines = [f"{self.name}: {self.description}"]
+        lines += [f"  {a.describe()}" for a in self.actions]
+        return "\n".join(lines)
+
+
+def _resolve_index(cluster: ChainCluster, sel: Any) -> int:
+    """Chain index for a selector: an int, or head/mid/tail by role."""
+    if isinstance(sel, int):
+        if not -len(cluster.chain) <= sel < len(cluster.chain):
+            raise ValueError(f"replica index {sel} out of range")
+        return sel % len(cluster.chain)
+    if sel == "head":
+        return 0
+    if sel == "tail":
+        return len(cluster.chain) - 1
+    if sel == "mid":
+        if len(cluster.chain) < 3:
+            raise ValueError("chain has no mid replica")
+        return 1
+    raise ValueError(f"unknown replica selector {sel!r}")
+
+
+def _resolve_id(cluster: ChainCluster, sel: Any) -> str:
+    return cluster.chain[_resolve_index(cluster, sel)].node_id
+
+
+class Nemesis:
+    """Arms a scenario's actions on the cluster's event simulator."""
+
+    def __init__(self, cluster: ChainCluster, scenario: NemesisScenario):
+        self.cluster = cluster
+        self.scenario = scenario
+        #: (fired_at_ns, action) log, in firing order
+        self.fired: List[Tuple[float, FaultAction]] = []
+
+    def arm(self) -> None:
+        for action in self.scenario.actions:
+            self.cluster.sim.at(action.at_ns, self._fire, action)
+
+    def _fire(self, action: FaultAction) -> None:
+        handler = getattr(self, f"_do_{action.verb}", None)
+        if handler is None:
+            raise ValueError(f"unknown nemesis verb '{action.verb}'")
+        handler(**action.params)
+        self.fired.append((self.cluster.sim.now, action))
+
+    # -- link verbs ------------------------------------------------------------
+
+    def _do_flaky_link(self, src: Any = None, dst: Any = None, **knobs: float) -> None:
+        policy = LinkFaultPolicy(**knobs)
+        if src is None and dst is None:
+            self.cluster.net.set_default_policy(policy)
+        else:
+            self.cluster.net.set_link_policy(
+                _resolve_id(self.cluster, src), _resolve_id(self.cluster, dst), policy
+            )
+
+    def _do_partition(self, groups: List[List[Any]]) -> None:
+        resolved = [[_resolve_id(self.cluster, sel) for sel in g] for g in groups]
+        self.cluster.net.partition(resolved)
+
+    def _do_heal(self) -> None:
+        self.cluster.net.heal_partition()
+
+    def _do_slow_node(self, node: Any, delay_ns: float) -> None:
+        self.cluster.net.set_node_delay(_resolve_id(self.cluster, node), delay_ns)
+
+    def _do_clear_faults(self) -> None:
+        self.cluster.net.clear_faults()
+
+    # -- replica verbs ----------------------------------------------------------
+
+    def _do_quick_reboot(self, node: Any) -> None:
+        quick_reboot(self.cluster, _resolve_index(self.cluster, node))
+
+    def _do_fail_stop(self, node: Any) -> None:
+        fail_stop(self.cluster, _resolve_index(self.cluster, node))
+
+    def _do_crash_replace(self, node: Any) -> None:
+        replace_node(self.cluster, _resolve_index(self.cluster, node))

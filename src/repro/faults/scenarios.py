@@ -1,0 +1,139 @@
+"""The built-in nemesis corpus.
+
+Each scenario stresses one failure dimension (plus a combined storm);
+the runner executes every one under several seeds and demands the same
+convergence verdict each time: clients finish, replicas agree, acked
+writes survive.  Timings assume the default topology (2 µs hops, write
+commit in tens of µs, retransmission ladder starting at 400 µs), so
+every injected fault window clears well before the retry budgets of the
+hardened configuration run out — a hardened chain must pass all of
+these, and the deliberately unhardened one demonstrably cannot.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .nemesis import FaultAction, NemesisScenario
+
+_US = 1_000.0  # ns per µs — action times below read naturally
+_MS = 1_000_000.0
+
+
+CORPUS: List[NemesisScenario] = [
+    NemesisScenario(
+        name="flaky_link",
+        description="head→successor link drops 30% of forwards for 3 ms; "
+        "retransmission must re-drive the window",
+        actions=(
+            FaultAction(10 * _US, "flaky_link",
+                        {"src": "head", "dst": 1, "drop_p": 0.3}),
+            FaultAction(3 * _MS, "clear_faults"),
+        ),
+    ),
+    NemesisScenario(
+        name="duplication_storm",
+        description="every link duplicates half its messages; applied_seq "
+        "and the dedup table must absorb the echoes",
+        actions=(
+            FaultAction(0.0, "flaky_link", {"dup_p": 0.5}),
+            FaultAction(5 * _MS, "clear_faults"),
+        ),
+    ),
+    NemesisScenario(
+        name="reorder_jitter",
+        description="40% of messages overtake their successors under "
+        "0-20 µs jitter; the sequence-gap guard must hold the prefix",
+        actions=(
+            FaultAction(0.0, "flaky_link",
+                        {"reorder_p": 0.4, "jitter_min_ns": 0.0,
+                         "jitter_max_ns": 20 * _US}),
+            FaultAction(5 * _MS, "clear_faults"),
+        ),
+    ),
+    NemesisScenario(
+        name="corrupt_payload",
+        description="a mid link flips bits in 25% of messages; checksums "
+        "must catch every one and timeouts must re-drive them",
+        actions=(
+            FaultAction(10 * _US, "flaky_link",
+                        {"src": 1, "dst": 2, "corrupt_p": 0.25}),
+            FaultAction(3 * _MS, "clear_faults"),
+        ),
+    ),
+    NemesisScenario(
+        name="partition_and_heal",
+        description="the chain splits down the middle for ~2 ms, then "
+        "heals; stalled windows must retransmit to convergence",
+        actions=(
+            FaultAction(200 * _US, "partition",
+                        {"groups": [[0, 1], [-2, -1]]}),
+            FaultAction(2_500 * _US, "heal"),
+        ),
+    ),
+    NemesisScenario(
+        name="slow_node",
+        description="one mid replica serves every message 100 µs late; "
+        "back-pressure and timeouts must tolerate the lag without loss",
+        actions=(
+            FaultAction(0.0, "slow_node", {"node": 2, "delay_ns": 100 * _US}),
+            FaultAction(4 * _MS, "clear_faults"),
+        ),
+    ),
+    NemesisScenario(
+        name="crash_and_replace",
+        description="a mid replica fail-stops under live traffic and a "
+        "spare is spliced in (one view change); the chain keeps its "
+        "f-target and no acked write is lost",
+        actions=(
+            FaultAction(1 * _MS, "crash_replace", {"node": 2}),
+        ),
+    ),
+    NemesisScenario(
+        name="head_failover",
+        description="the head dies mid-run; the successor promotes, "
+        "clients re-drive their unanswered requests against the new head",
+        actions=(
+            FaultAction(1 * _MS, "fail_stop", {"node": "head"}),
+        ),
+    ),
+    NemesisScenario(
+        name="tail_failover",
+        description="the tail dies mid-run; its predecessor takes over "
+        "acknowledging and no acked write is lost",
+        actions=(
+            FaultAction(800 * _US, "fail_stop", {"node": "tail"}),
+        ),
+    ),
+    NemesisScenario(
+        name="reboot_under_loss",
+        description="a mid replica quick-reboots while its inbound link "
+        "is lossy; intent-log repair plus retransmission must converge",
+        actions=(
+            FaultAction(10 * _US, "flaky_link",
+                        {"src": "head", "dst": 1, "drop_p": 0.2}),
+            FaultAction(600 * _US, "quick_reboot", {"node": 1}),
+            FaultAction(3 * _MS, "clear_faults"),
+        ),
+    ),
+    NemesisScenario(
+        name="chaos_combo",
+        description="default-policy loss + a slow replica + a mid-run "
+        "quick reboot, all at once",
+        actions=(
+            FaultAction(0.0, "flaky_link", {"drop_p": 0.15}),
+            FaultAction(500 * _US, "slow_node",
+                        {"node": 1, "delay_ns": 50 * _US}),
+            FaultAction(1_200 * _US, "quick_reboot", {"node": 2}),
+            FaultAction(3_500 * _US, "clear_faults"),
+        ),
+        ops_per_client=10,
+    ),
+]
+
+
+def scenario_by_name(name: str) -> Optional[NemesisScenario]:
+    for scenario in CORPUS:
+        if scenario.name == name:
+            return scenario
+    return None

@@ -1,6 +1,6 @@
 """Chain replication: traditional baseline and Kamino-Tx-Chain (§5)."""
 
-from .chain import KAMINO, TRADITIONAL, ChainCluster
+from .chain import KAMINO, TRADITIONAL, ChainCluster, RetryPolicy
 from .client import ChainClient, run_clients
 from .inplace_engine import IntentOnlyEngine
 from .membership import MembershipManager, ViewInfo
@@ -14,7 +14,7 @@ from .messages import (
     TxRequest,
 )
 from .node import ROLE_HEAD, ROLE_MID, ROLE_TAIL, ReplicaNode, engine_for
-from .recovery import fail_stop, join_new_replica, quick_reboot
+from .recovery import fail_stop, join_new_replica, quick_reboot, replace_node, settle
 
 __all__ = [
     "ChainClient",
@@ -30,6 +30,7 @@ __all__ = [
     "ReadReply",
     "ReadRequest",
     "ReplicaNode",
+    "RetryPolicy",
     "TRADITIONAL",
     "TailAck",
     "TxForward",
@@ -39,5 +40,7 @@ __all__ = [
     "fail_stop",
     "join_new_replica",
     "quick_reboot",
+    "replace_node",
     "run_clients",
+    "settle",
 ]

@@ -34,29 +34,80 @@ Schneider's original protocol).
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ChainConfigError, NodeFailedError, StaleViewError, TxAborted
+from ..errors import (
+    ChainConfigError,
+    ClusterDegraded,
+    NodeFailedError,
+    RequestTimeoutError,
+    StaleViewError,
+    TxAborted,
+)
 from ..nvm.device import CrashPolicy
 from ..nvm.latency import NVDIMM, LatencyModel
 from ..runtime.context import ExecutionContext
-from ..sim.events import EventSimulator
+from ..sim.events import Event, EventSimulator
 from ..sim.network import DEFAULT_HOP_NS, SimNetwork
 from ..sim.resources import FIFOServer
 from .membership import MembershipManager
-from .messages import CleanupAck, ClientReply, ReadReply, ReadRequest, TailAck, TxForward
+from .messages import (
+    CleanupAck,
+    ClientReply,
+    ReadReply,
+    ReadRequest,
+    TailAck,
+    TxForward,
+    wire_size,
+)
 from .node import ROLE_HEAD, ROLE_MID, ROLE_TAIL, ReplicaNode
 
 TRADITIONAL = "traditional"
 KAMINO = "kamino"
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retransmission knobs shared by the head and the clients.
+
+    The head arms a timer per forwarded transaction; a missing tail ack
+    retransmits the forward end-to-end with capped exponential backoff
+    (each replica's ``applied_seq`` filter and the idempotent procedures
+    make duplicates harmless).  After ``max_retries`` the outcome is
+    unknown and the submitter gets a typed
+    :class:`~repro.errors.RequestTimeoutError`.
+
+    ``timeout_for(attempt)`` = ``min(timeout_ns * backoff**attempt,
+    max_timeout_ns)``.
+    """
+
+    timeout_ns: float = 400_000.0
+    backoff: float = 2.0
+    max_timeout_ns: float = 6_400_000.0
+    max_retries: int = 10
+    enabled: bool = True
+
+    @classmethod
+    def disabled(cls) -> "RetryPolicy":
+        """The deliberately unhardened configuration: no timers, no
+        retransmission — what the nemesis corpus proves is insufficient."""
+        return cls(enabled=False)
+
+    def timeout_for(self, attempt: int) -> float:
+        return min(self.timeout_ns * (self.backoff ** attempt), self.max_timeout_ns)
+
+
 class _PendingWrite:
     """A client write queued at the head (admission or execution)."""
 
-    __slots__ = ("proc", "args", "keys", "callback", "submitted_at", "seq", "result")
+    __slots__ = (
+        "proc", "args", "keys", "callback", "submitted_at", "seq", "result",
+        "client_id", "request_id", "attempts",
+    )
 
-    def __init__(self, proc, args, keys, callback, submitted_at):
+    def __init__(self, proc, args, keys, callback, submitted_at,
+                 client_id=None, request_id=None):
         self.proc = proc
         self.args = args
         self.keys = tuple(keys)
@@ -64,6 +115,9 @@ class _PendingWrite:
         self.submitted_at = submitted_at
         self.seq: Optional[int] = None
         self.result: Any = None
+        self.client_id: Optional[str] = client_id
+        self.request_id: Optional[int] = request_id
+        self.attempts = 0
 
 
 class ChainCluster:
@@ -92,16 +146,39 @@ class ChainCluster:
         hop_ns: float = DEFAULT_HOP_NS,
         model: LatencyModel = NVDIMM,
         runtime: Optional["ExecutionContext"] = None,
+        seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        max_backup_lag: int = 64,
+        write_quorum: Optional[int] = None,
+        degraded_policy: str = "reject",
+        degrade_after: int = 3,
+        degraded_cooldown_ns: float = 10_000_000.0,
     ):
         if f < 1:
             raise ChainConfigError("f must be at least 1")
         if mode not in (TRADITIONAL, KAMINO):
             raise ChainConfigError(f"unknown mode '{mode}'")
+        if degraded_policy not in ("reject", "queue"):
+            raise ChainConfigError(f"unknown degraded_policy '{degraded_policy}'")
         self.f = f
         self.mode = mode
-        self.runtime = runtime if runtime is not None else ExecutionContext(model=model)
+        self.runtime = (
+            runtime if runtime is not None else ExecutionContext(model=model, seed=seed)
+        )
         self.sim = sim if sim is not None else self.runtime.events
-        self.net = SimNetwork(self.sim, hop_latency_ns=hop_ns)
+        self.net = SimNetwork(self.sim, hop_latency_ns=hop_ns, rng=self.runtime.rng)
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: bound on the head's deferred backup-sync backlog: admission
+        #: stalls (back-pressure) instead of letting a slow tail grow it
+        self.max_backup_lag = max_backup_lag
+        #: minimum chain length that still accepts writes; kamino needs
+        #: two live replicas to repair an in-place crash (§5)
+        self.write_quorum = (
+            write_quorum if write_quorum is not None else (2 if mode == KAMINO else 1)
+        )
+        self.degraded_policy = degraded_policy
+        self.degrade_after = degrade_after
+        self.degraded_cooldown_ns = degraded_cooldown_ns
         n = f + 2 if mode == KAMINO else f + 1
         self.chain: List[ReplicaNode] = []
         for i in range(n):
@@ -118,18 +195,40 @@ class ChainCluster:
         }
         # the Zookeeper stand-in (§5.3): owns views and chain order
         self.membership = MembershipManager([node.node_id for node in self.chain])
+        for node in self.chain:
+            node.view_id = self.membership.view_id
         # head protocol state
         self._next_seq = 1
         self._busy_keys: Dict[Any, int] = {}
         self._admission_queue: Deque[_PendingWrite] = deque()
         self._inflight_writes: Dict[int, _PendingWrite] = {}
         self._tail_acked: Dict[int, float] = {}
+        #: seq -> armed retransmission timer (cancelled at the tail ack)
+        self._retx_events: Dict[int, Event] = {}
+        #: client dedup table: client_id -> (request_id, result) of the
+        #: last completed request — closed-loop clients have exactly one
+        #: outstanding request, so one slot per client suffices
+        self._completed_requests: Dict[str, Tuple[int, Any]] = {}
+        #: (client_id, request_id) -> seq for requests still in flight
+        self._inflight_requests: Dict[Tuple[str, int], int] = {}
+        #: writes parked while the cluster is degraded (policy "queue")
+        self._degraded_queue: Deque[_PendingWrite] = deque()
+        # circuit breaker: consecutive exhausted retransmission ladders
+        # open it; a success (or a view change) closes it again
+        self._consecutive_failures = 0
+        self._degraded_until: Optional[float] = None
+        self._backpressure_event: Optional[Event] = None
         # metrics
         self.write_latencies_ns: List[float] = []
         self.read_latencies_ns: List[float] = []
         self.aborted = 0
         self.committed = 0
         self.dependent_queued = 0
+        self.retransmissions = 0
+        self.timed_out = 0
+        self.degraded_rejections = 0
+        self.duplicate_requests = 0
+        self.backpressure_stalls = 0
 
     # -- topology ------------------------------------------------------------
 
@@ -159,6 +258,38 @@ class ChainCluster:
         """Cluster-wide provisioned NVM (Table 1's storage column)."""
         return sum(node.storage_bytes for node in self.chain)
 
+    # -- degradation ----------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True while the cluster cannot responsibly accept writes:
+        either the chain is below its write quorum, or the circuit
+        breaker is open after repeated end-to-end delivery failures."""
+        if len(self.chain) < self.write_quorum:
+            return True
+        if self._degraded_until is not None and self.sim.now < self._degraded_until:
+            return True
+        return False
+
+    def _note_write_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.degrade_after:
+            # open the breaker: reject fast for a cooldown window rather
+            # than burning a full retransmission ladder per write
+            self._degraded_until = self.sim.now + self.degraded_cooldown_ns
+
+    def _note_write_success(self) -> None:
+        self._consecutive_failures = 0
+        self._degraded_until = None
+        self._readmit_degraded_queue()
+
+    def _readmit_degraded_queue(self) -> None:
+        if self._degraded_queue and not self.degraded:
+            parked = list(self._degraded_queue)
+            self._degraded_queue.clear()
+            for op in parked:
+                self._try_admit(op)
+
     # -- client API -----------------------------------------------------------------
 
     def submit_write(
@@ -167,15 +298,76 @@ class ChainCluster:
         args: Tuple[Any, ...],
         keys: Sequence[Any],
         callback: Optional[Callable[[Any, float], None]] = None,
+        client_id: Optional[str] = None,
+        request_id: Optional[int] = None,
     ) -> None:
         """Submit a write transaction at the head.
 
         ``keys`` is the transaction's object footprint, used for the
         head's admission control of dependent transactions.  The
-        callback receives (result, latency_ns) at chain-wide commit.
+        callback receives (result, latency_ns) at chain-wide commit; on
+        rejection or timeout ``result`` is a typed
+        :class:`~repro.errors.ReplicationError` instance
+        (:class:`~repro.errors.ClusterDegraded` /
+        :class:`~repro.errors.RequestTimeoutError`), surfaced exactly
+        once per submission.
+
+        ``(client_id, request_id)`` makes the submission idempotent: a
+        retransmitted request whose original is still in flight is
+        absorbed (the original's completion answers both), and one whose
+        original already completed is answered from the dedup table
+        without re-executing.
         """
-        op = _PendingWrite(proc, args, keys, callback, self.sim.now)
+        op = _PendingWrite(
+            proc, args, keys, callback, self.sim.now,
+            client_id=client_id, request_id=request_id,
+        )
+        if client_id is not None and request_id is not None:
+            done = self._completed_requests.get(client_id)
+            if done is not None and done[0] == request_id:
+                # duplicate of a completed request: replay the reply
+                self.duplicate_requests += 1
+                self._reply(op, done[1])
+                return
+            if (client_id, request_id) in self._inflight_requests:
+                # duplicate of an in-flight request: drop; the original's
+                # completion resolves the client's state
+                self.duplicate_requests += 1
+                return
+            self._inflight_requests[(client_id, request_id)] = -1
+        if self.degraded:
+            if self.degraded_policy == "queue":
+                self._degraded_queue.append(op)
+            else:
+                self.degraded_rejections += 1
+                self._reply(op, ClusterDegraded(
+                    f"chain has {len(self.chain)} replica(s), write quorum is "
+                    f"{self.write_quorum}" if len(self.chain) < self.write_quorum
+                    else "circuit breaker open after repeated delivery failures"
+                ))
+            return
         self._try_admit(op)
+
+    def _reply(self, op: _PendingWrite, result: Any) -> None:
+        """Complete one submission exactly once: record it in the dedup
+        table, free the in-flight slot, and up-call the client."""
+        if op.client_id is not None and op.request_id is not None:
+            self._inflight_requests.pop((op.client_id, op.request_id), None)
+            # unknown outcomes (timeouts) are NOT recorded as completed:
+            # a client retry must re-execute, which idempotence makes safe
+            if not isinstance(result, RequestTimeoutError):
+                self._completed_requests[op.client_id] = (op.request_id, result)
+        if op.callback is not None:
+            op.callback(result, self.sim.now - op.submitted_at)
+
+    def _read_target(self) -> Optional[ReplicaNode]:
+        """The deepest live replica: normally the tail; with the tail
+        unreachable, reads degrade to the longest consistent prefix
+        (every replica's state is a prefix of its predecessor's)."""
+        for node in reversed(self.chain):
+            if not self.net.is_down(node.node_id):
+                return node
+        return None
 
     def submit_read(
         self, proc: str, args: Tuple[Any, ...],
@@ -183,7 +375,11 @@ class ChainCluster:
     ) -> None:
         """Linearizable read at the tail (one hop there, one back)."""
         submitted = self.sim.now
-        tail = self.tail
+        tail = self._read_target()
+        if tail is None:
+            if callback is not None:
+                callback(ClusterDegraded("no live replica to serve reads"), 0.0)
+            return
 
         def deliver() -> None:
             result, cost = tail.execute(proc, args)
@@ -206,12 +402,33 @@ class ChainCluster:
             self.dependent_queued += 1
             self._admission_queue.append(op)
             return
+        head = self.head
+        if getattr(head.engine, "pending_count", 0) >= self.max_backup_lag:
+            # back-pressure: the head's backup-sync backlog is at its
+            # bound; stall admission and drain before taking new work,
+            # so a slow tail cannot grow the lag without limit
+            self.backpressure_stalls += 1
+            self._admission_queue.append(op)
+            if self._backpressure_event is None:
+                self._backpressure_event = self.sim.schedule(
+                    0.0, self._relieve_backpressure
+                )
+            return
         seq = self._next_seq
         self._next_seq += 1
         op.seq = seq
+        if op.client_id is not None and op.request_id is not None:
+            self._inflight_requests[(op.client_id, op.request_id)] = seq
         for k in op.keys:
             self._busy_keys[k] = seq
         self._execute_at_head(op)
+
+    def _relieve_backpressure(self) -> None:
+        self._backpressure_event = None
+        head = self.head
+        cost = head.sync_backup(limit=max(1, self.max_backup_lag // 2))
+        done = self._servers[head.node_id].request(self.sim.now, cost)
+        self.sim.at(done, self._drain_admission_queue)
 
     def _execute_at_head(self, op: _PendingWrite) -> None:
         head = self.head
@@ -223,8 +440,7 @@ class ChainCluster:
             # ever forwarded downstream.
             self.aborted += 1
             self._release_keys(op)
-            if op.callback is not None:
-                op.callback(None, self.sim.now - op.submitted_at)
+            self._reply(op, None)
             return
         self._inflight_writes[op.seq] = op
         op.result = result  # type: ignore[attr-defined]
@@ -237,6 +453,66 @@ class ChainCluster:
             self.sim.at(done, self._on_tail_ack, TailAck(self.view_id, op.seq))
         else:
             self.sim.at(done, self.net.send, head.node_id, successor.node_id, msg)
+            self._arm_retransmit(op)
+
+    # -- head: retransmission (timeouts + capped exponential backoff) ------------------
+
+    def _arm_retransmit(self, op: _PendingWrite) -> None:
+        if not self.retry.enabled or op.seq is None:
+            return
+        old = self._retx_events.pop(op.seq, None)
+        if old is not None:
+            old.cancel()
+        self._retx_events[op.seq] = self.sim.schedule(
+            self.retry.timeout_for(op.attempts), self._retransmit, op.seq
+        )
+
+    def _retransmit(self, seq: int) -> None:
+        op = self._inflight_writes.get(seq)
+        self._retx_events.pop(seq, None)
+        if op is None or seq in self._tail_acked:
+            return  # completed while the timer was in flight
+        if op.attempts >= self.retry.max_retries:
+            self._abandon(op)
+            return
+        op.attempts += 1
+        self.retransmissions += 1
+        head = self.head
+        successor = self.successor(head)
+        if successor is None:
+            self._on_tail_ack(TailAck(self.view_id, seq))
+            return
+        # resend the whole un-cleaned window up to this seq, not just the
+        # stalled forward: an earlier transaction (even an abandoned one)
+        # may still be a sequence-gap blocker at some replica, and the
+        # replicas' applied_seq filter makes the duplicates free
+        for s in sorted(head.inflight):
+            if s > seq:
+                break
+            _txid, m = head.inflight[s]
+            self.net.send(
+                head.node_id, successor.node_id,
+                TxForward(self.view_id, m.seq, m.proc, m.args),
+            )
+        self._arm_retransmit(op)
+
+    def _abandon(self, op: _PendingWrite) -> None:
+        """Retransmission budget exhausted: the transaction's chain-wide
+        outcome is unknown.  Release its keys, surface a typed timeout to
+        the submitter (exactly once), and trip the circuit breaker.
+
+        The head's protocol-window entry (``head.inflight``) is kept: the
+        head *did* execute the transaction, so downstream replicas must
+        still receive it eventually (later retransmissions resend it as
+        part of the window) or they could never apply anything after it.
+        """
+        self.timed_out += 1
+        self._inflight_writes.pop(op.seq, None)
+        self._note_write_failure()
+        self._release_keys(op)
+        self._reply(op, RequestTimeoutError(
+            f"seq={op.seq} saw no tail ack after {op.attempts} retransmissions"
+        ))
 
     def _release_keys(self, op: _PendingWrite) -> None:
         for k in op.keys:
@@ -271,7 +547,7 @@ class ChainCluster:
             # a state that is no prefix, so drop it — the upstream
             # retransmission window resends the run in order.
             return
-        qcost = node.persist_to_input_queue(64 + 8 * len(msg.args))
+        qcost = node.persist_to_input_queue(wire_size(msg))
         if msg.seq > node.applied_seq:
             _result, cost = node.execute(msg.proc, msg.args)
             node.applied_seq = msg.seq
@@ -300,20 +576,23 @@ class ChainCluster:
     def _on_tail_ack(self, msg: TailAck) -> None:
         if msg.view_id < self.view_id:
             return
+        timer = self._retx_events.pop(msg.seq, None)
+        if timer is not None:
+            timer.cancel()
         op = self._inflight_writes.pop(msg.seq, None)
         if op is None:
-            return
+            return  # duplicate ack, or the head already abandoned it
         self._tail_acked[msg.seq] = self.sim.now
         head = self.head
         # the final call to the client is a local up-call on the head
         # (§5.1) — it happens at the tail ack, not after the backup sync
         self.committed += 1
+        self._note_write_success()
         head.inflight.pop(msg.seq, None)
         head.applied_ranges.pop(msg.seq, None)
         latency = self.sim.now - op.submitted_at
         self.write_latencies_ns.append(latency)
-        if op.callback is not None:
-            op.callback(getattr(op, "result", None), latency)
+        self._reply(op, getattr(op, "result", None))
         if self.mode == KAMINO:
             # §5.1's two lock-release conditions: tail ack received AND
             # the head's backup has absorbed the transaction — dependent
@@ -335,6 +614,19 @@ class ChainCluster:
         pred = self.predecessor(node)
         if pred is not None:
             self.net.send(node.node_id, pred.node_id, msg)
+
+    # -- view installation --------------------------------------------------------------------
+
+    def _install_view(self) -> None:
+        """Propagate the membership's current view to every live replica
+        (so a later quick reboot rejoins claiming the right view) and
+        reset the head's degradation state — a repaired topology deserves
+        a fresh chance before the circuit breaker re-opens."""
+        for node in self.chain:
+            node.view_id = self.view_id
+        self._consecutive_failures = 0
+        self._degraded_until = None
+        self._readmit_degraded_queue()
 
     # -- execution driver ---------------------------------------------------------------------
 

@@ -1,54 +1,188 @@
-"""Closed-loop chain clients for benchmarks and examples.
+"""Closed-loop chain clients for benchmarks, examples, and fault tests.
 
 The paper's replicated experiments drive YCSB operations through the
 chain: writes enter at the head, reads hit the tail.  A closed-loop
 client issues its next operation the moment the previous one completes,
 so N clients model N application threads.
+
+Hardening (the nemesis layer throws lossy links at the chain):
+
+* every operation carries ``(client_id, request_id)`` so the head can
+  deduplicate retries — a retransmitted request never re-executes a
+  completed transaction;
+* a per-operation timeout with capped exponential backoff resubmits
+  operations whose reply was lost (e.g. the head failed over and its
+  volatile client table died with it);
+* a typed error reply (:class:`~repro.errors.ClusterDegraded`,
+  :class:`~repro.errors.RequestTimeoutError`) is retried while attempts
+  remain, then surfaced exactly once in :attr:`ChainClient.failed`;
+* :func:`run_clients` raises :class:`~repro.errors.ClientStuckError`
+  naming the stuck clients if the simulator drains with operations
+  still unresolved, instead of silently returning ``done == False``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from ..errors import ClientStuckError, ReplicationError, RequestTimeoutError
 from ..workloads.ycsb import INSERT, READ, RMW, SCAN, SCAN_LENGTH, UPDATE, Op
-from .chain import ChainCluster
+from .chain import ChainCluster, RetryPolicy
 
 
 class ChainClient:
-    """Feeds a deterministic operation stream through the cluster."""
+    """Feeds a deterministic operation stream through the cluster.
 
-    def __init__(self, cluster: ChainCluster, client_id: str, ops: List[Op]):
+    ``retry=None`` inherits the cluster's policy;
+    ``RetryPolicy.disabled()`` reproduces the old fire-and-forget client
+    (which the nemesis corpus demonstrates gets stranded by one dropped
+    reply).
+    """
+
+    def __init__(
+        self,
+        cluster: ChainCluster,
+        client_id: str,
+        ops: List[Op],
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.cluster = cluster
         self.client_id = client_id
         self.ops = ops
+        self.retry = retry if retry is not None else cluster.retry
         self._cursor = 0
+        self._next_request = 0
         self.completed = 0
+        self.retries = 0
         self.latencies_ns: List[float] = []
+        #: (request_id, op, error) for operations that resolved with a
+        #: typed error — each rejected operation appears exactly once
+        self.failed: List[Tuple[int, Op, ReplicationError]] = []
+        #: request ids whose chain-wide outcome is unknown: some attempt
+        #: timed out (client- or head-side), so the write may have
+        #: executed even though the final resolution was an error.  The
+        #: nemesis durability oracle must not assume these are absent.
+        self.unknown_rids: set = set()
+        #: key -> value of the most recent *acknowledged* write per key,
+        #: in completion order — the nemesis convergence oracle checks
+        #: these against the tail
+        self.acked_writes: Dict[Any, bytes] = {}
 
     def start(self) -> None:
         self._issue_next()
+
+    # -- one operation ---------------------------------------------------------
 
     def _issue_next(self) -> None:
         if self._cursor >= len(self.ops):
             return
         op = self.ops[self._cursor]
         self._cursor += 1
+        rid = self._next_request
+        self._next_request += 1
+        state = {"rid": rid, "op": op, "attempt": 0, "done": False, "timer": None}
+        self._submit(state)
+
+    def _submit(self, state: dict) -> None:
+        op = state["op"]
+        rid = state["rid"]
+
+        def on_reply(result, latency_ns, _s=state):
+            self._on_reply(_s, result, latency_ns)
+
         if op.kind == READ:
-            self.cluster.submit_read("get", (op.key,), self._on_done)
+            self.cluster.submit_read("get", (op.key,), on_reply)
         elif op.kind in (UPDATE, INSERT):
-            self.cluster.submit_write("put", (op.key, op.value), [op.key], self._on_done)
+            self.cluster.submit_write(
+                "put", (op.key, op.value), [op.key], on_reply,
+                client_id=self.client_id, request_id=rid,
+            )
         elif op.kind == RMW:
             self.cluster.submit_write(
-                "rmw_const", (op.key, op.value), [op.key], self._on_done
+                "rmw_const", (op.key, op.value), [op.key], on_reply,
+                client_id=self.client_id, request_id=rid,
             )
         elif op.kind == SCAN:
-            self.cluster.submit_read("scan", (op.key, SCAN_LENGTH), self._on_done)
+            self.cluster.submit_read("scan", (op.key, SCAN_LENGTH), on_reply)
         else:
             raise ValueError(f"unsupported op kind {op.kind}")
+        self._arm_timer(state)
 
-    def _on_done(self, _result, latency_ns: float) -> None:
+    # -- timers + retries ------------------------------------------------------
+
+    def _arm_timer(self, state: dict) -> None:
+        if not self.retry.enabled:
+            return
+        self._cancel_timer(state)
+        state["timer"] = self.cluster.sim.schedule(
+            self.retry.timeout_for(state["attempt"]), self._on_timeout, state
+        )
+
+    @staticmethod
+    def _cancel_timer(state: dict) -> None:
+        if state["timer"] is not None:
+            state["timer"].cancel()
+            state["timer"] = None
+
+    def _on_timeout(self, state: dict) -> None:
+        state["timer"] = None
+        if state["done"]:
+            return
+        # a client-side timeout means a previous attempt may still be in
+        # flight somewhere in the chain: the outcome is no longer "never
+        # happened" even if a later attempt is rejected
+        self.unknown_rids.add(state["rid"])
+        if state["attempt"] >= self.retry.max_retries:
+            self._resolve(
+                state,
+                ReplicationError(
+                    f"client {self.client_id} request {state['rid']} unresolved "
+                    f"after {state['attempt']} retries"
+                ),
+                error=True,
+            )
+            return
+        state["attempt"] += 1
+        self.retries += 1
+        # resubmit under the same (client_id, request_id): the head
+        # absorbs it if the original is still in flight
+        self._submit(state)
+
+    def _on_reply(self, state: dict, result, latency_ns: float) -> None:
+        if state["done"]:
+            return  # a duplicate completion (original + retry): first wins
+        if isinstance(result, ReplicationError):
+            if isinstance(result, RequestTimeoutError):
+                self.unknown_rids.add(state["rid"])
+            if self.retry.enabled and state["attempt"] < self.retry.max_retries:
+                # rejected or timed out at the head: back off and retry
+                self._cancel_timer(state)
+                state["attempt"] += 1
+                self.retries += 1
+                delay = self.retry.timeout_for(state["attempt"])
+                self.cluster.sim.schedule(delay, self._resubmit_if_pending, state)
+                return
+            self._resolve(state, result, error=True)
+            return
+        self._resolve(state, result, error=False, latency_ns=latency_ns)
+
+    def _resubmit_if_pending(self, state: dict) -> None:
+        if not state["done"]:
+            self._submit(state)
+
+    def _resolve(self, state: dict, result, error: bool,
+                 latency_ns: Optional[float] = None) -> None:
+        state["done"] = True
+        self._cancel_timer(state)
+        op = state["op"]
+        if error:
+            self.failed.append((state["rid"], op, result))
+        else:
+            if latency_ns is not None:
+                self.latencies_ns.append(latency_ns)
+            if op.kind in (UPDATE, INSERT, RMW):
+                self.acked_writes[op.key] = op.value
         self.completed += 1
-        self.latencies_ns.append(latency_ns)
         self._issue_next()
 
     @property
@@ -56,12 +190,33 @@ class ChainClient:
         return self.completed >= len(self.ops)
 
 
-def run_clients(cluster: ChainCluster, streams: List[List[Op]]) -> List[ChainClient]:
-    """Start one closed-loop client per stream and run to completion."""
+def run_clients(
+    cluster: ChainCluster,
+    streams: List[List[Op]],
+    retry: Optional[RetryPolicy] = None,
+    raise_on_stuck: bool = True,
+) -> List[ChainClient]:
+    """Start one closed-loop client per stream and run to completion.
+
+    Raises :class:`~repro.errors.ClientStuckError` if the simulator
+    drains with clients still waiting — an operation was lost and
+    nothing will ever retry it (set ``raise_on_stuck=False`` to get the
+    old silent behaviour back for inspection-style tests).
+    """
     clients = [
-        ChainClient(cluster, f"c{i}", ops) for i, ops in enumerate(streams)
+        ChainClient(cluster, f"c{i}", ops, retry=retry)
+        for i, ops in enumerate(streams)
     ]
     for client in clients:
         client.start()
     cluster.drain()
+    stuck = [c for c in clients if not c.done]
+    if stuck and raise_on_stuck:
+        detail = ", ".join(
+            f"{c.client_id} ({c.completed}/{len(c.ops)} ops)" for c in stuck
+        )
+        raise ClientStuckError(
+            f"{len(stuck)} client(s) never completed: {detail}",
+            client_ids=[c.client_id for c in stuck],
+        )
     return clients

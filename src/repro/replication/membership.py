@@ -32,6 +32,9 @@ class MembershipManager:
         self.failure_timeout_ns = failure_timeout_ns
         self._views: List[ViewInfo] = [ViewInfo(1, tuple(initial_order))]
         self._last_seen: Dict[str, float] = {n: 0.0 for n in initial_order}
+        #: every replica ever declared failed, so a duplicate declaration
+        #: (two detectors racing) is distinguishable from an unknown node
+        self._removed: set = set()
 
     # -- views ---------------------------------------------------------------
 
@@ -65,9 +68,17 @@ class MembershipManager:
     # -- transitions ---------------------------------------------------------------
 
     def declare_failed(self, node_id: str) -> ViewInfo:
-        """Remove a failed replica; bumps the view."""
+        """Remove a failed replica; bumps the view.
+
+        A duplicate declaration (two failure detectors racing on the
+        same node) is rejected without a view bump — the first one
+        already reshaped the chain."""
         order = list(self.current.order)
         if node_id not in order:
+            if node_id in self._removed:
+                raise ReplicationError(
+                    f"{node_id} was already declared failed (duplicate declaration)"
+                )
             raise ReplicationError(f"{node_id} is not in the chain")
         order.remove(node_id)
         if not order:
@@ -75,6 +86,7 @@ class MembershipManager:
         view = ViewInfo(self.view_id + 1, tuple(order))
         self._views.append(view)
         self._last_seen.pop(node_id, None)
+        self._removed.add(node_id)
         return view
 
     def add_at_tail(self, node_id: str) -> ViewInfo:
@@ -84,6 +96,35 @@ class MembershipManager:
         view = ViewInfo(self.view_id + 1, self.current.order + (node_id,))
         self._views.append(view)
         self._last_seen[node_id] = 0.0
+        self._removed.discard(node_id)
+        return view
+
+    def replace_failed(self, failed_id: str, spare_id: str) -> ViewInfo:
+        """View-change-with-replacement: one bump that removes the
+        failed replica and splices a caught-up spare in at the tail.
+
+        A single transition (instead of ``declare_failed`` followed by
+        ``add_at_tail``) means no intermediate view exists in which the
+        chain is shorter than its fault target — in-flight messages are
+        either pre-failure (rejected as stale) or already addressed to
+        the replacement topology."""
+        order = list(self.current.order)
+        if failed_id not in order:
+            if failed_id in self._removed:
+                raise ReplicationError(
+                    f"{failed_id} was already declared failed (duplicate declaration)"
+                )
+            raise ReplicationError(f"{failed_id} is not in the chain")
+        if spare_id in order:
+            raise ReplicationError(f"{spare_id} is already in the chain")
+        order.remove(failed_id)
+        order.append(spare_id)
+        view = ViewInfo(self.view_id + 1, tuple(order))
+        self._views.append(view)
+        self._last_seen.pop(failed_id, None)
+        self._last_seen[spare_id] = 0.0
+        self._removed.add(failed_id)
+        self._removed.discard(spare_id)
         return view
 
     # -- failure detection --------------------------------------------------------------
@@ -99,9 +140,16 @@ class MembershipManager:
     def rejoin_request(self, node_id: str, claimed_view: int) -> ViewInfo:
         """A rebooted replica asks to rejoin with the view it remembers.
 
-        If the view moved on while it was down, the caller must run the
-        fail-stop repair path instead of the quick-reboot path.
+        If the view moved on while it was down, the quick-reboot path is
+        no longer safe (its neighbours may have changed identity):
+        :class:`~repro.errors.StaleViewError` tells the caller to run
+        the fail-stop repair path (or join as a new tail) instead.
         """
         if node_id not in self.current.order:
             raise ReplicationError(f"{node_id} was removed; rejoin as a new tail")
+        if claimed_view < self.view_id:
+            raise StaleViewError(
+                f"{node_id} rejoined claiming view {claimed_view}, "
+                f"current view is {self.view_id}"
+            )
         return self.current

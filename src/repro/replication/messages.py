@@ -3,12 +3,25 @@
 All chain traffic is view-stamped: replicas reject messages from an
 older view, which is what makes chain repair safe ("All messages carry
 a viewID and replicas reject messages with an older viewID", §5.3).
+
+Every message may be retransmitted: the network drops, duplicates, and
+reorders under fault injection, so the protocol relies on sequence
+numbers (``seq``, filtered by each replica's ``applied_seq``) and the
+head's ``(client_id, request_id)`` dedup table rather than on exactly-
+once delivery.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Tuple
+
+
+def wire_size(msg: Any) -> int:
+    """Approximate on-the-wire payload bytes, for the replicas' durable
+    input-queue accounting (header + per-argument cost)."""
+    args = getattr(msg, "args", ())
+    return 64 + 8 * len(args)
 
 
 @dataclass(frozen=True)

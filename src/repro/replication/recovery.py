@@ -125,10 +125,9 @@ def _replay_missed(cluster: ChainCluster, node: ReplicaNode) -> None:
         _reload_volatile(node)
 
 
-def fail_stop(cluster: ChainCluster, index: int) -> None:
-    """Remove a fail-stopped replica and repair the chain (§5.2)."""
-    if len(cluster.chain) <= 2 and cluster.mode == KAMINO:
-        raise ReplicationError("kamino chain needs at least two replicas to repair")
+def _detach(cluster: ChainCluster, index: int):
+    """Take the replica at ``index`` out of the topology (network +
+    chain list) and return what the repair paths need to re-stitch."""
     node = cluster.chain[index]
     cluster.net.fail_node(node.node_id)
     cluster.net.unregister(node.node_id)
@@ -137,14 +136,81 @@ def fail_stop(cluster: ChainCluster, index: int) -> None:
     pred = cluster.predecessor(node)
     succ = cluster.successor(node)
     cluster.chain.pop(index)
-    cluster.membership.declare_failed(node.node_id)
+    return node, was_head, was_tail, pred, succ
 
+
+def _repair_chain(cluster: ChainCluster, was_head: bool, was_tail: bool,
+                  pred: Optional[ReplicaNode], succ: Optional[ReplicaNode]) -> None:
     if was_head:
         _promote_new_head(cluster)
     elif was_tail:
         _promote_new_tail(cluster, pred)
     else:
         _bridge_mid_failure(cluster, pred, succ)
+
+
+def fail_stop(cluster: ChainCluster, index: int) -> None:
+    """Remove a fail-stopped replica and repair the chain (§5.2)."""
+    if len(cluster.chain) <= 2 and cluster.mode == KAMINO:
+        raise ReplicationError("kamino chain needs at least two replicas to repair")
+    node, was_head, was_tail, pred, succ = _detach(cluster, index)
+    cluster.membership.declare_failed(node.node_id)
+    _repair_chain(cluster, was_head, was_tail, pred, succ)
+    cluster._install_view()
+
+
+def replace_node(
+    cluster: ChainCluster,
+    index: int,
+    spare_id: Optional[str] = None,
+    value_size: int = 128,
+) -> ReplicaNode:
+    """Automatic node replacement: fail-stop the replica at ``index``
+    and splice a caught-up spare into the chain under a single view
+    change (:meth:`MembershipManager.replace_failed`).
+
+    The spare joins at the tail after state transfer from the (new)
+    tail — the same byte-shipping path a joining replica uses — then the
+    old tail's in-flight window is re-forwarded so nothing committed is
+    stranded.  The chain keeps its f-target instead of shrinking."""
+    if len(cluster.chain) <= 2 and cluster.mode == KAMINO:
+        raise ReplicationError("kamino chain needs at least two replicas to repair")
+    failed, was_head, was_tail, pred, succ = _detach(cluster, index)
+    _repair_chain(cluster, was_head, was_tail, pred, succ)
+
+    donor = cluster.tail
+    spare_id = spare_id or f"s{cluster.view_id}x{len(cluster.chain)}"
+    spare = ReplicaNode(
+        spare_id,
+        cluster.mode,
+        ROLE_TAIL,
+        heap_mb=donor.heap.region.size >> 20,
+        value_size=value_size,
+        alpha=donor.alpha,
+        model=donor.model,
+        seed=len(cluster.chain) + cluster.view_id,
+    )
+    spare.load_heap_image(donor.heap_image())
+    spare.kv = KVStore.open(spare.heap)
+    spare.applied_seq = donor.applied_seq
+    if donor.role == ROLE_TAIL:
+        donor.role = ROLE_MID
+    cluster.chain.append(spare)
+    cluster.membership.replace_failed(failed.node_id, spare_id)
+    cluster.net.register(spare_id, cluster._make_handler(spare))
+    cluster._servers[spare_id] = cluster.runtime.resources.register(
+        FIFOServer(spare_id)
+    )
+    cluster._install_view()
+    # the donor's un-cleaned window rides down to the spare so completion
+    # acks regenerate under the new view
+    for seq in sorted(donor.inflight):
+        _txid, msg = donor.inflight[seq]
+        cluster.net.send(
+            donor.node_id, spare_id,
+            TxForward(cluster.view_id, msg.seq, msg.proc, msg.args),
+        )
+    return spare
 
 
 def _promote_new_head(cluster: ChainCluster) -> None:
@@ -171,12 +237,22 @@ def _promote_new_head(cluster: ChainCluster) -> None:
     else:
         new_head.role = ROLE_HEAD
     # conservative lock reconstruction: quiesce by clearing client state
+    # (clients live on the head, §5.1 — their pending requests die with
+    # it and must be retried, which the dedup table makes idempotent)
     cluster._busy_keys.clear()
     cluster._inflight_writes.clear()
     cluster._admission_queue.clear()
-    # query the (new) tail for the last acknowledged transaction and
-    # adopt its sequence numbering
-    cluster._next_seq = cluster.tail.applied_seq + 1
+    cluster._degraded_queue.clear()
+    cluster._inflight_requests.clear()
+    for timer in cluster._retx_events.values():
+        timer.cancel()
+    cluster._retx_events.clear()
+    # resume sequence numbering above everything any survivor applied —
+    # the new head itself holds the maximum (each replica's history is a
+    # prefix of its predecessor's), and numbering from the tail instead
+    # would let a fresh transaction collide with one the old head
+    # forwarded but the tail never saw
+    cluster._next_seq = max(node.applied_seq for node in cluster.chain) + 1
 
 
 def _promote_new_tail(cluster: ChainCluster, new_tail: Optional[ReplicaNode]) -> None:
@@ -225,5 +301,59 @@ def join_new_replica(cluster: ChainCluster, heap_mb: int = 8, value_size: int = 
     cluster.chain.append(node)
     cluster.membership.add_at_tail(node.node_id)
     cluster.net.register(node.node_id, cluster._make_handler(node))
-    cluster._servers[node.node_id] = FIFOServer(node.node_id)
+    cluster._servers[node.node_id] = cluster.runtime.resources.register(
+        FIFOServer(node.node_id)
+    )
+    cluster._install_view()
     return node
+
+
+def settle(cluster: ChainCluster, rounds: int = 6) -> None:
+    """Re-forward stalled in-flight windows until the chain is quiet.
+
+    An intervention can strand a window: a crashed replica's successor
+    never saw a forward, or a tail ack died with the old view.  The
+    hardened protocol's timeout ladder usually heals this on its own;
+    this driver forces the same retransmissions *now* — each round
+    re-sends every survivor's un-cleaned window downstream (the head's
+    is rebuilt from its client table), re-acks from the applied tail,
+    then drains.  ``applied_seq`` and the idempotent procedures make the
+    duplicates harmless.  Used by the crash explorer and the nemesis
+    runner to settle a cluster after fault injection stops.
+    """
+    for _ in range(rounds):
+        cluster.drain()
+        stalled = bool(cluster._inflight_writes) or any(
+            node.inflight for node in cluster.chain
+        )
+        if not stalled:
+            return
+        head = cluster.head
+        succ = cluster.successor(head)
+        # unacked client writes: rebuild the head's forwards from the
+        # client table (the head's volatile window dies with a reboot)
+        for seq, op in sorted(cluster._inflight_writes.items()):
+            msg = TxForward(cluster.view_id, seq, op.proc, op.args)
+            if succ is None:
+                cluster._on_tail_ack(TailAck(cluster.view_id, seq))
+            else:
+                cluster.net.send(head.node_id, succ.node_id, msg)
+        # every survivor's un-cleaned window, the head's included (a
+        # promoted head still owes its old downstream forwards)
+        for node in cluster.chain:
+            nxt = cluster.successor(node)
+            if nxt is None:
+                continue
+            for seq in sorted(node.inflight):
+                _txid, msg = node.inflight[seq]
+                fresh = TxForward(cluster.view_id, msg.seq, msg.proc, msg.args)
+                cluster.net.send(node.node_id, nxt.node_id, fresh)
+        # an applied-but-unacked tail: regenerate the completion acks
+        tail = cluster.tail
+        for seq in sorted(cluster._inflight_writes):
+            if tail.applied_seq >= seq:
+                cluster.net.send(
+                    tail.node_id, cluster.head.node_id,
+                    TailAck(cluster.view_id, seq),
+                )
+    cluster.drain()

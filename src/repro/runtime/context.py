@@ -27,6 +27,7 @@ same objects.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional
 
@@ -102,6 +103,7 @@ class ExecutionContext:
         events: Optional[EventSimulator] = None,
         resources: Optional[SharedResources] = None,
         engine_name: Optional[str] = None,
+        seed: int = 0,
     ):
         self.model = model
         self.device = device
@@ -112,6 +114,11 @@ class ExecutionContext:
         self.events = events if events is not None else EventSimulator(clock=self.clock)
         self.resources = resources if resources is not None else SharedResources(model)
         self.engine_name = engine_name or (getattr(engine, "name", None) if engine else None)
+        #: the context's seed and RNG: every non-deterministic choice a
+        #: simulation layer makes (fault injection above all) draws from
+        #: here, so a run is exactly replayable from ``seed``
+        self.seed = seed
+        self.rng = random.Random(seed)
         #: records of every transaction executed through :meth:`run_tx`
         self.records: List[TxRecord] = []
 

@@ -2,7 +2,13 @@
 
 from .events import Event, EventSimulator
 from .failure import crash_points, run_until_crash
-from .network import DEFAULT_HOP_NS, SimNetwork
+from .network import (
+    DEFAULT_HOP_NS,
+    LinkFaultPolicy,
+    NetStats,
+    SimNetwork,
+    message_checksum,
+)
 from .resources import (
     ENGINE_COST_MODELS,
     BandwidthResource,
@@ -20,9 +26,12 @@ __all__ = [
     "Event",
     "EventSimulator",
     "FIFOServer",
+    "LinkFaultPolicy",
+    "NetStats",
     "ServerSnapshot",
     "SimNetwork",
     "cost_model_for",
     "crash_points",
+    "message_checksum",
     "run_until_crash",
 ]

@@ -10,6 +10,7 @@ after commits.
 from __future__ import annotations
 
 import threading
+import time
 from abc import ABC, abstractmethod
 from typing import List, Optional, Sequence, Tuple
 
@@ -37,12 +38,20 @@ class BackupSyncer:
             ... transactions on other threads ...
     """
 
-    def __init__(self, engine, poll_interval: float = 0.0005):
+    def __init__(self, engine, poll_interval: float = 0.0005,
+                 max_lag: Optional[int] = None):
         self.engine = engine
         self.poll_interval = poll_interval
+        #: backlog bound for producer-side back-pressure: when set,
+        #: :meth:`throttle` blocks writers while the engine's deferred
+        #: sync queue is longer than this (the chain head applies the
+        #: same idea in virtual time via ``ChainCluster.max_backup_lag``)
+        self.max_lag = max_lag
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self.synced = 0
+        #: number of :meth:`throttle` calls that actually had to wait
+        self.throttled = 0
         #: set when the device power-failed under the syncer; holds a
         #: human-readable summary instead of letting ``DeviceCrashedError``
         #: escape from ``stop()`` / ``__exit__`` during test teardown
@@ -67,6 +76,24 @@ class BackupSyncer:
             self.synced += done
             if done == 0:
                 self._stop.wait(self.poll_interval)
+
+    def throttle(self, timeout: float = 10.0) -> bool:
+        """Block the calling (writer) thread until the deferred backlog
+        is within :attr:`max_lag` — back-pressure instead of unbounded
+        lag.  Returns False if the wait timed out, the syncer stopped,
+        or the device crashed (the backlog then belongs to recovery);
+        True when the writer may proceed.  No-op without a bound."""
+        if self.max_lag is None or self.engine.pending_count <= self.max_lag:
+            return True
+        self.throttled += 1
+        deadline = time.monotonic() + timeout
+        while self.engine.pending_count > self.max_lag:
+            if self._stop.is_set() or self.crashed:
+                return False
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(self.poll_interval)
+        return True
 
     def _note_crash(self, exc: BaseException) -> None:
         self.crash_summary = (

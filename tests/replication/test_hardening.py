@@ -1,0 +1,214 @@
+"""Protocol hardening: timeouts, retransmission, dedup, degradation,
+back-pressure, and automatic node replacement."""
+
+import pytest
+
+from repro.errors import ClientStuckError, ClusterDegraded, RequestTimeoutError
+from repro.replication import (
+    KAMINO,
+    ChainCluster,
+    RetryPolicy,
+    join_new_replica,
+    replace_node,
+    run_clients,
+)
+from repro.workloads import Op, UPDATE
+
+
+def small_cluster(**kw):
+    kw.setdefault("f", 1)
+    kw.setdefault("mode", KAMINO)
+    kw.setdefault("heap_mb", 2)
+    kw.setdefault("value_size", 64)
+    return ChainCluster(**kw)
+
+
+class TestRetransmission:
+    def test_dropped_forward_is_retransmitted_after_heal(self):
+        cluster = small_cluster()
+        results = []
+        cluster.net.cut_link("r0", "r1")
+        cluster.sim.at(1_000_000.0, cluster.net.heal_link, "r0", "r1")
+        cluster.submit_write("put", (1, b"v"), [1], lambda r, lat: results.append(r))
+        cluster.drain()
+        assert cluster.committed == 1
+        assert cluster.retransmissions >= 1
+        assert len(results) == 1 and not isinstance(results[0], Exception)
+        cluster.assert_replicas_consistent()
+
+    def test_backoff_is_capped_exponential(self):
+        retry = RetryPolicy(timeout_ns=100.0, backoff=2.0, max_timeout_ns=400.0)
+        assert [retry.timeout_for(a) for a in range(5)] == [
+            100.0, 200.0, 400.0, 400.0, 400.0
+        ]
+
+    def test_exhausted_retries_surface_timeout_exactly_once(self):
+        cluster = small_cluster()
+        results = []
+        cluster.net.cut_link("r0", "r1")  # never healed
+        cluster.submit_write("put", (1, b"v"), [1], lambda r, lat: results.append(r))
+        cluster.drain()
+        assert len(results) == 1
+        assert isinstance(results[0], RequestTimeoutError)
+        assert cluster.timed_out == 1
+        assert cluster.committed == 0
+        # keys were released: a later write to the same key admits
+        cluster.net.heal_link("r0", "r1")
+        cluster.submit_write("put", (1, b"w"), [1], lambda r, lat: results.append(r))
+        cluster.drain()
+        assert not isinstance(results[1], Exception)
+        assert cluster.committed == 1
+
+
+class TestDeduplication:
+    def test_inflight_duplicate_absorbed(self):
+        cluster = small_cluster()
+        results = []
+        cb = lambda r, lat: results.append(r)  # noqa: E731
+        cluster.submit_write("put", (1, b"v"), [1], cb,
+                             client_id="c0", request_id=0)
+        cluster.submit_write("put", (1, b"v"), [1], cb,
+                             client_id="c0", request_id=0)
+        cluster.drain()
+        assert cluster.committed == 1
+        assert cluster.duplicate_requests == 1
+        assert len(results) == 1  # the duplicate is silently absorbed
+
+    def test_completed_duplicate_replayed_from_dedup_table(self):
+        cluster = small_cluster()
+        results = []
+        cb = lambda r, lat: results.append(r)  # noqa: E731
+        cluster.submit_write("put", (1, b"v"), [1], cb,
+                             client_id="c0", request_id=0)
+        cluster.drain()
+        committed_before = cluster.committed
+        cluster.submit_write("put", (1, b"v"), [1], cb,
+                             client_id="c0", request_id=0)
+        cluster.drain()
+        assert cluster.committed == committed_before  # not re-executed
+        assert cluster.duplicate_requests == 1
+        assert len(results) == 2  # but the reply was replayed
+
+
+class TestDegradation:
+    def test_below_quorum_rejects_with_typed_error(self):
+        cluster = small_cluster(write_quorum=5)  # 3 replicas < 5
+        results = []
+        cluster.submit_write("put", (1, b"v"), [1],
+                             lambda r, lat: results.append(r))
+        cluster.drain()
+        assert len(results) == 1
+        assert isinstance(results[0], ClusterDegraded)
+        assert cluster.degraded_rejections == 1
+        assert cluster.committed == 0
+
+    def test_circuit_breaker_opens_after_repeated_failures(self):
+        cluster = small_cluster(retry=RetryPolicy(max_retries=2),
+                                degrade_after=1)
+        results = []
+        cluster.net.cut_link("r0", "r1")
+        cluster.submit_write("put", (1, b"v"), [1],
+                             lambda r, lat: results.append(r))
+        cluster.drain()
+        assert isinstance(results[0], RequestTimeoutError)
+        assert cluster.degraded  # breaker open within the cooldown window
+        cluster.submit_write("put", (2, b"w"), [2],
+                             lambda r, lat: results.append(r))
+        assert isinstance(results[1], ClusterDegraded)  # fast rejection
+        assert cluster.degraded_rejections == 1
+
+    def test_queue_policy_parks_then_readmits_on_view_change(self):
+        cluster = ChainCluster(f=2, mode=KAMINO, heap_mb=2, value_size=64,
+                               write_quorum=5, degraded_policy="queue")
+        results = []
+        cluster.submit_write("put", (1, b"v"), [1],
+                             lambda r, lat: results.append(r))
+        cluster.drain()
+        assert results == []  # parked, not rejected
+        join_new_replica(cluster)  # 5th replica restores the quorum
+        cluster.drain()
+        assert len(results) == 1 and not isinstance(results[0], Exception)
+        assert cluster.committed == 1
+
+    def test_reads_degrade_to_deepest_live_replica(self):
+        cluster = small_cluster()
+        cluster.submit_write("put", (1, b"v"), [1])
+        cluster.drain()
+        cluster.net.fail_node(cluster.tail.node_id)
+        got = []
+        cluster.submit_read("get", (1,), lambda r, lat: got.append(r))
+        cluster.drain()
+        assert got and got[0] is not None and got[0].startswith(b"v")
+
+    def test_reads_with_no_live_replica_reject(self):
+        cluster = small_cluster()
+        for node in cluster.chain:
+            cluster.net.fail_node(node.node_id)
+        got = []
+        cluster.submit_read("get", (1,), lambda r, lat: got.append(r))
+        cluster.drain()
+        assert len(got) == 1
+        assert isinstance(got[0], ClusterDegraded)
+
+
+class TestBackPressure:
+    def test_backup_lag_bound_stalls_admission(self):
+        cluster = small_cluster(max_backup_lag=2)
+        for k in range(10):
+            cluster.submit_write("put", (k, bytes([k + 1]) * 8), [k])
+        cluster.drain()
+        assert cluster.backpressure_stalls > 0
+        assert cluster.committed == 10
+        cluster.assert_replicas_consistent()
+
+
+class TestClientStuck:
+    def test_unhardened_client_stuck_raises_typed_error(self):
+        cluster = small_cluster(retry=RetryPolicy.disabled())
+        cluster.net.cut_link("r0", "r1")
+        with pytest.raises(ClientStuckError) as exc:
+            run_clients(cluster, [[Op(UPDATE, 1, b"v")]])
+        assert exc.value.client_ids == ("c0",)
+
+    def test_raise_on_stuck_false_returns_clients(self):
+        cluster = small_cluster(retry=RetryPolicy.disabled())
+        cluster.net.cut_link("r0", "r1")
+        clients = run_clients(cluster, [[Op(UPDATE, 1, b"v")]],
+                              raise_on_stuck=False)
+        assert not clients[0].done
+
+    def test_hardened_clients_survive_transient_cut(self):
+        cluster = small_cluster()
+        cluster.net.cut_link("r0", "r1")
+        cluster.sim.at(1_000_000.0, cluster.net.heal_link, "r0", "r1")
+        clients = run_clients(
+            cluster, [[Op(UPDATE, k, bytes([k + 1]) * 8) for k in range(4)]]
+        )
+        assert clients[0].done
+        assert not clients[0].failed
+        cluster.assert_replicas_consistent()
+
+
+class TestNodeReplacement:
+    def test_replace_mid_replica_single_view_bump(self):
+        cluster = ChainCluster(f=2, mode=KAMINO, heap_mb=2, value_size=64)
+        for k in range(4):
+            cluster.submit_write("put", (k, bytes([k + 1]) * 8), [k])
+        cluster.drain()
+        failed_id = cluster.chain[1].node_id
+        spare = replace_node(cluster, 1)
+        assert cluster.view_id == 2  # remove + splice in ONE bump
+        assert failed_id not in [n.node_id for n in cluster.chain]
+        assert cluster.chain[-1] is spare
+        assert tuple(n.node_id for n in cluster.chain) == cluster.membership.order()
+        # the spare caught up via state transfer and serves new writes
+        cluster.submit_write("put", (9, b"after"), [9])
+        cluster.drain()
+        cluster.assert_replicas_consistent()
+        assert cluster.kv_states()[-1][9].startswith(b"after")
+
+    def test_replace_keeps_f_target(self):
+        cluster = ChainCluster(f=2, mode=KAMINO, heap_mb=2, value_size=64)
+        n_before = len(cluster.chain)
+        replace_node(cluster, 2)
+        assert len(cluster.chain) == n_before

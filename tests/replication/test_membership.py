@@ -70,6 +70,55 @@ class TestTransitions:
             mm.add_at_tail("a")
 
 
+class TestDuplicateDeclarations:
+    def test_duplicate_failure_declaration_rejected(self, mm):
+        mm.declare_failed("b")
+        view_before = mm.view_id
+        with pytest.raises(ReplicationError, match="duplicate declaration"):
+            mm.declare_failed("b")
+        assert mm.view_id == view_before  # no second view bump
+
+    def test_duplicate_distinct_from_unknown_node(self, mm):
+        with pytest.raises(ReplicationError, match="not in the chain"):
+            mm.declare_failed("zz")
+
+    def test_rejoined_node_can_fail_again(self, mm):
+        mm.declare_failed("b")
+        mm.add_at_tail("b")
+        view = mm.declare_failed("b")  # fresh incarnation, fresh failure
+        assert "b" not in view.order
+
+
+class TestReplacement:
+    def test_replace_failed_is_single_view_bump(self, mm):
+        view = mm.replace_failed("b", "spare")
+        assert view.view_id == 2
+        assert view.order == ("a", "c", "d", "spare")
+
+    def test_replace_unknown_failed_rejected(self, mm):
+        with pytest.raises(ReplicationError, match="not in the chain"):
+            mm.replace_failed("zz", "spare")
+
+    def test_replace_already_removed_is_duplicate(self, mm):
+        mm.declare_failed("b")
+        with pytest.raises(ReplicationError, match="duplicate declaration"):
+            mm.replace_failed("b", "spare")
+
+    def test_replace_with_existing_member_rejected(self, mm):
+        with pytest.raises(ReplicationError):
+            mm.replace_failed("b", "c")
+
+    def test_head_failure_promotes_successor(self, mm):
+        view = mm.declare_failed("a")
+        assert view.order[0] == "b"
+        assert mm.neighbours("b") == (None, "c")
+
+    def test_tail_failure_promotes_predecessor(self, mm):
+        view = mm.declare_failed("d")
+        assert view.order[-1] == "c"
+        assert mm.neighbours("c") == ("b", None)
+
+
 class TestFailureDetection:
     def test_quick_reboot_within_timeout(self, mm):
         assert mm.is_quick_reboot("a", went_down_at_ns=0, now_ns=1_000_000)
@@ -83,3 +132,15 @@ class TestFailureDetection:
         mm.declare_failed("b")
         with pytest.raises(ReplicationError):
             mm.rejoin_request("b", claimed_view=1)
+
+    def test_rejoin_with_stale_view_rejected(self, mm):
+        # the view moved on while the replica was down (another failure
+        # was handled): the quick-reboot path is no longer safe
+        mm.declare_failed("c")
+        with pytest.raises(StaleViewError):
+            mm.rejoin_request("b", claimed_view=1)
+
+    def test_rejoin_with_current_view_accepted(self, mm):
+        mm.declare_failed("c")
+        view = mm.rejoin_request("b", claimed_view=mm.view_id)
+        assert view.view_id == mm.view_id

@@ -1,5 +1,6 @@
 """BackupSyncer thread lifecycle and FullBackup mechanics."""
 
+import threading
 import time
 
 import pytest
@@ -75,6 +76,53 @@ class TestBackupSyncer:
         device.crash()
         syncer.stop(drain=True)  # must not raise
         assert syncer.crashed
+
+
+class TestThrottle:
+    def test_no_bound_never_waits(self):
+        heap, engine, _ = build_heap(kamino_simple)
+        with heap.transaction():
+            p = heap.alloc(Pair)
+            p.key = 1
+        syncer = BackupSyncer(engine)  # max_lag=None
+        assert syncer.throttle()
+        assert syncer.throttled == 0
+
+    def test_within_bound_proceeds_immediately(self):
+        heap, engine, _ = build_heap(kamino_simple)
+        with heap.transaction():
+            p = heap.alloc(Pair)
+            p.key = 1
+        syncer = BackupSyncer(engine, max_lag=8)
+        assert syncer.throttle()
+        assert syncer.throttled == 0
+
+    def test_backlog_over_bound_blocks_until_drained(self):
+        heap, engine, _ = build_heap(kamino_simple)
+        for i in range(4):
+            with heap.transaction():
+                p = heap.alloc(Pair)
+                p.key = i
+        assert engine.pending_count > 0
+        syncer = BackupSyncer(engine, poll_interval=0.001, max_lag=0)
+        # delay the drain so the writer demonstrably has to wait
+        starter = threading.Timer(0.05, syncer.start)
+        starter.start()
+        assert syncer.throttle(timeout=5.0)
+        starter.join()
+        syncer.stop()
+        assert syncer.throttled == 1
+        assert engine.pending_count == 0
+
+    def test_timeout_returns_false_when_backlog_stuck(self):
+        heap, engine, _ = build_heap(kamino_simple)
+        for i in range(3):
+            with heap.transaction():
+                p = heap.alloc(Pair)
+                p.key = i
+        syncer = BackupSyncer(engine, max_lag=0)  # never started: no drain
+        assert not syncer.throttle(timeout=0.05)
+        assert syncer.throttled == 1
 
 
 class TestFullBackupMechanics:

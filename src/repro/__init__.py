@@ -11,9 +11,17 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.runtime` — execution contexts, clock, engine registry
 * :mod:`repro.replication` — chain replication (traditional + Kamino)
 * :mod:`repro.bench` — benchmark harness over the runtime layer
+* :mod:`repro.integrity` — media-fault model, checksum sidecar, scrubber
 """
 
-from .errors import ReproError
+from .errors import (
+    BothCopiesLostError,
+    IntegrityError,
+    MediaError,
+    ReproError,
+    UncorrectableMediaError,
+)
+from .integrity import ChecksumSidecar, MediaFaultModel, ScrubReport, Scrubber
 from .heap import PersistentHeap, PersistentStruct
 from .nvm import CrashPolicy, NVMDevice, PmemPool
 from .runtime import (
@@ -35,17 +43,25 @@ from .tx import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BothCopiesLostError",
+    "ChecksumSidecar",
     "CoWEngine",
     "CrashPolicy",
     "EngineCapabilities",
     "ExecutionContext",
+    "IntegrityError",
+    "MediaError",
+    "MediaFaultModel",
     "NVMDevice",
     "NoLoggingEngine",
     "PersistentHeap",
     "PersistentStruct",
     "PmemPool",
     "ReproError",
+    "ScrubReport",
+    "Scrubber",
     "SimClock",
+    "UncorrectableMediaError",
     "UndoLogEngine",
     "__version__",
     "kamino_dynamic",

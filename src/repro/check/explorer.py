@@ -29,14 +29,29 @@ enumeration:
 
 RANDOM-policy sampling replays surviving-word lotteries with distinct
 device seeds, covering torn writes beyond the all-or-nothing policies.
+
+**Media-corruption mode** (``Scenario.media`` + ``corrupt_lines``)
+additionally rots the durable image *between the crash and recovery*:
+seeded bit flips land in the heap and backup-mirror bytes while the
+machine is "off", exactly when no code can observe them happening.  The
+oracle is then *detect-or-repair, never silent corruption*: with
+``media="protected"`` recovery must either repair every flipped line
+(checksum scrub against the surviving copy) and satisfy the usual
+ledger/validator battery, or degrade with a typed
+:class:`~repro.errors.MediaError` — recovered state that silently
+disagrees with the ledger is a failure, and so is any line still
+detectably bad after the post-recovery scrub.  With
+``media="unprotected"`` the same flips go undetected, which is how the
+checker demonstrates the failure class the sidecar exists to close.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import DeviceCrashedError, RecoveryError
+from ..errors import DeviceCrashedError, MediaError, RecoveryError
 from ..nvm.device import CrashPolicy, NVMDevice
 from ..runtime.registry import EngineInfo, engine_info, registered_engines
 from ..tx.recovery import reopen_after_crash, verify_backup_consistency
@@ -66,6 +81,11 @@ class Scenario:
     device_seed: int = 0
     nested_after: Optional[int] = None
     nested_policy: CrashPolicy = CrashPolicy.DROP_ALL
+    #: "off" | "protected" | "unprotected" — attach a media-fault model
+    media: str = "off"
+    #: seeded bit flips injected into heap+backup between crash and recovery
+    corrupt_lines: int = 0
+    corrupt_seed: int = 0
 
     def describe(self) -> str:
         parts = [
@@ -80,6 +100,11 @@ class Scenario:
         if self.nested_after is not None:
             parts.append(
                 f"nested_after={self.nested_after} ({self.nested_policy.value})"
+            )
+        if self.media != "off":
+            parts.append(
+                f"media={self.media} corrupt_lines={self.corrupt_lines} "
+                f"corrupt_seed={self.corrupt_seed}"
             )
         return ", ".join(parts)
 
@@ -174,12 +199,39 @@ class CrashExplorer:
 
     # -- replay primitives ---------------------------------------------------
 
-    def _fresh(self, seed: int) -> Tuple[Any, Any, NVMDevice, CheckWorkload]:
-        heap, engine, device = build_stack(self._engine_factory, seed=seed)
+    def _fresh(
+        self, seed: int, media: str = "off"
+    ) -> Tuple[Any, Any, NVMDevice, CheckWorkload]:
+        heap, engine, device = build_stack(
+            self._engine_factory, seed=seed, media=media
+        )
         workload = self._workload_factory()
         workload.setup(heap)
         heap.drain()
         return heap, engine, device, workload
+
+    @staticmethod
+    def _inject_corruption(device: NVMDevice, heap: Any, scenario: Scenario) -> None:
+        """Rot the crashed durable image: seeded bit flips into the heap
+        and its backup mirror, while the machine is "off"."""
+        media = device.media
+        if media is None or scenario.corrupt_lines <= 0:
+            return
+        # target the *live* allocations (and their backup-mirror image) —
+        # rot in free space is unobservable and proves nothing
+        region = heap.region
+        live = heap.allocator.live_ranges()
+        spans = [(region.offset + off, size) for off, size in live]
+        backup = region.pool.regions.get("backup")
+        if backup is not None and backup.size >= region.size:
+            spans += [(backup.offset + off, size) for off, size in live]
+        if not spans:
+            spans = [(region.offset, region.size)]
+        media.inject_flips(
+            scenario.corrupt_lines,
+            ranges=spans,
+            rng=random.Random(scenario.corrupt_seed),
+        )
 
     def count_ops(self) -> int:
         """Mutating device operations between end-of-setup and quiescence."""
@@ -218,7 +270,9 @@ class CrashExplorer:
         """
         if ledger is None:
             ledger = self.golden_ledger()
-        heap, _engine, device, workload = self._fresh(scenario.device_seed)
+        heap, _engine, device, workload = self._fresh(
+            scenario.device_seed, media=scenario.media
+        )
         device.schedule_crash(
             scenario.crash_after, scenario.policy, scenario.survival
         )
@@ -235,13 +289,23 @@ class CrashExplorer:
             device.cancel_scheduled_crash()
             return None, None
         fingerprint = device.last_crash_fingerprint
+        self._inject_corruption(device, heap, scenario)
 
         if scenario.nested_after is not None:
-            crashed_again = self._crash_inside_recovery(device, scenario)
+            try:
+                crashed_again = self._crash_inside_recovery(device, scenario)
+            except MediaError:
+                # the first recovery hit the rot and degraded with a typed
+                # error before the nested fail-point fired — detection, not
+                # silence, so the scenario passes under "protected"
+                device.cancel_scheduled_crash()
+                if scenario.media == "protected":
+                    return None, fingerprint
+                raise
             if not crashed_again:
                 return None, fingerprint
 
-        violation = self._judge(device, workload, ledger, steps_done)
+        violation = self._judge(device, workload, ledger, steps_done, scenario.media)
         if violation is None:
             return None, fingerprint
         return CheckFailure(scenario=scenario, violation=violation), fingerprint
@@ -265,10 +329,27 @@ class CrashExplorer:
         workload: CheckWorkload,
         ledger: Ledger,
         steps_done: int,
+        media_mode: str = "off",
     ) -> Optional[OracleViolation]:
-        """Final (un-crashed) recovery + the full oracle battery."""
+        """Final (un-crashed) recovery + the full oracle battery.
+
+        In media mode the contract is detect-or-repair: a typed
+        :class:`MediaError` out of recovery or observation is an accepted
+        degrade (the corruption was *caught*), silent disagreement with
+        the ledger is the failure being hunted, and — under
+        ``"protected"`` — so is any line left detectably bad after the
+        post-recovery scrub.
+        """
         try:
             heap, engine, _report = reopen_after_crash(device, self._engine_factory)
+        except MediaError as exc:
+            if media_mode != "off":
+                return None  # typed detection — never served silently
+            return OracleViolation(
+                kind="recovery",
+                message=f"recovery raised {type(exc).__name__}: {exc}",
+                steps_completed=steps_done,
+            )
         except Exception as exc:  # recovery itself must never fail
             return OracleViolation(
                 kind="recovery",
@@ -277,6 +358,14 @@ class CrashExplorer:
             )
         try:
             observed = workload.observe(heap)
+        except MediaError as exc:
+            if media_mode != "off":
+                return None  # typed degrade on read, not silent garbage
+            return OracleViolation(
+                kind="validator",
+                message=f"recovered heap unreadable: {type(exc).__name__}: {exc}",
+                steps_completed=steps_done,
+            )
         except Exception as exc:
             return OracleViolation(
                 kind="validator",
@@ -288,6 +377,8 @@ class CrashExplorer:
             return violation
         try:
             workload.validate(heap)
+            heap.drain()
+            verify_backup_consistency(heap)
         except AssertionError as exc:
             return OracleViolation(
                 kind="validator",
@@ -295,15 +386,32 @@ class CrashExplorer:
                 steps_completed=steps_done,
                 observed=observed,
             )
-        heap.drain()
-        try:
-            verify_backup_consistency(heap)
+        except MediaError as exc:
+            if media_mode != "off":
+                return None  # typed degrade while validating — detected
+            return OracleViolation(
+                kind="validator",
+                message=f"{type(exc).__name__}: {exc}",
+                steps_completed=steps_done,
+            )
         except RecoveryError as exc:
             return OracleViolation(
                 kind="backup",
                 message=str(exc),
                 steps_completed=steps_done,
             )
+        media = device.media
+        if media_mode == "protected" and media is not None:
+            silent = [ln for ln in media.bad_lines() if ln not in media.lost]
+            if silent:
+                return OracleViolation(
+                    kind="media",
+                    message=(
+                        "silent corruption survived recovery + scrub: "
+                        f"lines {silent[:8]}"
+                    ),
+                    steps_completed=steps_done,
+                )
         return None
 
     # -- recovery op counting (for nested sweeps) ----------------------------
@@ -322,7 +430,9 @@ class CrashExplorer:
     def _crash_image(self, scenario: Scenario) -> Optional[NVMDevice]:
         """The durable post-crash device image for ``scenario``, if the
         fail-point fires."""
-        heap, _engine, device, _workload = self._fresh(scenario.device_seed)
+        heap, _engine, device, _workload = self._fresh(
+            scenario.device_seed, media=scenario.media
+        )
         device.schedule_crash(
             scenario.crash_after, scenario.policy, scenario.survival
         )
@@ -332,6 +442,7 @@ class CrashExplorer:
                 wl.step(heap, i)
             heap.drain()
         except DeviceCrashedError:
+            self._inject_corruption(device, heap, scenario)
             return device.clone_durable(seed=self.device_seed)
         device.cancel_scheduled_crash()
         return None
@@ -346,6 +457,8 @@ class CrashExplorer:
         nested: bool = True,
         max_nested_points: Optional[int] = 4,
         progress: Optional[Callable[[str], None]] = None,
+        media: str = "off",
+        corrupt_lines: int = 2,
     ) -> ExplorationReport:
         """Sweep crash points; returns the coverage + failure report.
 
@@ -356,6 +469,11 @@ class CrashExplorer:
                 (0 disables torn-write sampling).
             nested: also crash inside recovery at every novel state.
             max_nested_points: cap on nested points per outer state.
+            media: ``"protected"``/``"unprotected"`` additionally rots
+                ``corrupt_lines`` seeded durable bits (heap + backup)
+                between each crash and its recovery; the oracle becomes
+                detect-or-repair, never silent corruption.
+            corrupt_lines: bit flips injected per scenario in media mode.
         """
         report = ExplorationReport(engine=self.engine_name, workload=self.workload_name)
         report.n_ops = self.count_ops()
@@ -371,6 +489,9 @@ class CrashExplorer:
                 crash_after=point,
                 policy=CrashPolicy.DROP_ALL,
                 device_seed=self.device_seed,
+                media=media,
+                corrupt_lines=corrupt_lines if media != "off" else 0,
+                corrupt_seed=self.device_seed * 1000 + point,
             )
             failure, fingerprint = self.replay(base, ledger)
             if fingerprint is None:
@@ -414,7 +535,12 @@ class CrashExplorer:
         image = self._crash_image(base)
         if image is None:
             return
-        n_recovery_ops = self._count_recovery_ops(image)
+        try:
+            n_recovery_ops = self._count_recovery_ops(image)
+        except MediaError:
+            # recovery on this image degrades with a typed error before
+            # quiescing; there is no op timeline to nest crashes into
+            return
         for q in _sample_points(0, n_recovery_ops - 1, max_nested_points):
             scenario = replace(base, nested_after=q)
             failure, fired = self.replay(scenario, ledger)

@@ -56,6 +56,17 @@ def minimize_failure(
         if shrunk is not None:
             best, scenario = shrunk, shrunk.scenario
 
+    if scenario.media != "off":
+        # if it fails without the rot, the media corruption was noise;
+        # else try the single-flip version of the same failure
+        shrunk = still_fails(replace(scenario, media="off", corrupt_lines=0))
+        if shrunk is not None:
+            best, scenario = shrunk, shrunk.scenario
+        elif scenario.corrupt_lines > 1:
+            shrunk = still_fails(replace(scenario, corrupt_lines=1))
+            if shrunk is not None:
+                best, scenario = shrunk, shrunk.scenario
+
     for point in range(0, scenario.crash_after):
         shrunk = still_fails(replace(scenario, crash_after=point))
         if shrunk is not None:
@@ -90,6 +101,10 @@ def repro_snippet(failure: CheckFailure) -> str:
     if s.nested_after is not None:
         lines.append(f"    nested_after={s.nested_after},")
         lines.append(f"    nested_policy=CrashPolicy.{s.nested_policy.name},")
+    if s.media != "off":
+        lines.append(f"    media={s.media!r},")
+        lines.append(f"    corrupt_lines={s.corrupt_lines},")
+        lines.append(f"    corrupt_seed={s.corrupt_seed},")
     lines.append("))")
     lines.append("assert failure is not None, 'no longer reproduces'")
     return "\n".join(lines)

@@ -12,6 +12,9 @@ repo's own ``tests/conftest.py`` does this).  It contributes:
 * the ``assert_engine_crash_consistent`` fixture — the one-line form:
   sweep an engine × workload under the session budget and fail the test
   with each failure's minimized repro snippet if anything is found.
+* ``--media-faults`` — opt into the deep media-fault sweeps (tests
+  marked ``@pytest.mark.media``); without the flag those tests skip.
+  The quick media-integrity tests run unconditionally.
 """
 
 from __future__ import annotations
@@ -75,6 +78,29 @@ def pytest_addoption(parser) -> None:
         help="seeds per nemesis fault scenario (tests/faults); raise for "
         "deeper sweeps, e.g. --nemesis-seeds=5",
     )
+    parser.addoption(
+        "--media-faults",
+        action="store_true",
+        default=False,
+        help="run the deep media-fault sweeps (tests marked 'media'); "
+        "the quick integrity tests run regardless",
+    )
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "media: deep media-fault sweep; skipped unless --media-faults is given",
+    )
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    if config.getoption("--media-faults"):
+        return
+    skip = pytest.mark.skip(reason="needs --media-faults")
+    for item in items:
+        if "media" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")
@@ -86,6 +112,12 @@ def check_budget(request) -> CheckBudget:
 def nemesis_seeds(request) -> int:
     """How many seeds each nemesis scenario runs under."""
     return request.config.getoption("--nemesis-seeds")
+
+
+@pytest.fixture(scope="session")
+def media_faults(request) -> bool:
+    """Whether the deep media-fault sweeps were opted into."""
+    return request.config.getoption("--media-faults")
 
 
 @pytest.fixture

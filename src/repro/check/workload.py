@@ -43,10 +43,20 @@ def build_stack(
     seed: int = 0,
     pool_size: int = POOL_SIZE,
     heap_size: int = HEAP_SIZE,
+    media: str = "off",
 ) -> Tuple[PersistentHeap, Any, NVMDevice]:
-    """Fresh device + pool + heap bound to a new engine instance."""
+    """Fresh device + pool + heap bound to a new engine instance.
+
+    ``media`` attaches a :class:`~repro.integrity.model.MediaFaultModel`
+    before the pool is formatted: ``"protected"`` maintains the checksum
+    sidecar (scrub/repair works), ``"unprotected"`` injects without
+    detection (the demonstration configuration), ``"off"`` attaches
+    nothing.
+    """
     device = NVMDevice(pool_size, seed=seed)
     device.fingerprint_crashes = True
+    if media != "off":
+        device.attach_media(seed=seed, protect=media == "protected")
     pool = PmemPool.create(device)
     engine = engine_factory()
     heap = PersistentHeap.create(pool, engine, heap_size=heap_size)

@@ -9,6 +9,8 @@ Subcommands::
     python -m repro crash  --engine kamino-simple --policy random
     python -m repro check  --engine all --workloads pairs,kv --quick
     python -m repro nemesis --quick
+    python -m repro nemesis --media --seeds 3
+    python -m repro scrub  --flips 8 --dead 2
     python -m repro bench  --quick --out BENCH.json --compare BENCH_PR2.json
     python -m repro info   --engine kamino-dynamic --alpha 0.3
 
@@ -276,8 +278,11 @@ def cmd_check(args) -> int:
 
 def cmd_nemesis(args) -> int:
     """Seeded fault-injection sweep over the replication chain."""
+    from dataclasses import replace
+
     from .faults import (
         CORPUS,
+        MEDIA_CORPUS,
         minimize,
         repro_snippet,
         run_scenario,
@@ -288,8 +293,8 @@ def cmd_nemesis(args) -> int:
     if args.list:
         print(format_table(
             "nemesis scenario corpus",
-            ["scenario", "actions", "description"],
-            [[s.name, len(s.actions), s.description[:60]] for s in CORPUS],
+            ["scenario", "actions", "media", "description"],
+            [[s.name, len(s.actions), s.media, s.description[:60]] for s in CORPUS],
         ))
         return 0
 
@@ -301,15 +306,25 @@ def cmd_nemesis(args) -> int:
                 print(f"unknown scenario '{name}'; see --list", file=sys.stderr)
                 return 2
             scenarios.append(scenario)
+    elif args.media:
+        scenarios = list(MEDIA_CORPUS)
     else:
         scenarios = list(CORPUS)
     seeds = args.seeds
     if args.quick:
-        quick_names = {"flaky_link", "partition_and_heal", "crash_and_replace",
-                       "head_failover"}
-        scenarios = [s for s in scenarios if s.name in quick_names] or scenarios[:4]
+        if not args.media and not args.scenarios:
+            quick_names = {"flaky_link", "partition_and_heal", "crash_and_replace",
+                           "head_failover"}
+            scenarios = [s for s in scenarios if s.name in quick_names] or scenarios[:4]
         seeds = min(seeds, 2)
-    retry = RetryPolicy.disabled() if args.unhardened else RetryPolicy()
+    # --unhardened with --media demonstrates the *media* failure class:
+    # same faults, detection disabled (retries stay on — they are not the
+    # defence under test)
+    if args.unhardened and args.media:
+        scenarios = [replace(s, media="unprotected") for s in scenarios]
+        retry = RetryPolicy()
+    else:
+        retry = RetryPolicy.disabled() if args.unhardened else RetryPolicy()
 
     rows, failures = [], []
     for scenario in scenarios:
@@ -323,9 +338,15 @@ def cmd_nemesis(args) -> int:
             ])
             if not r.ok:
                 failures.append((scenario, seed, r))
+    unhardened_note = ""
+    if args.unhardened:
+        unhardened_note = (
+            ", UNPROTECTED (media detection disabled)" if args.media
+            else ", UNHARDENED (retries disabled)"
+        )
     print(format_table(
         f"nemesis sweep: {args.mode}, f={args.f}, {seeds} seed(s)"
-        + (", UNHARDENED (retries disabled)" if args.unhardened else ""),
+        + unhardened_note,
         ["scenario", "seed", "ops", "retx", "dropped", "verdict"],
         rows,
     ))
@@ -344,12 +365,94 @@ def cmd_nemesis(args) -> int:
         small = minimize(scenario, seed, mode=args.mode, f=args.f, retry=retry)
         print(f"\nminimized failing repro ({small.name}, seed={seed}, "
               f"{small.n_clients} client(s) x {small.ops_per_client} op(s)):\n")
-        print(repro_snippet(small, seed, mode=args.mode, hardened=False))
+        print(repro_snippet(small, seed, mode=args.mode,
+                            hardened=bool(args.media)))
         return 0
     if failures:
         print(f"\n{len(failures)} nemesis failure(s)", file=sys.stderr)
         return 1
     print(f"all {len(rows)} nemesis runs converged")
+    return 0
+
+
+def cmd_scrub(args) -> int:
+    """Media-fault demo: inject bit rot + dead lines, scrub, verify.
+
+    With the checksum sidecar on (the default), every injected fault
+    must end repaired, quarantined, or typed — silent corruption is a
+    failure (exit 1).  With ``--no-protect`` the same faults go
+    undetected and the verification pass counts the silently wrong
+    records, demonstrating the failure class the scrubber closes.
+    """
+    from .errors import MediaError
+    from .integrity import Scrubber
+    from .runtime.context import ExecutionContext
+
+    records = 64 if args.quick else args.records
+    kwargs = _engine_kwargs(args.engine, args)
+    ctx = ExecutionContext.create(
+        args.engine, value_size=128, heap_mb=4 if args.quick else 16,
+        seed=args.seed, **kwargs,
+    )
+    kv, device, heap = ctx.kv, ctx.device, ctx.heap
+    expect = {}
+    for k in range(records):
+        value = bytes([(k * 7 + 3) % 256]) * 64
+        kv.put(k, value)
+        expect[k] = value
+    kv.drain()
+
+    media = device.attach_media(seed=args.seed, protect=not args.no_protect)
+    live = [
+        (heap.region.offset + off, size)
+        for off, size in heap.allocator.live_ranges()
+    ]
+    media.inject_flips(args.flips, ranges=live)
+    backup = heap.region.pool.regions.get("backup")
+    if args.dead and backup is not None:
+        media.kill_lines(args.dead, ranges=[(backup.offset, backup.size)])
+
+    if media.protected:
+        report = Scrubber(device, pool=heap.region.pool,
+                          engine=ctx.engine).scrub_once()
+        print(f"scrub: {report.summary()}")
+
+    intact = typed = silent = 0
+    for k, value in expect.items():
+        try:
+            got = kv.get(k)
+        except MediaError as exc:
+            typed += 1
+            print(f"  key {k}: typed degrade ({type(exc).__name__})")
+            continue
+        except Exception as exc:
+            # a corrupted pointer/header crashing the reader IS silent
+            # corruption biting — there was no typed media error first
+            silent += 1
+            print(f"  key {k}: reader crashed on corrupt state "
+                  f"({type(exc).__name__})")
+            continue
+        if got is not None and got[: len(value)] == value:
+            intact += 1
+        else:
+            silent += 1
+    stats = device.stats
+    print(f"injected: {stats.media_flips} flips, {stats.media_dead} dead lines")
+    print(f"detected: {stats.media_detected}, repaired: {stats.media_repaired}")
+    print(f"records: {intact}/{records} intact, {typed} typed errors, "
+          f"{silent} silently corrupt")
+    if args.no_protect:
+        if silent == 0:
+            print("unprotected media unexpectedly served every record "
+                  "correctly; raise --flips", file=sys.stderr)
+            return 1
+        print("unprotected media served silently corrupt data — the "
+              "failure the checksum sidecar exists to catch")
+        return 0
+    if silent or typed:
+        print(f"{silent + typed} record(s) not fully repaired", file=sys.stderr)
+        return 1
+    print("every injected fault repaired; all records verified intact")
     return 0
 
 
@@ -490,10 +593,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", default="kamino", choices=["kamino", "traditional"])
     p.add_argument("--f", type=int, default=2, help="failures to tolerate")
     p.add_argument("--unhardened", action="store_true",
-                   help="disable retries/timeouts and demonstrate the failure "
+                   help="disable the defence under test (retries, or media "
+                   "protection with --media) and demonstrate the failure "
                    "(prints a minimized replayable repro)")
+    p.add_argument("--media", action="store_true",
+                   help="run the media-fault subset (bit rot, dead lines) "
+                   "with scrub-and-repair")
     p.add_argument("--list", action="store_true", help="list the corpus")
     p.set_defaults(fn=cmd_nemesis)
+
+    p = sub.add_parser(
+        "scrub", help="media-fault demo: inject bit rot + dead lines, "
+        "scrub-and-repair, verify every record"
+    )
+    p.add_argument("--engine", default="kamino-simple")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke: small heap, 64 records")
+    p.add_argument("--records", type=int, default=256)
+    p.add_argument("--flips", type=int, default=8,
+                   help="latent bit flips injected into live heap bytes")
+    p.add_argument("--dead", type=int, default=2,
+                   help="uncorrectable lines injected into the backup mirror")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-protect", action="store_true",
+                   help="drop the checksum sidecar: same faults, no "
+                   "detection (the demonstration)")
+    p.add_argument("--alpha", type=float, default=0.5)
+    p.set_defaults(fn=cmd_scrub)
 
     p = sub.add_parser("bench", help="wall-clock perf suite (BENCH_*.json trajectory)")
     p.add_argument("--quick", action="store_true", help="CI-sized runs")

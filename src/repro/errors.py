@@ -34,6 +34,56 @@ class PoolCorruptionError(NVMError):
     """Pool header failed validation (bad magic, version, or checksum)."""
 
 
+class MediaError(NVMError):
+    """Base class for media-level faults: the device's durable bytes
+    themselves decayed (bit flips, stuck-at bits, dead lines), as
+    opposed to volatile-overlay loss at a crash."""
+
+
+class UncorrectableMediaError(MediaError):
+    """A read touched a cache line the media reports as uncorrectable
+    (a dead line); the data cannot be returned.  The scrubber quarantines
+    such lines and restores their content from the surviving copy."""
+
+    def __init__(self, message: str, lines=()):
+        super().__init__(message)
+        self.lines = tuple(lines)
+
+
+class IntegrityError(MediaError):
+    """A checksum-protected line failed verification: its durable bytes
+    no longer match the checksum recorded at the last legitimate persist.
+    Raised by recovery and scrub paths that verify before acting; silent
+    corruption is never propagated past a verify point."""
+
+    def __init__(self, message: str, lines=()):
+        super().__init__(message)
+        self.lines = tuple(lines)
+
+
+class BothCopiesLostError(MediaError):
+    """Both the main copy and its backup (and any reachable peer) of a
+    line are corrupt or dead: the data is unrecoverable locally.  The
+    engine degrades with this typed error instead of returning garbage;
+    chain deployments fall back to replica state transfer."""
+
+    def __init__(self, message: str, lines=()):
+        super().__init__(message)
+        self.lines = tuple(lines)
+
+
+class RingCorruptionError(IntegrityError, PoolCorruptionError):
+    """A persistent-ring record *behind* the durable produce index failed
+    its CRC — mid-ring media corruption, not a torn append (a torn tail
+    is truncated silently).  Carries the failing record's region offset
+    and logical index for the repair path."""
+
+    def __init__(self, message: str, offset: int = -1, record_index: int = -1):
+        super().__init__(message)
+        self.offset = offset
+        self.record_index = record_index
+
+
 # ---------------------------------------------------------------------------
 # Heap / allocator errors
 # ---------------------------------------------------------------------------

@@ -14,17 +14,19 @@ from .runner import (
     NemesisResult,
     client_streams,
     demonstrate_unhardened,
+    demonstrate_unprotected,
     minimize,
     repro_snippet,
     run_corpus,
     run_scenario,
 )
-from .scenarios import CORPUS, scenario_by_name
+from .scenarios import CORPUS, MEDIA_CORPUS, scenario_by_name
 
 __all__ = [
     "CORPUS",
     "FaultAction",
     "LinkFaultPolicy",
+    "MEDIA_CORPUS",
     "Nemesis",
     "NemesisResult",
     "NemesisScenario",
@@ -32,6 +34,7 @@ __all__ = [
     "RetryPolicy",
     "client_streams",
     "demonstrate_unhardened",
+    "demonstrate_unprotected",
     "minimize",
     "repro_snippet",
     "run_corpus",

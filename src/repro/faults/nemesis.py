@@ -28,16 +28,31 @@ clear_faults    remove every link fault, partition, and slow-down
 quick_reboot    §5.3 crash + in-place repair of one replica
 fail_stop       §5.2 removal + chain re-stitch (no replacement)
 crash_replace   fail-stop + splice in a caught-up spare, one view change
+media_flip      inject seeded latent bit flips into one replica's durable
+                media (``target``: live heap bytes, whole heap, backup,
+                or input queue)
+media_dead      declare seeded random cache lines uncorrectable on one
+                replica (reads raise until quarantined)
+media_scrub     run a scrub-and-repair pass on one replica (or all of
+                them), with neighbour state transfer as the last resort;
+                a no-op on unprotected media — nothing can be detected
 ==============  ============================================================
+
+Media verbs need a :class:`~repro.integrity.model.MediaFaultModel` on the
+replica's device; the runner attaches one per node when
+``scenario.media`` is ``"protected"`` (checksum sidecar maintained) or
+``"unprotected"`` (faults injected, nothing detects them — the
+demonstration configuration), and the verbs attach one lazily otherwise.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
 from ..replication.chain import ChainCluster
-from ..replication.recovery import fail_stop, quick_reboot, replace_node
+from ..replication.recovery import fail_stop, quick_reboot, replace_node, scrub_node
 from ..sim.network import LinkFaultPolicy
 
 
@@ -82,6 +97,10 @@ class NemesisScenario:
     ops_per_client: int = 12
     keyspace: int = 4
     read_fraction: float = 0.0
+    #: media-fault configuration: "off" (no model attached), "protected"
+    #: (model + checksum sidecar on every replica), or "unprotected"
+    #: (model without detection — media verbs corrupt silently)
+    media: str = "off"
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -92,6 +111,7 @@ class NemesisScenario:
             "ops_per_client": self.ops_per_client,
             "keyspace": self.keyspace,
             "read_fraction": self.read_fraction,
+            "media": self.media,
         }
 
     @classmethod
@@ -106,6 +126,7 @@ class NemesisScenario:
             ops_per_client=int(data.get("ops_per_client", 12)),
             keyspace=int(data.get("keyspace", 4)),
             read_fraction=float(data.get("read_fraction", 0.0)),
+            media=str(data.get("media", "off")),
         )
 
     def describe(self) -> str:
@@ -143,6 +164,8 @@ class Nemesis:
         self.scenario = scenario
         #: (fired_at_ns, action) log, in firing order
         self.fired: List[Tuple[float, FaultAction]] = []
+        #: whether lazily attached media models carry a checksum sidecar
+        self.media_protected = scenario.media != "unprotected"
 
     def arm(self) -> None:
         for action in self.scenario.actions:
@@ -189,3 +212,52 @@ class Nemesis:
 
     def _do_crash_replace(self, node: Any) -> None:
         replace_node(self.cluster, _resolve_index(self.cluster, node))
+
+    # -- media verbs -------------------------------------------------------------
+
+    def _ensure_media(self, replica):
+        media = replica.device.media
+        if media is None:
+            media = replica.device.attach_media(
+                seed=zlib.crc32(replica.node_id.encode()),
+                protect=self.media_protected,
+            )
+        return media
+
+    def _target_ranges(self, replica, target: str) -> List[Tuple[int, int]]:
+        """Device-absolute (start, length) spans for an injection target."""
+        pool = replica.heap.region.pool
+        if target == "live":
+            base = replica.heap.region.offset
+            return [
+                (base + off, size)
+                for off, size in replica.heap.allocator.live_ranges()
+            ]
+        if target == "heap":
+            region = replica.heap.region
+        elif target in pool.regions:
+            region = pool.regions[target]
+        else:
+            raise ValueError(f"unknown media target {target!r}")
+        return [(region.offset, region.size)]
+
+    def _do_media_flip(self, node: Any, n: int = 4, target: str = "live") -> None:
+        replica = self.cluster.chain[_resolve_index(self.cluster, node)]
+        media = self._ensure_media(replica)
+        media.inject_flips(int(n), ranges=self._target_ranges(replica, target))
+
+    def _do_media_dead(self, node: Any, n: int = 1, target: str = "backup") -> None:
+        replica = self.cluster.chain[_resolve_index(self.cluster, node)]
+        media = self._ensure_media(replica)
+        media.kill_lines(int(n), ranges=self._target_ranges(replica, target))
+
+    def _do_media_scrub(self, node: Any = None) -> None:
+        if node is None:
+            replicas = list(self.cluster.chain)
+        else:
+            replicas = [self.cluster.chain[_resolve_index(self.cluster, node)]]
+        for replica in replicas:
+            media = replica.device.media
+            if media is None or not media.protected:
+                continue  # nothing to detect with — scrub cannot help
+            scrub_node(self.cluster, replica)

@@ -32,9 +32,10 @@ import zlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
+from ..errors import MediaError
 from ..replication.chain import KAMINO, ChainCluster, RetryPolicy
 from ..replication.client import ChainClient, run_clients
-from ..replication.recovery import settle
+from ..replication.recovery import settle, scrub_node
 from ..sim.network import NetStats
 from ..workloads.ycsb import READ, UPDATE, Op
 from .nemesis import Nemesis, NemesisScenario
@@ -120,6 +121,10 @@ def run_scenario(
     cluster = ChainCluster(
         f=f, mode=mode, heap_mb=2, value_size=VALUE_SIZE, seed=seed, retry=retry
     )
+    if scenario.media != "off":
+        protect = scenario.media == "protected"
+        for i, node in enumerate(cluster.chain):
+            node.device.attach_media(seed=seed * 101 + i, protect=protect)
     nemesis = Nemesis(cluster, scenario)
     nemesis.arm()
     streams = client_streams(scenario, seed)
@@ -146,7 +151,25 @@ def run_scenario(
             f"post-fault settle raised {type(exc).__name__}: {exc}"
         )
         return result
-    _judge_state(cluster, clients, result)
+    if scenario.media == "protected":
+        _final_scrub(cluster, result)
+    try:
+        _judge_state(cluster, clients, result)
+    except MediaError as exc:
+        # detection, not silence — but a protected run should have
+        # repaired everything before the oracles read the heaps
+        result.problems.append(
+            f"state oracle hit media fault: {type(exc).__name__}: {exc}"
+        )
+    except Exception as exc:
+        if scenario.media == "off":
+            raise
+        # undetected corruption can wreck structures the oracles walk;
+        # for a media run that crash IS the verdict, not a harness bug
+        result.problems.append(
+            f"state oracle crashed on corrupted state: "
+            f"{type(exc).__name__}: {exc}"
+        )
     result.completed_ops = sum(c.completed for c in clients)
     result.failed_ops = sum(len(c.failed) for c in clients)
     result.client_retries = sum(c.retries for c in clients)
@@ -156,6 +179,34 @@ def run_scenario(
     result.duplicate_requests = cluster.duplicate_requests
     result.net = cluster.net.stats.snapshot()
     return result
+
+
+def _final_scrub(cluster: ChainCluster, result: NemesisResult) -> None:
+    """Scrub every replica before judging; in a protected run, all
+    injected corruption must end repaired, quarantined+restored, or
+    degraded to a typed *lost* state — never silently resident."""
+    for node in cluster.chain:
+        media = node.device.media
+        if media is None:
+            continue
+        try:
+            scrub_node(cluster, node)
+        except MediaError as exc:
+            result.problems.append(
+                f"scrub on {node.node_id} raised {type(exc).__name__}: {exc}"
+            )
+            continue
+        leftover = [ln for ln in media.bad_lines() if ln not in media.lost]
+        if leftover:
+            result.problems.append(
+                f"media corruption on {node.node_id} survived the final "
+                f"scrub undetected-or-unrepaired: lines {leftover[:6]}"
+            )
+        if media.lost:
+            result.problems.append(
+                f"{node.node_id} lost lines {sorted(media.lost)[:6]} "
+                f"(no surviving copy on mirror or peers)"
+            )
 
 
 def _judge_state(
@@ -317,6 +368,32 @@ def repro_snippet(
         "for problem in result.problems:\n"
         "    print(' -', problem)\n"
     )
+
+
+def demonstrate_unprotected(
+    scenarios: Optional[List[NemesisScenario]] = None,
+    seeds: int = 3,
+    mode: str = KAMINO,
+) -> Optional[tuple]:
+    """The media-fault demonstration with teeth: rerun the protected
+    media scenarios with the checksum sidecar disabled (``media`` set to
+    ``"unprotected"``) and find one (scenario, seed) where the injected
+    corruption goes silently wrong — divergent replicas, a corrupted
+    acked value at the tail, or an oracle crash.  Returns
+    ``(minimized_scenario, seed, snippet)``; ``None`` if everything
+    (surprisingly) passed."""
+    from .scenarios import MEDIA_CORPUS
+
+    pool = scenarios if scenarios is not None else MEDIA_CORPUS
+    for scenario in pool:
+        bare = replace(scenario, media="unprotected")
+        for seed in range(seeds):
+            verdict = run_scenario(bare, seed=seed, mode=mode)
+            if not verdict.ok:
+                small = minimize(bare, seed, mode=mode)
+                return small, seed, repro_snippet(small, seed, mode=mode,
+                                                  hardened=True)
+    return None
 
 
 def demonstrate_unhardened(

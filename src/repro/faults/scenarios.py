@@ -129,7 +129,51 @@ CORPUS: List[NemesisScenario] = [
         ),
         ops_per_client=10,
     ),
+    # -- media-fault scenarios (the failure class below fail-stop) --------
+    NemesisScenario(
+        name="bitrot_scrub",
+        description="latent bit flips land in a mid replica's live heap "
+        "bytes; the checksum scrub must repair every line from the "
+        "backup mirror (or a peer, where the backup lags) before the "
+        "convergence oracles look",
+        actions=(
+            FaultAction(300 * _US, "media_flip",
+                        {"node": "mid", "n": 6, "target": "live"}),
+            FaultAction(2 * _MS, "media_scrub", {}),
+        ),
+        media="protected",
+    ),
+    NemesisScenario(
+        name="dead_lines_quarantine",
+        description="two cache lines of the head's backup mirror go "
+        "uncorrectable (only the head keeps a local backup in kamino "
+        "mode); the scrub must quarantine them to spare lines and "
+        "restore their content from the main copy",
+        actions=(
+            FaultAction(400 * _US, "media_dead",
+                        {"node": "head", "n": 2, "target": "backup"}),
+            FaultAction(2 * _MS, "media_scrub", {"node": "head"}),
+        ),
+        media="protected",
+    ),
+    NemesisScenario(
+        name="bitrot_reboot_combo",
+        description="bit rot on the tail's live bytes while a mid "
+        "replica quick-reboots: intent-log repair and the media scrub "
+        "must both land, and no acked write may go silently wrong",
+        actions=(
+            FaultAction(300 * _US, "media_flip",
+                        {"node": "tail", "n": 6, "target": "live"}),
+            FaultAction(1 * _MS, "quick_reboot", {"node": 1}),
+            FaultAction(2_500 * _US, "media_scrub", {}),
+        ),
+        media="protected",
+    ),
 ]
+
+#: the media-fault subset — what ``repro nemesis --media`` and the
+#: integrity-smoke CI job run
+MEDIA_CORPUS: List[NemesisScenario] = [s for s in CORPUS if s.media != "off"]
 
 
 def scenario_by_name(name: str) -> Optional[NemesisScenario]:

@@ -1,0 +1,85 @@
+"""Per-cache-line checksum sidecar: the detection half of integrity.
+
+A :class:`ChecksumSidecar` models the out-of-band per-line ECC/CRC
+metadata an integrity-protected NVDIMM controller maintains next to the
+media.  It is deliberately *not* stored in the pool: like ECC bits it
+lives beside the data, survives restarts with the module, and is updated
+by the controller (here: the device's persist paths) on every legitimate
+line write.
+
+Coverage is lazy: a line gets an entry the first time it is persisted
+after the model is attached (or the moment a fault is injected into it,
+see :meth:`MediaFaultModel.bless` — the line's pre-decay content is
+checksummed first, exactly as real media carries valid ECC before it
+rots).  Lines with no entry verify clean, so attaching integrity to a
+long-lived device is O(1).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List
+
+from ..nvm.latency import CACHE_LINE
+
+_LINE_SHIFT = CACHE_LINE.bit_length() - 1
+
+
+class ChecksumSidecar:
+    """CRC32-per-line metadata maintained at flush/fence time."""
+
+    __slots__ = ("_crcs",)
+
+    def __init__(self) -> None:
+        self._crcs: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._crcs)
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._crcs
+
+    def record(self, line: int, durable) -> None:
+        """(Re)checksum ``line`` from the media's current content."""
+        base = line << _LINE_SHIFT
+        self._crcs[line] = zlib.crc32(bytes(durable[base : base + CACHE_LINE]))
+
+    def record_many(self, lines: Iterable[int], durable) -> None:
+        crcs = self._crcs
+        for line in lines:
+            base = line << _LINE_SHIFT
+            crcs[line] = zlib.crc32(bytes(durable[base : base + CACHE_LINE]))
+
+    def verify(self, line: int, durable) -> bool:
+        """True when ``line`` matches its recorded checksum (or has none)."""
+        crc = self._crcs.get(line)
+        if crc is None:
+            return True
+        base = line << _LINE_SHIFT
+        return crc == zlib.crc32(bytes(durable[base : base + CACHE_LINE]))
+
+    def forget(self, line: int) -> None:
+        self._crcs.pop(line, None)
+
+    def scan(self, durable, first: int = 0, last: int | None = None) -> List[int]:
+        """Lines whose media content no longer matches their checksum.
+
+        Walks every *covered* line (uncovered lines were never persisted
+        under protection and verify clean by definition), optionally
+        restricted to the inclusive line range ``[first, last]``.
+        """
+        bad: List[int] = []
+        crc32 = zlib.crc32
+        for line, crc in self._crcs.items():
+            if line < first or (last is not None and line > last):
+                continue
+            base = line << _LINE_SHIFT
+            if crc != crc32(bytes(durable[base : base + CACHE_LINE])):
+                bad.append(line)
+        bad.sort()
+        return bad
+
+    def clone(self) -> "ChecksumSidecar":
+        other = ChecksumSidecar()
+        other._crcs = dict(self._crcs)
+        return other

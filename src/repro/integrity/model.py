@@ -1,0 +1,335 @@
+"""Seeded media-fault model: bit rot, stuck-at bits, and dead lines.
+
+The :class:`MediaFaultModel` attaches to an
+:class:`~repro.nvm.device.NVMDevice` (``device.attach_media()``) and
+corrupts *durable* data — the failure class below fail-stop that crash
+recovery alone cannot see:
+
+* **latent bit flips** silently invert durable bits; reads return the
+  corrupted bytes with no error (that is the point — detection is the
+  checksum sidecar's job);
+* **stuck-at bits** re-assert themselves after every legitimate write to
+  their line, so a repair that simply rewrites the data fails again
+  until the line is quarantined;
+* **dead lines** are uncorrectable: any read touching one raises
+  :class:`~repro.errors.UncorrectableMediaError` until the line is
+  quarantined and remapped to a spare
+  (:meth:`~repro.nvm.pool.PmemPool.quarantine_line` + :meth:`retire`);
+* lines whose every copy is gone are marked **lost**; reads then raise
+  :class:`~repro.errors.BothCopiesLostError` — a typed degradation, never
+  silent garbage.
+
+The model also owns the :class:`~repro.integrity.checksum.ChecksumSidecar`
+(when ``protect=True``) and keeps it honest from the device's persist
+paths: every flushed line is re-checksummed over its intended content
+*before* stuck-at bits re-corrupt it, so a stuck line is detectably bad
+after every write.  Crash resolution re-blesses torn lines — a torn
+write is a crash artifact for recovery to handle, not a media fault —
+except lines carrying still-uninspected injected corruption, whose stale
+checksum keeps them detectable.
+
+Everything is deterministic under ``seed``; with no faults injected the
+model is invisible: no :class:`~repro.nvm.stats.NVMStats` counter moves
+and durable bytes are untouched, which the differential property tests
+pin against :class:`~repro.nvm.reference.ReferenceNVMDevice`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import BothCopiesLostError, UncorrectableMediaError
+from ..nvm.latency import CACHE_LINE
+from .checksum import ChecksumSidecar
+
+_LINE_SHIFT = CACHE_LINE.bit_length() - 1
+
+
+class MediaFaultModel:
+    """Fault state + injection API for one device's media."""
+
+    def __init__(self, device=None, seed: int = 0, protect: bool = True):
+        self.device = device
+        self.rng = random.Random(seed)
+        self.sidecar: Optional[ChecksumSidecar] = ChecksumSidecar() if protect else None
+        #: uncorrectable lines: reads raise UncorrectableMediaError
+        self.dead: Set[int] = set()
+        #: lines whose every copy is gone: reads raise BothCopiesLostError
+        self.lost: Set[int] = set()
+        #: line -> [(byte offset in line, bit, forced value), ...]
+        self.stuck: Dict[int, List[Tuple[int, int, int]]] = {}
+        #: lines holding injected-but-unrepaired corruption; their stale
+        #: checksum must survive crash re-blessing so scrub still detects
+        self.tainted: Set[int] = set()
+        #: quarantined lines remapped to spares (reads work again)
+        self.retired: Set[int] = set()
+
+    # -- attachment ---------------------------------------------------------
+
+    def bind(self, device) -> "MediaFaultModel":
+        self.device = device
+        return self
+
+    @property
+    def protected(self) -> bool:
+        """True when a checksum sidecar is maintained (detection works)."""
+        return self.sidecar is not None
+
+    @property
+    def faulty(self) -> bool:
+        return bool(self.dead or self.lost or self.stuck or self.tainted)
+
+    # -- read-path surface --------------------------------------------------
+
+    def check_read(self, addr: int, size: int) -> None:
+        """Raise the typed error if the read touches a dead/lost line."""
+        dead = self.dead
+        lost = self.lost
+        if not dead and not lost:
+            return
+        first = addr >> _LINE_SHIFT
+        last = (addr + size - 1) >> _LINE_SHIFT
+        hit_lost = [ln for ln in lost if first <= ln <= last]
+        if hit_lost:
+            raise BothCopiesLostError(
+                f"lines {sorted(hit_lost)} lost beyond repair "
+                f"(read [{addr}, {addr + size}))",
+                lines=sorted(hit_lost),
+            )
+        hit_dead = [ln for ln in dead if first <= ln <= last]
+        if hit_dead:
+            raise UncorrectableMediaError(
+                f"uncorrectable media error on lines {sorted(hit_dead)} "
+                f"(read [{addr}, {addr + size}))",
+                lines=sorted(hit_dead),
+            )
+
+    # -- persist-path hooks (called by the device) --------------------------
+
+    def on_persist(self, lines: Iterable[int]) -> None:
+        """Lines were legitimately flushed: re-checksum their intended
+        content, then let stuck-at bits re-corrupt the media."""
+        sidecar = self.sidecar
+        durable = self.device._durable
+        stuck = self.stuck
+        tainted = self.tainted
+        for line in lines:
+            tainted.discard(line)
+            if sidecar is not None:
+                sidecar.record(line, durable)
+            faults = stuck.get(line)
+            if faults:
+                self._assert_stuck(line, faults)
+
+    def on_crash(self, entries: Iterable[Tuple[int, bool]]) -> None:
+        """Crash resolution rewrote (parts of) these lines on the media.
+
+        ``entries`` is ``(line, full_rewrite)``; a full rewrite clears
+        any outstanding injected corruption (the whole line was replaced
+        with intended bytes).  Torn lines are re-blessed so recovery —
+        not the scrubber — owns them, unless they still carry injected
+        corruption, in which case the stale checksum stays so detection
+        survives the crash.
+        """
+        sidecar = self.sidecar
+        durable = self.device._durable
+        for line, full_rewrite in entries:
+            if full_rewrite:
+                self.tainted.discard(line)
+            if sidecar is not None and line not in self.tainted:
+                sidecar.record(line, durable)
+            faults = self.stuck.get(line)
+            if faults:
+                self._assert_stuck(line, faults)
+
+    def _assert_stuck(self, line: int, faults: Sequence[Tuple[int, int, int]]) -> None:
+        durable = self.device._durable
+        base = line << _LINE_SHIFT
+        changed = False
+        for off, bit, value in faults:
+            byte = durable[base + off]
+            forced = byte | (1 << bit) if value else byte & ~(1 << bit)
+            if forced != byte:
+                durable[base + off] = forced
+                changed = True
+        if changed:
+            self.tainted.add(line)
+
+    # -- fault injection ----------------------------------------------------
+
+    def bless(self, line: int) -> None:
+        """Checksum a line's current (pre-decay) content, as the media
+        carried valid ECC before rotting."""
+        if self.sidecar is not None and line not in self.sidecar:
+            self.sidecar.record(line, self.device._durable)
+
+    def flip_bit(self, addr: int, bit: int) -> None:
+        """Invert one durable bit (a latent media flip)."""
+        line = addr >> _LINE_SHIFT
+        self.bless(line)
+        self.device._durable[addr] ^= 1 << bit
+        self.tainted.add(line)
+        self.device.stats.media_flips += 1
+
+    def inject_flips(
+        self,
+        n: int,
+        lo: int = 0,
+        hi: Optional[int] = None,
+        ranges: Optional[Sequence[Tuple[int, int]]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> List[Tuple[int, int]]:
+        """Flip ``n`` seeded random bits inside ``[lo, hi)`` (or inside
+        the given ``(start, length)`` ranges); returns the (addr, bit)
+        list for test assertions."""
+        rng = rng if rng is not None else self.rng
+        if ranges:
+            spans = [(s, ln) for s, ln in ranges if ln > 0]
+        else:
+            hi = hi if hi is not None else self.device.size
+            spans = [(lo, hi - lo)]
+        if not spans:
+            return []
+        total = sum(ln for _s, ln in spans)
+        flips: List[Tuple[int, int]] = []
+        for _ in range(n):
+            pick = rng.randrange(total)
+            for start, length in spans:
+                if pick < length:
+                    addr = start + pick
+                    break
+                pick -= length
+            bit = rng.randrange(8)
+            self.flip_bit(addr, bit)
+            flips.append((addr, bit))
+        return flips
+
+    def stick_bit(self, addr: int, bit: int, value: int) -> None:
+        """Force one durable bit to ``value`` now and after every
+        subsequent write to its line (a stuck-at fault)."""
+        line = addr >> _LINE_SHIFT
+        self.bless(line)
+        fault = (addr & (CACHE_LINE - 1), bit, 1 if value else 0)
+        self.stuck.setdefault(line, []).append(fault)
+        self.device.stats.media_flips += 1
+        self._assert_stuck(line, [fault])
+
+    def kill_line(self, line: int) -> None:
+        """Declare a line uncorrectable; reads raise until quarantined."""
+        self.bless(line)
+        self.dead.add(line)
+        self.tainted.add(line)
+        self.device.stats.media_dead += 1
+
+    def kill_lines(
+        self,
+        n: int,
+        lo: int = 0,
+        hi: Optional[int] = None,
+        ranges: Optional[Sequence[Tuple[int, int]]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> List[int]:
+        """Kill ``n`` seeded random distinct lines inside the byte range
+        (or ranges); returns the killed line indices."""
+        rng = rng if rng is not None else self.rng
+        if ranges:
+            spans = [(s, ln) for s, ln in ranges if ln > 0]
+        else:
+            hi = hi if hi is not None else self.device.size
+            spans = [(lo, hi - lo)]
+        lines: Set[int] = set()
+        for start, length in spans:
+            first = start >> _LINE_SHIFT
+            last = (start + length - 1) >> _LINE_SHIFT
+            lines.update(range(first, last + 1))
+        lines -= self.dead
+        killed = sorted(rng.sample(sorted(lines), min(n, len(lines))))
+        for line in killed:
+            self.kill_line(line)
+        return killed
+
+    # -- repair / quarantine ------------------------------------------------
+
+    def mark_lost(self, line: int) -> None:
+        """No surviving copy exists: degrade with a typed error on read."""
+        self.dead.discard(line)
+        self.lost.add(line)
+
+    def retire(self, line: int) -> None:
+        """Quarantine: the controller remapped the address to a spare
+        line, so the address serves (spare) media again.  Content must be
+        restored by the caller (:meth:`repair_line`) or the line marked
+        lost."""
+        self.dead.discard(line)
+        self.lost.discard(line)
+        self.stuck.pop(line, None)
+        self.tainted.discard(line)
+        self.retired.add(line)
+
+    def repair_line(self, line: int, data: bytes) -> None:
+        """Controller-level repair: write authoritative bytes straight to
+        the media and re-checksum.  Stuck-at bits re-corrupt immediately
+        (repair of a stuck line fails verification again — quarantine is
+        the only cure), which :meth:`verify_line` exposes."""
+        if len(data) != CACHE_LINE:
+            raise ValueError("repair_line wants exactly one cache line")
+        base = line << _LINE_SHIFT
+        durable = self.device._durable
+        durable[base : base + CACHE_LINE] = data
+        self.tainted.discard(line)
+        self.lost.discard(line)
+        if self.sidecar is not None:
+            self.sidecar.record(line, durable)
+        faults = self.stuck.get(line)
+        if faults:
+            self._assert_stuck(line, faults)
+        self.device.stats.media_repaired += 1
+
+    # -- verification -------------------------------------------------------
+
+    def verify_line(self, line: int) -> bool:
+        """True when the line is readable and matches its checksum."""
+        if line in self.dead or line in self.lost:
+            return False
+        if self.sidecar is None:
+            return True
+        return self.sidecar.verify(line, self.device._durable)
+
+    def bad_lines(self, first: int = 0, last: Optional[int] = None) -> List[int]:
+        """Every detectably bad line in the inclusive line range: dead,
+        lost, or failing checksum verification."""
+        bad = {
+            ln
+            for ln in self.dead | self.lost
+            if ln >= first and (last is None or ln <= last)
+        }
+        if self.sidecar is not None:
+            bad.update(self.sidecar.scan(self.device._durable, first, last))
+        return sorted(bad)
+
+    # -- state carried across clones / fingerprints -------------------------
+
+    def fingerprint_token(self) -> bytes:
+        """Media state folded into the device's crash fingerprint: two
+        images with equal bytes but different dead/lost/stuck maps behave
+        differently."""
+        parts = [
+            b"dead:", repr(sorted(self.dead)).encode(),
+            b"lost:", repr(sorted(self.lost)).encode(),
+            b"stuck:", repr(sorted(self.stuck.items())).encode(),
+            b"retired:", repr(sorted(self.retired)).encode(),
+        ]
+        return b"|".join(parts)
+
+    def clone(self, device) -> "MediaFaultModel":
+        """Carry media state onto a cloned device (checker replays)."""
+        other = MediaFaultModel(device, protect=False)
+        other.rng.setstate(self.rng.getstate())
+        other.sidecar = self.sidecar.clone() if self.sidecar is not None else None
+        other.dead = set(self.dead)
+        other.lost = set(self.lost)
+        other.stuck = {ln: list(faults) for ln, faults in self.stuck.items()}
+        other.tainted = set(self.tainted)
+        other.retired = set(self.retired)
+        return other

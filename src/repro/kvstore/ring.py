@@ -12,6 +12,16 @@ its own atomicity mechanism:
 * on reopen, a record at the tail whose CRC fails (torn append) is
   simply not visible, because the durable tail still points before it.
 
+Because the produce index only advances after the record it covers is
+flushed and fenced, a CRC failure *below* the durable produce index is
+not a torn append — it is media corruption.  The consumer classifies the
+two cases: a failing record whose extent ends exactly at the produce
+index is treated as a torn tail (the produce index is durably truncated
+back and the record dropped); any other failure raises
+:class:`~repro.errors.RingCorruptionError` carrying the record's region
+offset and logical index, and :meth:`PersistentRing.scrub` can route it
+through a repair callback (peer/backup bytes) instead.
+
 Wraparound uses a ``SKIP`` sentinel record when a record does not fit
 contiguously before the end of the data area.
 """
@@ -20,9 +30,9 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional
 
-from ..errors import HeapError, PoolCorruptionError
+from ..errors import HeapError, PoolCorruptionError, RingCorruptionError
 from ..nvm.pool import PmemRegion
 
 RING_MAGIC = 0x52494E47  # "RING"
@@ -132,11 +142,105 @@ class PersistentRing:
             room = self._data_size - logical % self._data_size
             return self._read_record(logical + room)
         if length > self._data_size:
-            raise PoolCorruptionError("ring record length corrupt")
+            raise RingCorruptionError(
+                f"ring record length corrupt at region offset {addr}",
+                offset=addr,
+                record_index=self._index_of(logical),
+            )
         payload = self.region.read(addr + _REC_HDR.size, length)
         if zlib.crc32(payload) != crc:
-            raise PoolCorruptionError("ring record failed its checksum")
+            nxt = logical + _pad(_REC_HDR.size + length)
+            if nxt == self._produce:
+                # torn tail: the failing record is the last one the
+                # produce index covers — truncate it away durably
+                self._truncate_tail(logical)
+                return None
+            raise RingCorruptionError(
+                f"ring record failed its checksum "
+                f"(record {self._index_of(logical)} at region offset {addr}: "
+                f"mid-ring media corruption, not a torn append)",
+                offset=addr,
+                record_index=self._index_of(logical),
+            )
         return payload, logical + _pad(_REC_HDR.size + length)
+
+    def _index_of(self, logical: int) -> int:
+        """Logical record index (from the consume pointer) of ``logical``,
+        walking headers without CRC validation — error-path only."""
+        at = self._consume
+        index = 0
+        while at < logical:
+            length = _REC_HDR.unpack(
+                self.region.read(self._addr(at), _REC_HDR.size)
+            )[0]
+            if length == _SKIP:
+                at += self._data_size - at % self._data_size
+                continue
+            if length > self._data_size:
+                break
+            at += _pad(_REC_HDR.size + length)
+            index += 1
+        return index
+
+    def _truncate_tail(self, logical: int) -> None:
+        """Durably move the produce index back to ``logical``, dropping
+        the torn record(s) past it."""
+        self._produce = logical
+        self.region.write(8, struct.pack("<Q", self._produce))
+        self.region.flush(8, 8)
+        self.region.pool.device.fence()
+
+    def scrub(self, repair: Optional[Callable[[int, int], Optional[bytes]]] = None) -> int:
+        """Verify every pending record's CRC; returns records repaired.
+
+        A failing tail record is truncated (same rule as
+        :meth:`_read_record`).  A failing mid-ring record is rewritten
+        from ``repair(region_offset, size) -> bytes|None`` when the
+        callback supplies bytes that themselves verify (a backup or
+        replication peer holding the same queue); otherwise
+        :class:`~repro.errors.RingCorruptionError` propagates.
+        """
+        repaired = 0
+        logical = self._consume
+        index = 0
+        while logical < self._produce:
+            addr = self._addr(logical)
+            length, crc = _REC_HDR.unpack(self.region.read(addr, _REC_HDR.size))
+            if length == _SKIP:
+                logical += self._data_size - logical % self._data_size
+                continue
+            if length > self._data_size:
+                raise RingCorruptionError(
+                    f"ring record length corrupt at region offset {addr}",
+                    offset=addr,
+                    record_index=index,
+                )
+            nxt = logical + _pad(_REC_HDR.size + length)
+            payload = self.region.read(addr + _REC_HDR.size, length)
+            if zlib.crc32(payload) != crc:
+                if nxt == self._produce:
+                    self._truncate_tail(logical)
+                    return repaired
+                size = _REC_HDR.size + length
+                data = repair(addr, size) if repair is not None else None
+                if data is not None and len(data) == size:
+                    length2, crc2 = _REC_HDR.unpack(data[: _REC_HDR.size])
+                    if length2 == length and zlib.crc32(data[_REC_HDR.size :]) == crc2:
+                        self.region.write_and_flush(addr, data)
+                        repaired += 1
+                        logical = nxt
+                        index += 1
+                        continue
+                raise RingCorruptionError(
+                    f"ring record failed its checksum "
+                    f"(record {index} at region offset {addr}: "
+                    f"mid-ring media corruption, not a torn append)",
+                    offset=addr,
+                    record_index=index,
+                )
+            logical = nxt
+            index += 1
+        return repaired
 
     def consume(self) -> Optional[bytes]:
         """Dequeue the oldest record durably; None if empty."""

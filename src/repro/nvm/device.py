@@ -156,6 +156,9 @@ class NVMDevice:
         # so the crash-consistency checker can prune redundant points
         self.fingerprint_crashes = False
         self.last_crash_fingerprint: Optional[str] = None
+        # optional media-fault model (repro.integrity): None costs one
+        # is-None test on the read path and nothing anywhere else
+        self._media = None
         # one mutex serialises all device access: worker threads and the
         # background syncer share the overlay dictionaries (cheap under
         # the GIL; the benchmarks run single-threaded traces anyway)
@@ -216,6 +219,32 @@ class NVMDevice:
 
     def cancel_scheduled_crash(self) -> None:
         self._crash_countdown = None
+
+    # -- media faults (repro.integrity) ------------------------------------
+
+    @property
+    def media(self):
+        """The attached :class:`~repro.integrity.model.MediaFaultModel`,
+        or None when media faults are not modelled."""
+        return self._media
+
+    def attach_media(self, model=None, *, seed: int = 0, protect: bool = True):
+        """Attach a media-fault model to this device's durable bytes.
+
+        With ``protect`` (the default) the model maintains a per-line
+        checksum sidecar from the persist paths, enabling detection and
+        scrub-and-repair; ``protect=False`` models an unprotected
+        deployment where injected corruption is silent.  Returns the
+        model for injection calls.
+        """
+        if model is None:
+            from ..integrity.model import MediaFaultModel
+
+            model = MediaFaultModel(self, seed=seed, protect=protect)
+        else:
+            model.bind(self)
+        self._media = model
+        return model
 
     def scheduled_crash_remaining(self) -> Optional[int]:
         """Mutating operations left before the armed fail-point fires.
@@ -398,6 +427,8 @@ class NVMDevice:
         stats = self.stats
         stats.loads += 1
         stats.load_bytes += size
+        if self._media is not None:
+            self._media.check_read(addr, size)
         return self._peek(addr, size)
 
     def write(self, addr: int, data: bytes) -> None:
@@ -438,6 +469,8 @@ class NVMDevice:
         stats = self.stats
         stats.copies += chunks
         stats.copy_bytes += size
+        if self._media is not None:
+            self._media.check_read(src, size)
         data = self._peek(src, size)
         if (
             size >= _BULK_THRESHOLD
@@ -494,6 +527,13 @@ class NVMDevice:
         bi = bj = 0
         if self._bulk:
             bi, bj = self._bulk_overlapping(first, last)
+        media = self._media
+        persisted: Optional[List[int]] = None
+        if media is not None:
+            persisted = [ln for ln in dirty if first <= ln <= last]
+            for start, buf in self._bulk[bi:bj]:
+                end = start + (len(buf) >> _LINE_SHIFT)
+                persisted.extend(range(max(start, first), min(end, last + 1)))
         if bi == bj:
             nrange = last - first + 1
             if len(dirty) * 4 < nrange:
@@ -526,6 +566,8 @@ class NVMDevice:
         stats.flushes += 1
         stats.flushed_lines += flushed
         stats.flush_bursts += bursts if self.coalesce_flushes else flushed
+        if persisted:
+            media.on_persist(persisted)
 
     def _flush_segments(self, first: int, last: int, bi: int, bj: int) -> Tuple[int, int]:
         """Flush ``[first, last]`` when it overlaps bulk records
@@ -608,6 +650,12 @@ class NVMDevice:
         )
         segs.sort(key=lambda s: s[0])
         dirty = self._dirty
+        media = self._media
+        persisted: Optional[List[int]] = None
+        if media is not None:
+            persisted = []
+            for s, e, _buf in segs:
+                persisted.extend(range(s, e))
         flushed = 0
         bursts = 0
         prev_end = -1
@@ -626,6 +674,8 @@ class NVMDevice:
         stats.flushes += 1
         stats.flushed_lines += flushed
         stats.flush_bursts += bursts if self.coalesce_flushes else flushed
+        if persisted:
+            media.on_persist(persisted)
 
     @property
     def dirty_lines(self) -> int:
@@ -654,7 +704,19 @@ class NVMDevice:
         if self.fingerprint_crashes:
             self.last_crash_fingerprint = self.overlay_fingerprint()
         durable = self._durable
+        media = self._media
+        crash_lines: Optional[List[Tuple[int, bool]]] = None
         if policy is not CrashPolicy.DROP_ALL:
+            if media is not None:
+                full = policy is CrashPolicy.KEEP_ALL
+                crash_lines = [
+                    (line, full and mask == _FULL_MASK)
+                    for line, (_buf, mask) in self._dirty.items()
+                ]
+                for start, buf in self._bulk:
+                    crash_lines.extend(
+                        (start + i, full) for i in range(len(buf) >> _LINE_SHIFT)
+                    )
             entries: List[Tuple[int, object, int]] = [
                 (line, buf, mask) for line, (buf, mask) in self._dirty.items()
             ]
@@ -683,6 +745,8 @@ class NVMDevice:
                         if mask & (1 << w) and rng() < survival_prob:
                             off = w * WORD
                             durable[base + off : base + off + WORD] = buf[off : off + WORD]
+        if crash_lines:
+            media.on_crash(crash_lines)
         self._dirty.clear()
         self._bulk = []
         self._crashed = True
@@ -714,6 +778,10 @@ class NVMDevice:
         for start, buf in self._bulk:
             digest.update(struct.pack("<Qq", start, -1))
             digest.update(bytes(buf))
+        if self._media is not None:
+            # equal bytes with different dead/stuck maps are different
+            # crash states (one read raises, the other doesn't)
+            digest.update(self._media.fingerprint_token())
         return digest.hexdigest()
 
     def clone_durable(self, seed: Optional[int] = None) -> "NVMDevice":
@@ -734,6 +802,10 @@ class NVMDevice:
         clone._durable[:] = self._durable
         clone._crashed = self._crashed
         clone.fingerprint_crashes = self.fingerprint_crashes
+        if self._media is not None:
+            # media state is part of the durable image: a clone must not
+            # resurrect dead lines or forget the checksum sidecar
+            clone._media = self._media.clone(clone)
         return clone
 
     def durable_read(self, addr: int, size: int) -> bytes:
@@ -746,4 +818,6 @@ class NVMDevice:
             raise OutOfBoundsError(
                 f"access [{addr}, {addr + size}) outside device of {self.size} bytes"
             )
+        if self._media is not None:
+            self._media.check_read(addr, size)
         return bytes(self._durable[addr : addr + size])

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import OutOfBoundsError, PoolCorruptionError
 from .device import NVMDevice
@@ -32,6 +32,25 @@ _TABLE_OFF = CACHE_LINE  # region table starts at the second cache line
 DATA_START = _TABLE_OFF + MAX_REGIONS * _REGION_SIZE
 # round the first allocatable byte up to a cache line
 DATA_START = (DATA_START + CACHE_LINE - 1) // CACHE_LINE * CACHE_LINE
+
+#: region holding the quarantine table and spare lines; created lazily on
+#: the first :meth:`PmemPool.quarantine_line` call so pools that never see
+#: a dead line pay nothing for it.
+QUARANTINE_REGION = "quarantine"
+SPARE_LINES = 32
+
+_Q_ENTRY_FMT = "<QQ"  # dead absolute line, spare absolute line
+_Q_ENTRY_SIZE = struct.calcsize(_Q_ENTRY_FMT)
+_Q_TABLE_OFF = CACHE_LINE  # header line, then the table, then the spares
+
+
+def _q_table_bytes(spares: int) -> int:
+    raw = spares * _Q_ENTRY_SIZE
+    return (raw + CACHE_LINE - 1) // CACHE_LINE * CACHE_LINE
+
+
+def _q_region_size(spares: int) -> int:
+    return _Q_TABLE_OFF + _q_table_bytes(spares) + spares * CACHE_LINE
 
 
 @dataclass(frozen=True)
@@ -207,3 +226,61 @@ class PmemPool:
     @property
     def free_bytes(self) -> int:
         return self.device.size - self._next_free
+
+    # -- quarantine: dead-line remapping ------------------------------------
+
+    def quarantine_line(self, line: int, spares: int = SPARE_LINES) -> Optional[int]:
+        """Persistently retire absolute ``line`` and assign it a spare.
+
+        Returns the spare's absolute line index, the previously assigned
+        spare if ``line`` is already quarantined, or ``None`` when the
+        table is full or the pool has no room left for it.  The entry is
+        durable before the count that publishes it (same ordering as the
+        region table), so a crash mid-quarantine loses at most the
+        not-yet-published entry.
+        """
+        try:
+            region = self.region_or_create(QUARANTINE_REGION, _q_region_size(spares))
+        except (ValueError, OutOfBoundsError):
+            return None
+        count = struct.unpack("<Q", region.read(0, 8))[0]
+        capacity = (region.size - _Q_TABLE_OFF) // (_Q_ENTRY_SIZE + CACHE_LINE)
+        spares_off = _Q_TABLE_OFF + _q_table_bytes(capacity)
+        for i in range(count):
+            dead, spare = struct.unpack(
+                _Q_ENTRY_FMT, region.read(_Q_TABLE_OFF + i * _Q_ENTRY_SIZE, _Q_ENTRY_SIZE)
+            )
+            if dead == line:
+                return spare
+        if count >= capacity:
+            return None
+        spare_line = (region.offset + spares_off) // CACHE_LINE + count
+        region.write_and_flush(
+            _Q_TABLE_OFF + count * _Q_ENTRY_SIZE,
+            struct.pack(_Q_ENTRY_FMT, line, spare_line),
+        )
+        region.write_and_flush(0, struct.pack("<Q", count + 1))
+        return spare_line
+
+    def quarantine_table(self) -> List[Tuple[int, int]]:
+        """All persisted ``(dead_line, spare_line)`` remappings."""
+        if QUARANTINE_REGION not in self._regions:
+            return []
+        region = self._regions[QUARANTINE_REGION]
+        count = struct.unpack("<Q", region.read(0, 8))[0]
+        out: List[Tuple[int, int]] = []
+        for i in range(count):
+            dead, spare = struct.unpack(
+                _Q_ENTRY_FMT, region.read(_Q_TABLE_OFF + i * _Q_ENTRY_SIZE, _Q_ENTRY_SIZE)
+            )
+            out.append((dead, spare))
+        return out
+
+    def load_quarantine(self, media) -> int:
+        """Replay the persisted quarantine table into a media model after
+        reopen, so retired lines stay retired across restarts.  Returns
+        the number of entries applied."""
+        entries = self.quarantine_table()
+        for dead, _spare in entries:
+            media.retire(dead)
+        return len(entries)

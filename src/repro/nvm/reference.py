@@ -97,6 +97,8 @@ class ReferenceNVMDevice(NVMDevice):
         self._check(addr, size)
         self.stats.loads += 1
         self.stats.load_bytes += size
+        if self._media is not None:
+            self._media.check_read(addr, size)
         return self._peek(addr, size)
 
     def _write_locked(self, addr: int, data) -> None:
@@ -112,6 +114,8 @@ class ReferenceNVMDevice(NVMDevice):
         self._check(dst, size)
         self.stats.copies += chunks
         self.stats.copy_bytes += size
+        if self._media is not None:
+            self._media.check_read(src, size)
         self._poke(dst, self._peek(src, size))
 
     def _flush_locked(self, addr: int, size: int) -> None:
@@ -122,6 +126,7 @@ class ReferenceNVMDevice(NVMDevice):
         flushed = 0
         bursts = 0
         in_burst = False
+        persisted = []
         for line in range(first, last + 1):
             entry = self._dirty.pop(line, None)
             if entry is None:
@@ -129,6 +134,7 @@ class ReferenceNVMDevice(NVMDevice):
                 continue
             base = line * CACHE_LINE
             self._durable[base : base + CACHE_LINE] = entry[0]
+            persisted.append(line)
             flushed += 1
             if not in_burst:
                 bursts += 1
@@ -136,6 +142,8 @@ class ReferenceNVMDevice(NVMDevice):
         self.stats.flushes += 1
         self.stats.flushed_lines += flushed
         self.stats.flush_bursts += bursts if self.coalesce_flushes else flushed
+        if persisted and self._media is not None:
+            self._media.on_persist(persisted)
 
     def _persist_all_locked(self) -> None:
         if self._crashed:
@@ -143,10 +151,12 @@ class ReferenceNVMDevice(NVMDevice):
         flushed = 0
         bursts = 0
         prev_line = None
+        persisted = []
         for line in sorted(self._dirty):
             buf, _mask = self._dirty[line]
             base = line * CACHE_LINE
             self._durable[base : base + CACHE_LINE] = buf
+            persisted.append(line)
             flushed += 1
             if prev_line is None or line != prev_line + 1:
                 bursts += 1
@@ -155,6 +165,8 @@ class ReferenceNVMDevice(NVMDevice):
         self.stats.flushes += 1
         self.stats.flushed_lines += flushed
         self.stats.flush_bursts += bursts if self.coalesce_flushes else flushed
+        if persisted and self._media is not None:
+            self._media.on_persist(persisted)
 
     def crash(
         self,
@@ -165,6 +177,14 @@ class ReferenceNVMDevice(NVMDevice):
             return
         if self.fingerprint_crashes:
             self.last_crash_fingerprint = self.overlay_fingerprint()
+        crash_lines = None
+        if self._media is not None and policy is not CrashPolicy.DROP_ALL:
+            full = policy is CrashPolicy.KEEP_ALL
+            full_mask = (1 << _WORDS_PER_LINE) - 1
+            crash_lines = [
+                (line, full and mask == full_mask)
+                for line, (_buf, mask) in self._dirty.items()
+            ]
         for line in sorted(self._dirty):
             buf, mask = self._dirty[line]
             base = line * CACHE_LINE
@@ -180,5 +200,7 @@ class ReferenceNVMDevice(NVMDevice):
                 if survives:
                     off = w * WORD
                     self._durable[base + off : base + off + WORD] = buf[off : off + WORD]
+        if crash_lines:
+            self._media.on_crash(crash_lines)
         self._dirty.clear()
         self._crashed = True

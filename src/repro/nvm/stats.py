@@ -26,6 +26,16 @@ class NVMStats:
     fences: int = 0
     copies: int = 0
     copy_bytes: int = 0
+    # media-fault accounting (repro.integrity): injected bit flips, lines
+    # declared dead, corruptions detected by checksum verification, and
+    # lines repaired from a surviving copy.  Bookkeeping only — these do
+    # not contribute to simulated_ns (a latent fault costs no time until
+    # a scrub or repair issues real device operations, which are charged
+    # through the ordinary counters).
+    media_flips: int = 0
+    media_dead: int = 0
+    media_detected: int = 0
+    media_repaired: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""
@@ -39,6 +49,10 @@ class NVMStats:
         self.fences = 0
         self.copies = 0
         self.copy_bytes = 0
+        self.media_flips = 0
+        self.media_dead = 0
+        self.media_detected = 0
+        self.media_repaired = 0
 
     def snapshot(self) -> "NVMStats":
         """Return an independent copy of the current counters.
@@ -57,6 +71,10 @@ class NVMStats:
             self.fences,
             self.copies,
             self.copy_bytes,
+            self.media_flips,
+            self.media_dead,
+            self.media_detected,
+            self.media_repaired,
         )
 
     def delta(self, since: "NVMStats") -> "NVMStats":
@@ -72,6 +90,10 @@ class NVMStats:
             self.fences - since.fences,
             self.copies - since.copies,
             self.copy_bytes - since.copy_bytes,
+            self.media_flips - since.media_flips,
+            self.media_dead - since.media_dead,
+            self.media_detected - since.media_detected,
+            self.media_repaired - since.media_repaired,
         )
 
     def simulated_ns(self, model: LatencyModel) -> float:

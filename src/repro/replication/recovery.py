@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..errors import ReplicationError
+from ..errors import NVMError, ReplicationError
 from ..nvm.device import CrashPolicy
 from ..nvm.pool import PmemPool
 from ..heap import PersistentHeap
@@ -123,6 +123,49 @@ def _replay_missed(cluster: ChainCluster, node: ReplicaNode) -> None:
         )
     if copied:
         _reload_volatile(node)
+
+
+def media_peer_fetch(cluster: ChainCluster, node: ReplicaNode):
+    """Build a scrubber ``peer_repair`` callback for ``node``.
+
+    Every replica formats its pool with the same creation sequence, so a
+    device-absolute address names the same logical bytes on each of
+    them; fetching a neighbour's durable line is replica state transfer
+    at cache-line granularity — the last resort when both local copies
+    of a line are gone.  The predecessor is tried first (its history is
+    a superset, so its bytes are a roll-forward), then the successor (a
+    roll-back, still better than data loss).  Peers that are crashed or
+    whose own media faults on the line are skipped.
+    """
+
+    def fetch(abs_addr: int, size: int) -> Optional[bytes]:
+        for peer in (cluster.predecessor(node), cluster.successor(node)):
+            if peer is None or peer.device.crashed:
+                continue
+            try:
+                return peer.device.durable_read(abs_addr, size)
+            except NVMError:
+                continue
+        return None
+
+    return fetch
+
+
+def scrub_node(cluster: ChainCluster, node: ReplicaNode):
+    """One scrub pass over ``node``'s pool with neighbour state transfer
+    as the last-resort repair source; refreshes volatile mirrors if any
+    bytes changed.  Returns the :class:`~repro.integrity.scrub.ScrubReport`."""
+    from ..integrity.scrub import Scrubber
+
+    report = Scrubber(
+        node.device,
+        pool=node.heap.region.pool,
+        engine=node.engine,
+        peer_repair=media_peer_fetch(cluster, node),
+    ).scrub_once()
+    if report.repaired or report.quarantined:
+        _reload_volatile(node)
+    return report
 
 
 def _detach(cluster: ChainCluster, index: int):

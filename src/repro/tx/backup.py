@@ -56,12 +56,17 @@ class BackupSyncer:
         #: human-readable summary instead of letting ``DeviceCrashedError``
         #: escape from ``stop()`` / ``__exit__`` during test teardown
         self.crash_summary: Optional[str] = None
+        #: heap-relative ranges whose backup repair was still pending at
+        #: the crash (``engine.pending_ranges()`` snapshot) — the work
+        #: recovery's roll-forward will redo
+        self.pending_repair_ranges: Tuple[Tuple[int, int], ...] = ()
 
     def start(self) -> "BackupSyncer":
         if self._thread is not None:
             raise RuntimeError("syncer already started")
         self._stop.clear()
         self.crash_summary = None
+        self.pending_repair_ranges = ()
         self._thread = threading.Thread(target=self._run, name="backup-syncer", daemon=True)
         self._thread.start()
         return self
@@ -96,9 +101,16 @@ class BackupSyncer:
         return True
 
     def _note_crash(self, exc: BaseException) -> None:
+        ranges = tuple(getattr(self.engine, "pending_ranges", lambda: ())())
+        self.pending_repair_ranges = ranges
+        detail = ""
+        if ranges:
+            shown = ", ".join(f"[{off}, {off + size})" for off, size in ranges[:4])
+            more = f" (+{len(ranges) - 4} more)" if len(ranges) > 4 else ""
+            detail = f"; pending repair ranges: {shown}{more}"
         self.crash_summary = (
             f"device crashed under backup syncer ({exc}); "
-            f"{self.engine.pending_count} sync task(s) left for recovery"
+            f"{self.engine.pending_count} sync task(s) left for recovery{detail}"
         )
 
     def stop(self, drain: bool = True) -> None:

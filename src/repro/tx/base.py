@@ -231,6 +231,14 @@ class AtomicityEngine(ABC):
         """Deferred work items not yet drained."""
         return 0
 
+    def pending_ranges(self) -> Tuple[Tuple[int, int], ...]:
+        """Heap-relative ``(offset, size)`` ranges whose backup copy is
+        stale (committed but not yet synced).  The scrubber must not
+        "repair" main from the backup inside these ranges, and the crash
+        summary reports them as pending repairs.  Engines with no
+        deferred mirror work have none."""
+        return ()
+
     def register_free_handler(self, fn: Callable[["Transaction", int, int], None]) -> None:
         """Install the allocator callback used to apply deferred frees.
 

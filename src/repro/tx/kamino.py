@@ -27,6 +27,7 @@ import threading
 from collections import deque
 from typing import Deque, List, Optional, Set, Tuple
 
+from ..errors import BothCopiesLostError, IntegrityError
 from ..nvm.pool import PmemPool, PmemRegion
 from ..runtime.registry import EngineCapabilities, register_engine
 from .base import IntentKind, RecoveryReport, Transaction
@@ -221,6 +222,21 @@ class KaminoEngine(LockingLogEngine):
     def pending_count(self) -> int:
         return len(self._queue)
 
+    def pending_ranges(self) -> Tuple[Tuple[int, int], ...]:
+        """Heap-relative ranges whose backup roll-forward is still queued.
+
+        Inside these ranges the backup holds *pre-commit* bytes — the
+        scrubber must not use it to "repair" main, and a crash summary
+        reports them as the repairs a restarted syncer will perform.
+        """
+        out: List[Tuple[int, int]] = []
+        for task in list(self._queue):
+            for entry in task.entries:
+                if entry.kind is IntentKind.FREE:
+                    continue
+                out.append((entry.offset, entry.size))
+        return tuple(out)
+
     # -- recovery ----------------------------------------------------------------------
 
     def recover(self, lazy: Optional[bool] = None) -> RecoveryReport:
@@ -243,6 +259,8 @@ class KaminoEngine(LockingLogEngine):
         report = RecoveryReport()
         device = self.heap_region.pool.device
         records = self.log.scan()
+        if getattr(device, "media", None) is not None:
+            self._verify_recovery_sources(device, records)
         for rec in records:
             if rec.state is SlotState.COMMITTED:
                 continue
@@ -271,6 +289,49 @@ class KaminoEngine(LockingLogEngine):
             self.log.free_slot_by_index(rec.index)
             report.rolled_forward += 1
         return report
+
+    def _verify_recovery_sources(self, device, records) -> None:
+        """Checksum-verify every line recovery is about to copy *from*.
+
+        Rollback copies backup→main, roll-forward copies main→backup;
+        blindly replaying either from a decayed source would launder
+        media corruption into "recovered" state.  A corrupt rollback
+        source raises :class:`IntegrityError` (the backup can still be
+        rebuilt from a peer); a corrupt roll-forward source raises
+        :class:`BothCopiesLostError` (the backup is stale for committed
+        data, so no local copy is good).
+        """
+        from ..integrity.scrub import verify_ranges
+
+        heap = self.heap_region
+        mirror = getattr(self.backup, "region", None)
+        if mirror is not None and mirror.size != heap.size:
+            mirror = None  # not a full offset-identity mirror
+        back_ranges: List[Tuple[int, int]] = []
+        main_ranges: List[Tuple[int, int]] = []
+        for rec in records:
+            if rec.state is SlotState.COMMITTED:
+                for entry in rec.entries:
+                    if entry.kind is not IntentKind.FREE:
+                        main_ranges.append((heap.offset + entry.offset, entry.size))
+            elif mirror is not None:
+                for entry in rec.entries:
+                    if entry.kind is IntentKind.WRITE:
+                        back_ranges.append((mirror.offset + entry.offset, entry.size))
+        bad = verify_ranges(device, back_ranges)
+        if bad:
+            raise IntegrityError(
+                f"recovery rollback source (backup) failed checksum on "
+                f"{len(bad)} line(s): {bad[:8]}",
+                lines=bad,
+            )
+        bad = verify_ranges(device, main_ranges)
+        if bad:
+            raise BothCopiesLostError(
+                f"recovery roll-forward source (main) failed checksum on "
+                f"{len(bad)} line(s) of committed data; backup is stale: {bad[:8]}",
+                lines=bad,
+            )
 
     def _requeue_committed(self, rec, report: RecoveryReport) -> None:
         """Rebuild the sync task + pending locks for a committed slot."""

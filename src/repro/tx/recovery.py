@@ -23,6 +23,13 @@ def reopen_after_crash(device: NVMDevice, engine_factory: Callable[[], Atomicity
     engine configured identically to the one in use before the crash
     (same scheme and α — just as a real system restarts with the same
     binary and config).
+
+    When a protected :class:`~repro.integrity.model.MediaFaultModel` is
+    attached to the device, recovery checksum-verifies the lines it is
+    about to copy from (inside :meth:`KaminoEngine.recover`, raising
+    typed :class:`~repro.errors.MediaError`\\ s rather than replaying
+    corrupt bytes) and a full scrub pass runs right after the heap
+    opens; its report is stashed as ``engine.last_scrub_report``.
     """
     from ..heap.heap import PersistentHeap
 
@@ -30,12 +37,21 @@ def reopen_after_crash(device: NVMDevice, engine_factory: Callable[[], Atomicity
         device.restart()
     pool = PmemPool.open(device)
     engine = engine_factory()
+    media = getattr(device, "media", None)
+    if media is not None:
+        pool.load_quarantine(media)
     heap = PersistentHeap.open(pool, engine)
     report = getattr(engine, "last_recovery_report", None)
     if report is None:
         # PersistentHeap.open already ran recover(); run again (idempotent)
         # to obtain a report object for callers that want one.
         report = engine.recover()
+    if media is not None and media.protected:
+        from ..integrity.scrub import Scrubber
+
+        engine.last_scrub_report = Scrubber(
+            device, pool=pool, engine=engine
+        ).scrub_once()
     return heap, engine, report
 
 

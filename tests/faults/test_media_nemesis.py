@@ -1,0 +1,65 @@
+"""Media-fault nemesis scenarios: protected runs converge, unprotected
+runs corrupt detectably, and the demonstration tooling minimizes."""
+
+import pytest
+
+from repro.faults import (
+    MEDIA_CORPUS,
+    demonstrate_unprotected,
+    minimize,
+    run_scenario,
+    scenario_by_name,
+)
+
+
+class TestProtectedCorpusConverges:
+    """Bit rot, dead lines, rot + reboot: the checksum sidecar plus the
+    scrubber must keep every replica chain byte-identical and every
+    acked write durable."""
+
+    @pytest.mark.parametrize("name", [s.name for s in MEDIA_CORPUS])
+    def test_scenario_converges_over_seeds(self, name, nemesis_seeds):
+        scenario = scenario_by_name(name)
+        assert scenario.media == "protected"
+        for seed in range(nemesis_seeds):
+            result = run_scenario(scenario, seed=seed)
+            assert result.ok, (
+                f"{name} seed={seed} failed:\n  " + "\n  ".join(result.problems)
+            )
+            assert result.completed_ops == result.total_ops
+
+    def test_media_runs_are_deterministic(self):
+        scenario = scenario_by_name("bitrot_scrub")
+        a = run_scenario(scenario, seed=1)
+        b = run_scenario(scenario, seed=1)
+        assert a.problems == b.problems
+        assert a.summary() == b.summary()
+
+
+class TestUnprotectedDemonstration:
+    """The teeth: the same rot with the sidecar disabled must surface a
+    silent-corruption failure, and the tooling must shrink it."""
+
+    def test_demonstrate_unprotected_finds_and_minimizes(self):
+        found = demonstrate_unprotected(
+            scenarios=[scenario_by_name("bitrot_scrub")], seeds=2
+        )
+        assert found is not None, "unprotected bit rot converged — no teeth"
+        small, seed, snippet = found
+        assert small.media == "unprotected"
+        # the minimized scenario is a real repro: it still fails
+        verdict = run_scenario(small, seed=seed)
+        assert not verdict.ok
+        assert "'media': 'unprotected'" in snippet
+
+    def test_minimize_never_drops_the_media_mode(self):
+        scenario = scenario_by_name("bitrot_scrub")
+        from dataclasses import replace
+
+        bare = replace(scenario, media="unprotected")
+        verdict = run_scenario(bare, seed=1)
+        if verdict.ok:  # this (scenario, seed) may pass; the sweep test
+            pytest.skip("seed 1 converged unprotected; covered above")
+        small = minimize(bare, 1)
+        assert small.media == "unprotected"
+        assert not run_scenario(small, seed=1).ok

@@ -1,0 +1,144 @@
+"""MediaFaultModel: injection semantics, typed errors, state carriage."""
+
+import pytest
+
+from repro.errors import BothCopiesLostError, UncorrectableMediaError
+from repro.integrity import MediaFaultModel
+from repro.nvm import NVMDevice
+from repro.nvm.latency import CACHE_LINE
+
+SIZE = 1 << 16
+
+
+def make_device(protect=True, seed=0):
+    device = NVMDevice(SIZE, seed=seed)
+    media = device.attach_media(seed=seed, protect=protect)
+    return device, media
+
+
+def persist(device, addr, data):
+    device.write(addr, data)
+    device.flush(addr, len(data))
+    device.fence()
+
+
+class TestFlips:
+    def test_flip_is_silent_but_detectable(self):
+        device, media = make_device()
+        persist(device, 256, b"\x00" * 64)
+        media.flip_bit(256, 3)
+        # silent: the read succeeds and returns the corrupted byte
+        assert device.read(256, 1) == bytes([1 << 3])
+        # detectable: the line fails checksum verification
+        assert not media.verify_line(256 // CACHE_LINE)
+        assert media.bad_lines() == [256 // CACHE_LINE]
+        assert device.stats.media_flips == 1
+
+    def test_inject_flips_respects_ranges(self):
+        device, media = make_device()
+        persist(device, 0, bytes(range(256)) * 4)
+        flips = media.inject_flips(16, ranges=[(128, 64), (512, 64)])
+        assert len(flips) == 16
+        for addr, bit in flips:
+            assert 128 <= addr < 192 or 512 <= addr < 576
+            assert 0 <= bit < 8
+
+    def test_unprotected_flip_is_undetectable(self):
+        device, media = make_device(protect=False)
+        persist(device, 0, b"\xff" * 64)
+        media.flip_bit(0, 0)
+        assert not media.protected
+        assert media.verify_line(0)  # nothing to verify against
+        assert media.bad_lines() == []
+
+    def test_legitimate_rewrite_clears_taint(self):
+        device, media = make_device()
+        persist(device, 0, b"a" * 64)
+        media.flip_bit(0, 1)
+        assert not media.verify_line(0)
+        persist(device, 0, b"b" * 64)  # full-line overwrite re-blesses
+        assert media.verify_line(0)
+
+
+class TestStuck:
+    def test_stuck_bit_reasserts_after_writes(self):
+        device, media = make_device()
+        persist(device, 64, b"\x00" * 64)
+        media.stick_bit(64, 7, 1)
+        assert device.read(64, 1)[0] & 0x80
+        persist(device, 64, b"\x00" * 64)  # rewrite tries to clear it
+        assert device.read(64, 1)[0] & 0x80  # ...and fails
+        assert not media.verify_line(1)
+
+    def test_repair_of_stuck_line_fails_until_retired(self):
+        device, media = make_device()
+        persist(device, 64, b"\x00" * 64)
+        media.stick_bit(64, 7, 1)
+        media.repair_line(1, b"\x00" * CACHE_LINE)
+        assert not media.verify_line(1)  # stuck bit re-corrupted it
+        media.retire(1)
+        media.repair_line(1, b"\x00" * CACHE_LINE)
+        assert media.verify_line(1)  # the spare line holds clean media
+
+
+class TestDeadAndLost:
+    def test_dead_line_raises_until_retired(self):
+        device, media = make_device()
+        persist(device, 128, b"x" * 64)
+        media.kill_line(2)
+        with pytest.raises(UncorrectableMediaError) as exc:
+            device.read(128, 8)
+        assert 2 in exc.value.lines
+        media.retire(2)
+        device.read(128, 8)  # remapped to a spare: reads serve again
+
+    def test_lost_line_raises_typed(self):
+        device, media = make_device()
+        media.mark_lost(3)
+        with pytest.raises(BothCopiesLostError):
+            device.read(3 * CACHE_LINE, 1)
+
+    def test_kill_lines_stays_inside_ranges(self):
+        device, media = make_device()
+        killed = media.kill_lines(3, ranges=[(1024, 256)])
+        assert killed
+        for line in killed:
+            assert 1024 <= line * CACHE_LINE < 1280
+
+
+class TestInvariance:
+    def test_no_faults_moves_no_counters(self):
+        device, media = make_device()
+        for i in range(32):
+            persist(device, i * 64, bytes([i]) * 64)
+        device.persist_all()
+        stats = device.stats
+        assert stats.media_flips == 0
+        assert stats.media_dead == 0
+        assert stats.media_detected == 0
+        assert stats.media_repaired == 0
+        assert not media.faulty
+        assert media.bad_lines() == []
+
+
+class TestCarriage:
+    def test_clone_carries_fault_state(self):
+        device, media = make_device()
+        persist(device, 0, b"q" * 64)
+        media.flip_bit(0, 2)
+        media.kill_line(5)
+        media.stick_bit(448, 0, 1)
+        clone = device.clone_durable(seed=0)
+        assert clone.media is not None
+        assert not clone.media.verify_line(0)
+        assert 5 in clone.media.dead
+        assert 7 in clone.media.stuck
+        with pytest.raises(UncorrectableMediaError):
+            clone.read(5 * CACHE_LINE, 1)
+
+    def test_fingerprint_token_distinguishes_fault_maps(self):
+        _device, media_a = make_device()
+        _device2, media_b = make_device()
+        assert media_a.fingerprint_token() == media_b.fingerprint_token()
+        media_b.kill_line(9)
+        assert media_a.fingerprint_token() != media_b.fingerprint_token()

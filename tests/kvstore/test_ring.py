@@ -138,3 +138,96 @@ class TestCrash:
         region = pool.create_region("ring", 4096)
         with pytest.raises(PoolCorruptionError):
             PersistentRing.open(region)
+
+
+class TestMediaCorruption:
+    """Rot in ring bytes, classified: a failing *tail* record is a torn
+    append (truncate durably); a failing *mid-ring* record is media
+    corruption (typed error, or repair from self-verifying bytes)."""
+
+    @staticmethod
+    def _record_addr(ring, index):
+        """Region offset + total size of the index-th pending record."""
+        from repro.kvstore.ring import _REC_HDR, _pad
+
+        logical = ring._consume
+        for _ in range(index):
+            length = _REC_HDR.unpack(
+                ring.region.read(ring._addr(logical), _REC_HDR.size)
+            )[0]
+            logical += _pad(_REC_HDR.size + length)
+        addr = ring._addr(logical)
+        length = _REC_HDR.unpack(ring.region.read(addr, _REC_HDR.size))[0]
+        return addr, _REC_HDR.size + length
+
+    @staticmethod
+    def _rot_payload(ring, index):
+        from repro.kvstore.ring import _REC_HDR
+
+        addr, _size = TestMediaCorruption._record_addr(ring, index)
+        off = addr + _REC_HDR.size
+        byte = ring.region.read(off, 1)[0]
+        ring.region.write_and_flush(off, bytes([byte ^ 0x40]))
+        return addr
+
+    def test_rotted_tail_record_truncates(self):
+        ring, device, region = make_ring()
+        ring.append(b"kept-one")
+        ring.append(b"kept-two")
+        ring.append(b"doomed-tail")
+        self._rot_payload(ring, 2)
+        assert ring.drain() == [b"kept-one", b"kept-two"]
+        # the truncation is durable: a reopen sees the shortened ring
+        ring2 = PersistentRing.open(region)
+        assert ring2.drain() == []
+
+    def test_mid_ring_rot_raises_typed(self):
+        from repro.errors import RingCorruptionError
+
+        ring, device, region = make_ring()
+        for payload in (b"first", b"second", b"third"):
+            ring.append(payload)
+        addr = self._rot_payload(ring, 0)
+        with pytest.raises(RingCorruptionError) as exc:
+            ring.drain()
+        assert exc.value.offset == addr
+        assert exc.value.record_index == 0
+        assert "mid-ring" in str(exc.value)
+
+    def test_scrub_repairs_from_verifying_bytes(self):
+        ring, device, region = make_ring()
+        for payload in (b"alpha", b"bravo", b"charlie"):
+            ring.append(payload)
+        pristine = {}
+        for i in range(3):
+            addr, size = self._record_addr(ring, i)
+            pristine[addr] = region.read(addr, size)
+        self._rot_payload(ring, 1)
+
+        def repair(addr, size):
+            return pristine.get(addr)
+
+        assert ring.scrub(repair=repair) == 1
+        assert ring.drain() == [b"alpha", b"bravo", b"charlie"]
+
+    def test_scrub_rejects_non_verifying_repair_bytes(self):
+        from repro.errors import RingCorruptionError
+
+        ring, device, region = make_ring()
+        for payload in (b"alpha", b"bravo", b"charlie"):
+            ring.append(payload)
+        addr, size = self._record_addr(ring, 1)
+        self._rot_payload(ring, 1)
+
+        def bad_repair(a, s):
+            return b"\x00" * s  # wrong length field AND wrong crc
+
+        with pytest.raises(RingCorruptionError):
+            ring.scrub(repair=bad_repair)
+
+    def test_scrub_clean_ring_is_a_no_op(self):
+        ring, device, region = make_ring()
+        for payload in (b"a", b"bb", b"ccc"):
+            ring.append(payload)
+        assert ring.scrub() == 0
+        assert ring.drain() == [b"a", b"bb", b"ccc"]

@@ -1,0 +1,132 @@
+"""Property: the media layer is visible exactly when faults are injected.
+
+Three sweeps.  (1) Any flipped durable bit changes
+``overlay_fingerprint`` — the checker's dedup key is media-aware, so two
+crash states differing only by rot are never pruned as one.  (2)
+``clone_durable`` carries the whole fault map: every injected fault is
+observable on the clone exactly as on the original.  (3) Differential
+invariance: with a media model attached but NO faults injected, a
+device is byte- and stats-identical to one with no model at all — the
+protection layer is free when nothing is wrong.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.nvm import NVMDevice
+from repro.nvm.latency import CACHE_LINE
+
+DEVICE_SIZE = 16384
+N_LINES = DEVICE_SIZE // CACHE_LINE
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def op_sequences(draw):
+    nops = draw(st.integers(1, 12))
+    ops = []
+    for _ in range(nops):
+        kind = draw(st.sampled_from(["write", "flush", "fence", "persist_all"]))
+        if kind == "write":
+            addr = draw(st.integers(0, DEVICE_SIZE - 1))
+            size = draw(st.integers(1, min(128, DEVICE_SIZE - addr)))
+            data = bytes(draw(st.integers(0, 255)) for _ in range(size))
+            ops.append(("write", addr, data))
+        elif kind == "flush":
+            addr = draw(st.integers(0, DEVICE_SIZE - 1))
+            ops.append(("flush", addr, min(256, DEVICE_SIZE - addr)))
+        else:
+            ops.append((kind,))
+    return ops
+
+
+def apply_ops(device, ops):
+    for op in ops:
+        if op[0] == "write":
+            device.write(op[1], op[2])
+        elif op[0] == "flush":
+            device.flush(op[1], op[2])
+        elif op[0] == "fence":
+            device.fence()
+        else:
+            device.persist_all()
+    device.persist_all()
+
+
+class TestFingerprintMediaAwareness:
+    @given(ops=op_sequences(), addr=st.integers(0, DEVICE_SIZE - 1),
+           bit=st.integers(0, 7))
+    @SETTINGS
+    def test_any_flip_changes_the_fingerprint(self, ops, addr, bit):
+        device = NVMDevice(DEVICE_SIZE, seed=0)
+        device.attach_media(seed=0, protect=True)
+        apply_ops(device, ops)
+        before = device.overlay_fingerprint()
+        device.media.flip_bit(addr, bit)
+        assert device.overlay_fingerprint() != before
+
+    @given(ops=op_sequences(), line=st.integers(0, N_LINES - 1))
+    @SETTINGS
+    def test_dead_line_changes_the_fingerprint(self, ops, line):
+        """Equal bytes, different fault maps: a dead line is a different
+        crash state even though no data byte moved."""
+        device = NVMDevice(DEVICE_SIZE, seed=0)
+        device.attach_media(seed=0, protect=True)
+        apply_ops(device, ops)
+        before = device.overlay_fingerprint()
+        device.media.kill_line(line)
+        assert device.overlay_fingerprint() != before
+
+
+class TestCloneCarriage:
+    @given(
+        ops=op_sequences(),
+        flips=st.lists(
+            st.tuples(st.integers(0, DEVICE_SIZE - 1), st.integers(0, 7)),
+            max_size=4,
+        ),
+        dead=st.lists(st.integers(0, N_LINES - 1), max_size=2, unique=True),
+    )
+    @SETTINGS
+    def test_clone_sees_every_fault(self, ops, flips, dead):
+        device = NVMDevice(DEVICE_SIZE, seed=0)
+        media = device.attach_media(seed=0, protect=True)
+        apply_ops(device, ops)
+        for addr, bit in flips:
+            if addr // CACHE_LINE in media.dead:
+                continue
+            media.flip_bit(addr, bit)
+        for line in dead:
+            media.kill_line(line)
+        clone = device.clone_durable(seed=0)
+        assert clone.media is not None
+        assert clone.media.dead == media.dead
+        assert clone.media.bad_lines() == media.bad_lines()
+        assert clone.media.fingerprint_token() == media.fingerprint_token()
+
+
+class TestDifferentialInvariance:
+    @given(ops=op_sequences())
+    @SETTINGS
+    def test_no_faults_means_no_difference(self, ops):
+        plain = NVMDevice(DEVICE_SIZE, seed=0)
+        guarded = NVMDevice(DEVICE_SIZE, seed=0)
+        guarded.attach_media(seed=0, protect=True)
+        apply_ops(plain, ops)
+        apply_ops(guarded, ops)
+        assert bytes(plain._durable) == bytes(guarded._durable)
+        assert guarded.media.bad_lines() == []
+        assert not guarded.media.faulty
+        for stat in ("media_flips", "media_dead", "media_detected",
+                     "media_repaired"):
+            assert getattr(guarded.stats, stat) == 0
+        # the data-path stats agree too: the sidecar rides persists, it
+        # does not add device operations
+        assert plain.stats.stores == guarded.stats.stores
+        assert plain.stats.store_bytes == guarded.stats.store_bytes
+        assert plain.stats.flushes == guarded.stats.flushes
+        assert plain.stats.fences == guarded.stats.fences

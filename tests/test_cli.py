@@ -103,3 +103,25 @@ class TestCommands:
         ])
         assert rc == 1
         assert "REGRESSION" in capsys.readouterr().err
+
+
+class TestScrub:
+    def test_scrub_quick_repairs_everything(self, capsys):
+        rc = main(["scrub", "--quick"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scrub: " in out and "repaired=" in out
+        assert "every injected fault repaired" in out
+
+    def test_scrub_no_protect_demonstrates_silent_corruption(self, capsys):
+        rc = main(["scrub", "--quick", "--no-protect", "--flips", "12"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "silently corrupt" in out
+        assert "scrub: " not in out  # no sidecar, nothing to scrub
+
+    def test_nemesis_media_quick(self, capsys):
+        rc = main(["nemesis", "--media", "--quick", "--seeds", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bitrot_scrub" in out and "ok" in out

@@ -10,16 +10,28 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.sim` — deterministic event simulation
 * :mod:`repro.runtime` — execution contexts, clock, engine registry
 * :mod:`repro.replication` — chain replication (traditional + Kamino)
+* :mod:`repro.cluster` — sharded multi-group cluster, online migration
 * :mod:`repro.bench` — benchmark harness over the runtime layer
 * :mod:`repro.integrity` — media-fault model, checksum sidecar, scrubber
 """
 
 from .errors import (
     BothCopiesLostError,
+    ClusterConfigError,
+    ClusterDegraded,
     IntegrityError,
     MediaError,
     ReproError,
+    ShardMigrationError,
+    StaleShardMapError,
     UncorrectableMediaError,
+)
+from .cluster import (
+    ClusterReport,
+    MigrationReport,
+    RangeRouter,
+    ShardMap,
+    ShardRouter,
 )
 from .integrity import ChecksumSidecar, MediaFaultModel, ScrubReport, Scrubber
 from .heap import PersistentHeap, PersistentStruct
@@ -42,9 +54,28 @@ from .tx import (
 
 __version__ = "1.0.0"
 
+# the heavy cluster members stay lazy (see repro.cluster's docstring):
+# importing repro must not drag in the simulator + NVM stack
+_LAZY_CLUSTER = ("MigrationRecord", "PlacementService", "ShardMigration",
+                 "ShardedCluster")
+
+
+def __getattr__(name: str):
+    if name in _LAZY_CLUSTER:
+        from importlib import import_module
+
+        value = getattr(import_module(".cluster", __name__), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BothCopiesLostError",
     "ChecksumSidecar",
+    "ClusterConfigError",
+    "ClusterDegraded",
+    "ClusterReport",
     "CoWEngine",
     "CrashPolicy",
     "EngineCapabilities",
@@ -52,15 +83,25 @@ __all__ = [
     "IntegrityError",
     "MediaError",
     "MediaFaultModel",
+    "MigrationRecord",
+    "MigrationReport",
     "NVMDevice",
     "NoLoggingEngine",
     "PersistentHeap",
     "PersistentStruct",
+    "PlacementService",
     "PmemPool",
+    "RangeRouter",
     "ReproError",
     "ScrubReport",
     "Scrubber",
+    "ShardMap",
+    "ShardMigration",
+    "ShardMigrationError",
+    "ShardRouter",
+    "ShardedCluster",
     "SimClock",
+    "StaleShardMapError",
     "UncorrectableMediaError",
     "UndoLogEngine",
     "__version__",

@@ -123,12 +123,45 @@ def _bench_ycsb_dynamic(sizes: dict, naive: bool) -> Tuple[float, int]:
     return res.duration_ns, res.ops
 
 
+def _bench_cluster_ycsb(sizes: dict, naive: bool) -> Tuple[float, int]:
+    """Multi-shard YCSB on a 2-group sharded cluster with one online
+    migration mid-run (load + route + copy + flip all on the clock)."""
+    # local imports: the cluster stack is not needed by the other cells
+    from ..cluster import ShardedCluster
+    from ..replication import run_clients
+    from ..workloads import Op, UPDATE, YCSBWorkload
+
+    cluster = ShardedCluster(
+        groups=2, shards_per_group=2, f=1, heap_mb=4, value_size=256, seed=0,
+    )
+    load = [
+        Op(UPDATE, k, bytes([k % 255 + 1]) * 64)
+        for k in range(sizes["nrecords"])
+    ]
+    run_clients(cluster, [load])
+    cluster.sim.schedule(200_000.0, lambda: cluster.migrate_shard("hottest"))
+    workload = YCSBWorkload("A", sizes["nrecords"], 256, seed=1)
+    streams = [list(workload.run_ops(sizes["nops"] // 4)) for _ in range(4)]
+    start_ns = cluster.sim.now
+    run_clients(cluster, streams)
+    cluster.drain()
+    cluster.assert_replicas_consistent()
+    return cluster.sim.now - start_ns, cluster.committed
+
+
 BENCHMARKS: Dict[str, Callable[[dict, bool], Tuple[float, int]]] = {
     "fig12_hot_loop": _bench_fig12_hot_loop,
     "fig12_matrix": _bench_fig12_matrix,
     "tpcc_online": _bench_tpcc_online,
     "ycsb_dynamic": _bench_ycsb_dynamic,
+    "cluster_ycsb": _bench_cluster_ycsb,
 }
+
+#: benchmarks with no meaningful naive side: the sharded cluster builds
+#: its own device stack internally, so the reference-device swap does
+#: not apply — these report wall_s only (no speedup_vs_naive), which
+#: :func:`regression_report` treats as informational
+NO_NAIVE = frozenset({"cluster_ycsb"})
 
 
 def _run_job(job: Tuple[str, bool, bool, int]) -> Tuple[str, bool, float, float, int]:
@@ -187,7 +220,7 @@ def run_benchmarks(
     jobs: List[Tuple[str, bool, bool, int]] = []
     for name in chosen:
         jobs.append((name, quick, False, repeats))
-        if with_naive:
+        if with_naive and name not in NO_NAIVE:
             jobs.append((name, quick, True, repeats))
 
     measurements: Dict[str, Dict[bool, Tuple[float, float, int]]] = {}
@@ -254,13 +287,19 @@ def emit_trajectory_point(path: str, workers: int = 0, repeats: int = 3) -> dict
     return doc
 
 
-def _baseline_benchmarks(current: dict, baseline: dict) -> dict:
-    """The baseline section comparable to ``current``'s profile."""
+def _comparable_sections(current: dict, baseline: dict) -> Tuple[dict, dict]:
+    """The (current, baseline) sections sharing one size profile.
+
+    Speedups shift with problem size, so a quick document is only ever
+    compared against quick cells — whichever side is the full-profile
+    trajectory point contributes its ``quick_benchmarks`` section.
+    """
+    cur, base = current.get("benchmarks", {}), baseline.get("benchmarks", {})
     if current.get("quick") and not baseline.get("quick"):
-        quick = baseline.get("quick_benchmarks")
-        if quick is not None:
-            return quick
-    return baseline.get("benchmarks", {})
+        base = baseline.get("quick_benchmarks", base)
+    elif baseline.get("quick") and not current.get("quick"):
+        cur = current.get("quick_benchmarks", cur)
+    return cur, base
 
 
 def regression_report(current: dict, baseline: dict, tolerance: float = 0.25) -> List[str]:
@@ -269,16 +308,18 @@ def regression_report(current: dict, baseline: dict, tolerance: float = 0.25) ->
     A benchmark regresses when its ``speedup_vs_naive`` drops more than
     ``tolerance`` (fractionally) below the baseline's.  Speedup — not
     raw wall seconds — is compared so the check is stable across host
-    machines: both sides of the ratio ran on the same box.  A quick
-    ``current`` against a full-size baseline automatically uses the
-    baseline's ``quick_benchmarks`` section (same-profile comparison).
+    machines: both sides of the ratio ran on the same box.  When the
+    two documents were measured at different size profiles, the
+    full-profile side's ``quick_benchmarks`` section is compared
+    instead (same-profile comparison; speedups shift with size).
     """
     problems: List[str] = []
-    for name, base in _baseline_benchmarks(current, baseline).items():
+    current_cells, baseline_cells = _comparable_sections(current, baseline)
+    for name, base in baseline_cells.items():
         base_speedup = base.get("speedup_vs_naive")
         if base_speedup is None:
             continue
-        cur = current.get("benchmarks", {}).get(name)
+        cur = current_cells.get(name)
         if cur is None:
             problems.append(f"{name}: present in baseline but not re-measured")
             continue

@@ -22,12 +22,15 @@ See ``docs/CHECKING.md`` for the state-space model and oracle contract.
 """
 
 from .chain import (
+    COORDINATOR_CRASH,
     FAIL_STOP,
     QUICK_REBOOT,
     ChainCrashExplorer,
     ChainFailure,
     ChainReport,
     ChainScenario,
+    MigrationCrashExplorer,
+    MigrationScenario,
 )
 from .explorer import (
     CheckFailure,
@@ -51,6 +54,7 @@ from .workload import (
 
 __all__ = [
     "CANNED_WORKLOADS",
+    "COORDINATOR_CRASH",
     "FAIL_STOP",
     "QUICK_REBOOT",
     "ChainCrashExplorer",
@@ -64,6 +68,8 @@ __all__ = [
     "KVWorkload",
     "Ledger",
     "ListWorkload",
+    "MigrationCrashExplorer",
+    "MigrationScenario",
     "OracleViolation",
     "PairsWorkload",
     "RingWorkload",

@@ -36,7 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import DeviceCrashedError
+from ..errors import DeviceCrashedError, ReplicationError
 from ..nvm.device import CrashPolicy
 from ..replication.chain import KAMINO, ChainCluster
 from ..replication.recovery import fail_stop, quick_reboot, settle
@@ -44,6 +44,7 @@ from .explorer import OP_BUDGET, _sample_points
 
 QUICK_REBOOT = "quick_reboot"
 FAIL_STOP = "fail_stop"
+COORDINATOR_CRASH = "crash_coordinator"
 
 
 @dataclass(frozen=True)
@@ -294,6 +295,205 @@ class ChainCrashExplorer:
                     replica=mid,
                     device_crash_after=p,
                 )
+                failure = self.replay(scenario)
+                report.states_explored += 1
+                if failure is not None:
+                    report.failures.append(failure)
+        return report
+
+
+@dataclass(frozen=True)
+class MigrationScenario:
+    """One crash experiment inside an online shard-migration window.
+
+    The sweep pauses a 2-group sharded run at ``after_events`` event
+    boundaries *counted from the migration's start* and either
+    power-fails the migration coordinator (volatile migration state
+    dies; the durable cursor must resume it) or quick-reboots one
+    replica of one group while the copy traffic is in flight.
+    """
+
+    mode: str = KAMINO
+    intervention: str = COORDINATOR_CRASH
+    group: int = 0
+    replica: int = 0
+    after_events: int = 0
+    double: bool = False
+
+    def describe(self) -> str:
+        parts = [f"mode={self.mode}", f"after_events={self.after_events}"]
+        if self.intervention == COORDINATOR_CRASH:
+            parts.append("crash_coordinator" + (" x2" if self.double else ""))
+        else:
+            parts.append(f"{self.intervention} g{self.group}:r{self.replica}")
+        return ", ".join(parts)
+
+
+class MigrationCrashExplorer:
+    """Sweeps crash points inside an active shard migration.
+
+    Builds a deterministic two-group :class:`~repro.cluster.sharded.
+    ShardedCluster`, preloads it, starts migrating one group-0 shard to
+    group 1, and keeps overwriting the same keys on a staggered timer so
+    client writes land during every migration phase (copy tap, catch-up,
+    hand-off parking, post-flip).  Each scenario replays that script up
+    to an event boundary, intervenes, drains, and demands:
+
+    1. every group's replicas converge;
+    2. the migration *terminates* (resumed from the durable cursor, not
+       wedged) and does not abort;
+    3. placement is respected — after the flip + purge, each key lives
+       only on its owning group;
+    4. **zero lost committed transactions**: every write whose ack was
+       delivered before the crash is present in the merged tail state
+       with its acked value.
+    """
+
+    def __init__(self, mode: str = KAMINO, f: int = 1, n_keys: int = 10,
+                 shards_per_group: int = 2):
+        self.mode = mode
+        self.f = f
+        self.n_keys = n_keys
+        self.shards_per_group = shards_per_group
+
+    # -- deterministic cluster construction ----------------------------------
+
+    def _build(self):
+        """Fresh sharded cluster, preloaded and mid-migration; returns
+        it plus the live key -> last-acked-value map (updated by the
+        staggered overwrite callbacks as their acks arrive)."""
+        # local import: the checker stays importable without the cluster
+        from ..cluster.sharded import ShardedCluster
+
+        cluster = ShardedCluster(
+            groups=2, shards_per_group=self.shards_per_group,
+            f=self.f, mode=self.mode, heap_mb=2, value_size=64,
+        )
+        acked: Dict[int, bytes] = {}
+        for i in range(self.n_keys):
+            value = bytes([i + 1]) * 16
+            cluster.submit_write("put", (i, value), keys=(i,))
+            acked[i] = value.ljust(64, b"\x00")
+        cluster.drain()
+        shard = cluster.map.shards_of(0)[0]
+        cluster.migrate_shard(shard, dst_group=1)
+        for i in range(self.n_keys):
+            value = bytes([0x41 + i]) * 16
+
+            def fire(key=i, val=value):
+                def on_ack(result, _latency, key=key, val=val):
+                    if not isinstance(result, ReplicationError):
+                        acked[key] = val.ljust(64, b"\x00")
+
+                cluster.submit_write("put", (key, val), keys=(key,),
+                                     callback=on_ack)
+
+            cluster.sim.schedule(10_000.0 + i * 30_000.0, fire)
+        return cluster, acked
+
+    def count_events(self) -> int:
+        """Events in the migration window of an undisturbed run."""
+        cluster, _acked = self._build()
+        before = cluster.sim.processed
+        cluster.drain()
+        return cluster.sim.processed - before
+
+    # -- one scenario --------------------------------------------------------
+
+    def replay(self, scenario: MigrationScenario) -> Optional[ChainFailure]:
+        cluster, acked = self._build()
+        cluster.sim.run(max_events=scenario.after_events)
+        try:
+            if scenario.intervention == COORDINATOR_CRASH:
+                cluster.crash_coordinator()
+                if scenario.double:
+                    # a second power failure before the resumed copy
+                    # moves: recovery must be idempotent
+                    cluster.crash_coordinator()
+            else:
+                quick_reboot(cluster.groups[scenario.group], scenario.replica)
+        except Exception as exc:
+            return ChainFailure(
+                scenario, f"intervention raised {type(exc).__name__}: {exc}"
+            )
+        try:
+            for group in cluster.groups:
+                settle(group)
+            cluster.drain()
+            for group in cluster.groups:
+                settle(group)
+            cluster.drain()
+        except Exception as exc:
+            return ChainFailure(
+                scenario, f"post-crash drain raised {type(exc).__name__}: {exc}"
+            )
+        return self._judge(cluster, scenario, acked)
+
+    # -- judging -------------------------------------------------------------
+
+    def _judge(self, cluster, scenario: MigrationScenario,
+               acked: Dict[int, bytes]) -> Optional[ChainFailure]:
+        try:
+            cluster.assert_replicas_consistent()
+        except AssertionError as exc:
+            return ChainFailure(scenario, f"replica divergence: {exc}")
+        if cluster.active_migrations:
+            return ChainFailure(
+                scenario,
+                f"migration wedged (shards {cluster.active_migrations} never "
+                "terminated)",
+            )
+        if cluster.migration_failures:
+            return ChainFailure(
+                scenario,
+                "migration aborted: " + "; ".join(cluster.migration_failures),
+            )
+        try:
+            cluster.assert_placement_respected()
+        except AssertionError as exc:
+            return ChainFailure(scenario, f"placement violated: {exc}")
+        merged = cluster.merged_tail_state()
+        for key in sorted(acked):
+            if merged.get(key) != acked[key]:
+                return ChainFailure(
+                    scenario,
+                    f"acked write to key {key} lost across the migration crash",
+                )
+        return None
+
+    # -- the sweep -----------------------------------------------------------
+
+    def explore(
+        self,
+        max_points: Optional[int] = None,
+        double: bool = True,
+        reboots: bool = True,
+    ) -> ChainReport:
+        """Sweep coordinator crashes (and optionally per-group replica
+        quick reboots) at every event boundary of the migration window,
+        sampled down by ``max_points``."""
+        report = ChainReport(mode=f"{self.mode}-migration")
+        n_events = self.count_events()
+        for k in _sample_points(0, n_events, max_points):
+            scenarios = [
+                MigrationScenario(mode=self.mode, after_events=k)
+            ]
+            if double:
+                scenarios.append(
+                    MigrationScenario(mode=self.mode, after_events=k,
+                                      double=True)
+                )
+            if reboots:
+                # the heads carry the copy traffic on both sides
+                scenarios.append(
+                    MigrationScenario(mode=self.mode, intervention=QUICK_REBOOT,
+                                      group=0, replica=0, after_events=k)
+                )
+                scenarios.append(
+                    MigrationScenario(mode=self.mode, intervention=QUICK_REBOOT,
+                                      group=1, replica=0, after_events=k)
+                )
+            for scenario in scenarios:
                 failure = self.replay(scenario)
                 report.states_explored += 1
                 if failure is not None:

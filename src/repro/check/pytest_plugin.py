@@ -15,6 +15,10 @@ repo's own ``tests/conftest.py`` does this).  It contributes:
 * ``--media-faults`` — opt into the deep media-fault sweeps (tests
   marked ``@pytest.mark.media``); without the flag those tests skip.
   The quick media-integrity tests run unconditionally.
+* ``--cluster`` — opt into the deep sharded-cluster sweeps (tests
+  marked ``@pytest.mark.cluster``: full migration-window crash
+  exploration, multi-seed corpus runs); the quick cluster tests run
+  unconditionally.
 """
 
 from __future__ import annotations
@@ -85,6 +89,13 @@ def pytest_addoption(parser) -> None:
         help="run the deep media-fault sweeps (tests marked 'media'); "
         "the quick integrity tests run regardless",
     )
+    parser.addoption(
+        "--cluster",
+        action="store_true",
+        default=False,
+        help="run the deep sharded-cluster sweeps (tests marked "
+        "'cluster'); the quick cluster tests run regardless",
+    )
 
 
 def pytest_configure(config) -> None:
@@ -92,15 +103,25 @@ def pytest_configure(config) -> None:
         "markers",
         "media: deep media-fault sweep; skipped unless --media-faults is given",
     )
+    config.addinivalue_line(
+        "markers",
+        "cluster: deep sharded-cluster sweep; skipped unless --cluster is given",
+    )
 
 
 def pytest_collection_modifyitems(config, items) -> None:
-    if config.getoption("--media-faults"):
-        return
-    skip = pytest.mark.skip(reason="needs --media-faults")
+    gates = []
+    if not config.getoption("--media-faults"):
+        gates.append(("media", pytest.mark.skip(reason="needs --media-faults")))
+    if not config.getoption("--cluster"):
+        gates.append(("cluster", pytest.mark.skip(reason="needs --cluster")))
     for item in items:
-        if "media" in item.keywords:
-            item.add_marker(skip)
+        for marker, skip in gates:
+            # match the marker itself, not item.keywords: keywords also
+            # contain parent node names, and tests/cluster/'s package
+            # name would otherwise skip the whole directory
+            if item.get_closest_marker(marker) is not None:
+                item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")
@@ -118,6 +139,12 @@ def nemesis_seeds(request) -> int:
 def media_faults(request) -> bool:
     """Whether the deep media-fault sweeps were opted into."""
     return request.config.getoption("--media-faults")
+
+
+@pytest.fixture(scope="session")
+def cluster_sweeps(request) -> bool:
+    """Whether the deep sharded-cluster sweeps were opted into."""
+    return request.config.getoption("--cluster")
 
 
 @pytest.fixture

@@ -10,6 +10,7 @@ Subcommands::
     python -m repro check  --engine all --workloads pairs,kv --quick
     python -m repro nemesis --quick
     python -m repro nemesis --media --seeds 3
+    python -m repro cluster --groups 2 --shards 2 --quick
     python -m repro scrub  --flips 8 --dead 2
     python -m repro bench  --quick --out BENCH.json --compare BENCH_PR2.json
     python -m repro info   --engine kamino-dynamic --alpha 0.3
@@ -375,6 +376,122 @@ def cmd_nemesis(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    """Sharded-cluster demo + oracle suite.
+
+    Three stages, each gating the exit code:
+
+    1. a live demo — load a multi-group cluster, run YCSB clients while
+       the hottest shard migrates to the least-loaded group, then check
+       convergence and placement;
+    2. the sharded nemesis corpus (rebalance under partition, coordinator
+       power failures, hot-shard skew) across seeds;
+    3. a sampled migration-window crash sweep (skippable).
+    """
+    from .check import MigrationCrashExplorer
+    from .cluster import ShardedCluster
+    from .faults import CLUSTER_CORPUS, run_scenario
+    from .replication import run_clients
+    from .workloads import Op, UPDATE, YCSBWorkload
+
+    records = 48 if args.quick else args.records
+    ops = 30 if args.quick else args.ops
+    clients = 2 if args.quick else args.clients
+    seeds = 1 if args.quick else args.seeds
+    failed = 0
+
+    # -- stage 1: live demo with a mid-run migration -------------------------
+    cluster = ShardedCluster(
+        groups=args.groups, shards_per_group=args.shards, f=args.f,
+        heap_mb=4, value_size=256, seed=args.seed,
+    )
+    load = [Op(UPDATE, k, bytes([k % 255 + 1]) * 64) for k in range(records)]
+    run_clients(cluster, [load])
+    cluster.sim.schedule(150_000.0, lambda: cluster.migrate_shard("hottest"))
+    workload = YCSBWorkload("A", records, 256, seed=args.seed + 1)
+    streams = [list(workload.run_ops(ops)) for _ in range(clients)]
+    run_clients(cluster, streams)
+    cluster.drain()
+
+    problems = []
+    if cluster.active_migrations:
+        problems.append(f"migration wedged: shards {cluster.active_migrations}")
+    if cluster.migration_failures:
+        problems.append("; ".join(cluster.migration_failures))
+    try:
+        cluster.assert_replicas_consistent()
+        if not cluster.active_migrations:
+            cluster.assert_placement_respected()
+    except AssertionError as exc:
+        problems.append(str(exc))
+
+    rows = []
+    for gid, group in enumerate(cluster.groups):
+        shards = cluster.map.shards_of(gid)
+        rows.append([
+            f"g{gid}", ",".join(str(s) for s in shards),
+            sum(cluster.shard_load.get(s, 0) for s in shards),
+            sum(1 for _ in group.tail.kv.tree.items()),
+            group.committed,
+        ])
+    print(format_table(
+        f"cluster: {args.groups} groups x {args.shards} shards, f={args.f}, "
+        f"map v{cluster.map_version}",
+        ["group", "shards", "routed", "keys", "committed"],
+        rows,
+    ))
+    if cluster.migration_reports:
+        print(format_table(
+            "online migrations",
+            ["shard", "route", "copied", "skipped", "catchup", "parked",
+             "purged", "phase", "ms"],
+            [[m.shard, f"g{m.src_group}->g{m.dst_group}", m.copied_keys,
+              m.skipped_keys, m.catchup_keys, m.parked_ops, m.purged_keys,
+              m.phase, round(m.duration_ns / 1e6, 3)]
+             for m in cluster.migration_reports],
+        ))
+    for problem in problems:
+        print(f"  DEMO FAILURE: {problem}")
+    failed += len(problems)
+
+    # -- stage 2: the sharded nemesis corpus ---------------------------------
+    rows = []
+    for scenario in CLUSTER_CORPUS:
+        for seed in range(seeds):
+            r = run_scenario(scenario, seed=seed, mode=args.mode, f=args.f)
+            rows.append([
+                r.scenario, r.seed, f"{r.completed_ops}/{r.total_ops}",
+                r.migrations, r.coordinator_crashes, r.map_version,
+                "ok" if r.ok else f"FAIL({len(r.problems)})",
+            ])
+            if not r.ok:
+                failed += 1
+                for problem in r.problems[:3]:
+                    print(f"  {r.scenario} seed={seed}: {problem}")
+    print(format_table(
+        f"sharded nemesis corpus: {args.mode}, {seeds} seed(s)",
+        ["scenario", "seed", "ops", "migs", "coord-crash", "map", "verdict"],
+        rows,
+    ))
+
+    # -- stage 3: migration-window crash sweep -------------------------------
+    if not args.no_sweep:
+        sweep = MigrationCrashExplorer(mode=args.mode).explore(
+            max_points=2 if args.quick else args.sweep_points,
+            reboots=not args.quick,
+        )
+        print(sweep.summary())
+        for failure in sweep.failures[:5]:
+            print(f"  SWEEP FAILURE: {failure}")
+        failed += len(sweep.failures)
+
+    if failed:
+        print(f"\n{failed} cluster failure(s)", file=sys.stderr)
+        return 1
+    print("cluster demo, nemesis corpus, and migration sweep all converged")
+    return 0
+
+
 def cmd_scrub(args) -> int:
     """Media-fault demo: inject bit rot + dead lines, scrub, verify.
 
@@ -601,6 +718,28 @@ def build_parser() -> argparse.ArgumentParser:
                    "with scrub-and-repair")
     p.add_argument("--list", action="store_true", help="list the corpus")
     p.set_defaults(fn=cmd_nemesis)
+
+    p = sub.add_parser(
+        "cluster", help="sharded multi-group cluster: online-migration "
+        "demo, sharded nemesis corpus, migration crash sweep"
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke: small load, 1 seed, sampled sweep")
+    p.add_argument("--groups", type=int, default=2)
+    p.add_argument("--shards", type=int, default=2,
+                   help="shards per group at bootstrap")
+    p.add_argument("--f", type=int, default=2, help="failures to tolerate")
+    p.add_argument("--records", type=int, default=128)
+    p.add_argument("--ops", type=int, default=80, help="ops per client")
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--seeds", type=int, default=3, help="seeds per scenario")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mode", default="kamino", choices=["kamino", "traditional"])
+    p.add_argument("--no-sweep", action="store_true",
+                   help="skip the migration-window crash sweep")
+    p.add_argument("--sweep-points", type=int, default=6,
+                   help="sampled event boundaries in the crash sweep")
+    p.set_defaults(fn=cmd_cluster)
 
     p = sub.add_parser(
         "scrub", help="media-fault demo: inject bit rot + dead lines, "

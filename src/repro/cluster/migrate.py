@@ -1,0 +1,333 @@
+"""Online shard migration: move a shard between groups under traffic.
+
+The protocol is the head's BackupSyncer story lifted to the cluster
+level — incremental state transfer with a durable resume point:
+
+1. **copy** — walk the shard's keys in sorted order, pushing them into
+   the destination chain in small chunks.  Each chunk is confirmed by
+   destination tail acks before the placement service durably advances
+   the *migration cursor*; a coordinator crash resumes from the cursor
+   instead of restarting (or corrupting).
+2. **catchup** — writes keep flowing to the source during the copy; the
+   router taps them into a dirty-key set.  Catch-up rounds re-copy
+   dirty keys (value-diff: keys whose bytes already match are skipped)
+   until the set is empty or the round budget is spent.
+3. **handoff** — new writes to the shard *park* (clients see nothing;
+   their op simply completes after the flip) while the final dirty
+   keys drain.  Reads still serve from the source, which is quiescent
+   for this shard by construction.
+4. **flip** — one placement-service transition installs the moved map
+   (version bump).  Parked writes replay into the destination in FIFO
+   order *synchronously inside the flip*, before any later client
+   event, so no post-flip write can be reordered ahead of a parked
+   one.  The source's copies are then purged via ordinary deletes down
+   its chain.
+
+Crash-consistency argument: every acknowledged client write is either
+(a) committed at the source before the flip — the bulk copy or a
+catch-up/handoff round moves it, and the durable cursor plus the
+conservative resume re-diff make that true across coordinator crashes
+— or (b) replayed/committed at the destination at or after the flip.
+Parked-but-unreplayed writes at a crash were never acknowledged, so
+client retry (same ``client_id``/``request_id``, absorbed by the
+destination's dedup table) preserves exactly-once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ReplicationError
+from .report import MigrationReport
+
+#: keys per bulk-copy chunk (one durable cursor advance each)
+CHUNK_KEYS = 8
+#: pause between chunks — the knob that makes the copy *online* instead
+#: of a stop-the-world burst in simulated time
+CHUNK_GAP_NS = 25_000.0
+#: back-off before retrying a copy op the destination rejected
+RETRY_GAP_NS = 200_000.0
+#: catch-up rounds before the migration forces the hand-off window
+MAX_CATCHUP_ROUNDS = 4
+#: rejected-copy retry budget; exhausting it aborts the migration
+#: (the source keeps the shard — aborting is always safe)
+RETRY_BUDGET = 128
+
+
+class ShardMigration:
+    """Coordinator for one shard's move.  The cluster's router returns
+    this object for keys in the migrating shard, so it sits on the
+    client write path (that is how the dirty set and the hand-off
+    parking work); its own copy traffic enters the destination chain as
+    ordinary deduplicated writes under the migrator's ``client_id``.
+    """
+
+    def __init__(self, cluster, record, resumed: bool = False,
+                 incarnation: int = 0):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.record = record
+        self.shard = record.shard
+        self.src = cluster.groups[record.src]
+        self.dst = cluster.groups[record.dst]
+        self.phase = "copy"
+        self.cancelled = False
+        #: keys written through the router while the copy runs
+        self.dirty: set = set()
+        #: client writes held during the hand-off window (FIFO)
+        self.parked: List[Tuple] = []
+        self._pending: List[int] = []
+        self._rid = 0
+        # the incarnation number keeps a resumed coordinator's
+        # (client_id, request_id) space disjoint from its crashed
+        # predecessor's — otherwise a resumed copy-put could be absorbed
+        # by the destination's dedup table as a "duplicate" of a
+        # pre-crash put and never execute
+        self._client_id = f"mig:s{self.shard}.i{incarnation}"
+        self._rounds = 0
+        self._retry_budget = RETRY_BUDGET
+        self.report = MigrationReport(
+            shard=self.shard, src_group=record.src, dst_group=record.dst,
+            resumed=resumed, started_at_ns=self.sim.now,
+        )
+        self.on_done: Optional[Callable[[MigrationReport], None]] = None
+
+    # -- client write path (via ShardedCluster.route) ------------------------
+
+    def submit_write(self, proc: str, args: Tuple[Any, ...],
+                     keys: Sequence[Any],
+                     callback: Optional[Callable[[Any, float], None]] = None,
+                     client_id: Optional[str] = None,
+                     request_id: Optional[int] = None) -> None:
+        if self.phase == "handoff":
+            self.parked.append((proc, args, keys, callback, client_id, request_id))
+            self.report.parked_ops += 1
+            return
+        for k in keys:
+            self.dirty.add(k)
+        self.src.submit_write(proc, args, keys, callback,
+                              client_id=client_id, request_id=request_id)
+
+    def submit_read(self, proc: str, args: Tuple[Any, ...],
+                    callback: Optional[Callable[[Any, float], None]] = None,
+                    ) -> None:
+        # the source stays read-authoritative until the flip; during
+        # hand-off no writes land anywhere, so it cannot be stale
+        self.src.submit_read(proc, args, callback)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        owned = self._owned_src_keys()
+        if self.report.resumed and self.record.phase != "copy":
+            # bulk copy had durably finished: everything is re-verified
+            # by value-diff (the dirty set died with the coordinator)
+            self.dirty.update(owned)
+            self._pending = []
+        elif self.report.resumed:
+            cursor = self.record.cursor or 0
+            self.dirty.update(k for k in owned if k < cursor)
+            self._pending = [k for k in owned if k >= cursor]
+        else:
+            self._pending = list(owned)
+        self.phase = "copy"
+        self.sim.schedule(0.0, self._next_chunk)
+
+    def cancel(self) -> None:
+        """Coordinator crash: volatile state (dirty set, parked ops,
+        scheduled chunks) is gone.  Parked clients were never acked, so
+        their own timers resubmit through the post-recovery router."""
+        self.cancelled = True
+
+    # -- bulk copy ------------------------------------------------------------
+
+    def _next_chunk(self) -> None:
+        if self.cancelled:
+            return
+        if not self._pending:
+            self._begin_catchup()
+            return
+        chunk = self._pending[:CHUNK_KEYS]
+        del self._pending[:len(chunk)]
+        self._dispatch(
+            chunk,
+            diff=self.report.resumed,
+            counter="copied_keys",
+            done=lambda last=chunk[-1]: self._chunk_done(last),
+        )
+
+    def _chunk_done(self, last_key: int) -> None:
+        if self.cancelled:
+            return
+        # the chunk's tail acks are in: everything below last_key + 1 is
+        # durably at the destination, so the resume point may advance
+        self.cluster.placement.advance_cursor(self.shard, last_key + 1)
+        self.record.cursor = last_key + 1
+        self.report.cursor_advances += 1
+        self.sim.schedule(CHUNK_GAP_NS, self._next_chunk)
+
+    # -- catch-up --------------------------------------------------------------
+
+    def _begin_catchup(self) -> None:
+        if self.phase != "catchup":
+            self.phase = "catchup"
+            self.cluster.placement.set_phase(self.shard, "catchup")
+        self._catchup_round()
+
+    def _catchup_round(self) -> None:
+        if self.cancelled:
+            return
+        self._rounds += 1
+        batch = sorted(self.dirty)
+        self.dirty = set()
+        if not batch or self._rounds > MAX_CATCHUP_ROUNDS:
+            self._begin_handoff(batch)
+            return
+        self._dispatch(
+            batch, diff=True, counter="catchup_keys",
+            done=lambda: self.sim.schedule(CHUNK_GAP_NS, self._catchup_round),
+        )
+
+    # -- hand-off + flip ---------------------------------------------------------
+
+    def _begin_handoff(self, leftover: List[int]) -> None:
+        self.phase = "handoff"
+        self.cluster.placement.set_phase(self.shard, "handoff")
+        final = sorted(set(leftover) | self.dirty)
+        self.dirty = set()
+        self._dispatch(final, diff=True, counter="catchup_keys", done=self._flip)
+
+    def _flip(self) -> None:
+        if self.cancelled:
+            return
+        self.phase = "done"
+        self.report.phase = "done"
+        self.cluster.placement.finish_migration(self.shard)
+        self.cluster._migration_finished(self)
+        # replay the hand-off window synchronously, before any later
+        # client event can submit against the new map version
+        parked, self.parked = self.parked, []
+        for proc, args, keys, callback, client_id, request_id in parked:
+            self.dst.submit_write(proc, args, keys, callback,
+                                  client_id=client_id, request_id=request_id)
+        # purge the source's copies through its own chain so all of its
+        # replicas converge on not-owning the shard
+        self._purge(self._owned_src_keys())
+        self.report.finished_at_ns = self.sim.now
+        if self.on_done is not None:
+            self.on_done(self.report)
+
+    def _purge(self, keys: List[int]) -> None:
+        # paced like the copy: a large shard's worth of deletes in one
+        # simulated instant would exhaust the source chain's intent-log
+        # slots before its syncer can recycle them
+        for key in keys[:CHUNK_KEYS]:
+            self._rid += 1
+            self.src.submit_write(
+                "delete", (key,), [key], None,
+                client_id=self._client_id, request_id=self._rid,
+            )
+            self.report.purged_keys += 1
+        rest = keys[CHUNK_KEYS:]
+        if rest:
+            self.sim.schedule(CHUNK_GAP_NS, self._purge, rest)
+
+    def _abort(self, why: str) -> None:
+        if self.cancelled or self.phase == "done":
+            return
+        self.phase = "aborted"
+        self.report.phase = "aborted"
+        self.report.aborted = True
+        self.report.finished_at_ns = self.sim.now
+        parked, self.parked = self.parked, []
+        self.cluster._migration_aborted(self, why)
+        # un-park into the source, which still owns the shard
+        for proc, args, keys, callback, client_id, request_id in parked:
+            self.src.submit_write(proc, args, keys, callback,
+                                  client_id=client_id, request_id=request_id)
+        if self.on_done is not None:
+            self.on_done(self.report)
+
+    # -- copy machinery -----------------------------------------------------------
+
+    def _dispatch(self, keys: List[int], diff: bool, counter: str,
+                  done: Callable[[], None]) -> None:
+        """Push ``keys`` into the destination; call ``done`` once every
+        one of them is tail-acked there (or skipped by the value-diff).
+
+        Batches larger than ``CHUNK_KEYS`` self-pace: a resumed re-diff
+        or a big catch-up round would otherwise flood the destination
+        chain's intent-log slots in one simulated instant.
+        """
+        chunk = keys[:CHUNK_KEYS]
+        rest = keys[CHUNK_KEYS:]
+        if rest:
+            def after():
+                self.sim.schedule(
+                    CHUNK_GAP_NS, self._guarded,
+                    lambda: self._dispatch(rest, diff, counter, done),
+                )
+        else:
+            after = done
+        state = {"outstanding": 0}
+        for key in chunk:
+            value = self.src.head.kv.get(key)
+            if value is None:
+                continue  # deleted while queued; nothing to move
+            if diff and self.dst.head.kv.get(key) == value:
+                self.report.skipped_keys += 1
+                continue
+            state["outstanding"] += 1
+            self._put(key, value, state, counter, after)
+        if state["outstanding"] == 0:
+            self.sim.schedule(0.0, self._guarded, after)
+
+    def _put(self, key: int, value: bytes, state: dict, counter: str,
+             done: Callable[[], None]) -> None:
+        self._rid += 1
+
+        def on_ack(result, _latency, key=key):
+            if self.cancelled or self.phase == "aborted":
+                return
+            if isinstance(result, ReplicationError):
+                self.report.retries += 1
+                self._retry_budget -= 1
+                if self._retry_budget <= 0:
+                    self._abort(f"copy of key {key} kept failing: {result}")
+                    return
+                # re-read at retry time: the source may have moved on
+                self.sim.schedule(RETRY_GAP_NS, self._retry, key, state,
+                                  counter, done)
+                return
+            setattr(self.report, counter, getattr(self.report, counter) + 1)
+            state["outstanding"] -= 1
+            if state["outstanding"] == 0:
+                done()
+
+        self.dst.submit_write("put", (key, value), [key], on_ack,
+                              client_id=self._client_id, request_id=self._rid)
+
+    def _retry(self, key: int, state: dict, counter: str,
+               done: Callable[[], None]) -> None:
+        if self.cancelled or self.phase == "aborted":
+            return
+        value = self.src.head.kv.get(key)
+        if value is None:
+            state["outstanding"] -= 1
+            if state["outstanding"] == 0:
+                done()
+            return
+        self._put(key, value, state, counter, done)
+
+    def _guarded(self, fn: Callable[[], None]) -> None:
+        if not self.cancelled and self.phase != "aborted":
+            fn()
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _owned_src_keys(self) -> List[int]:
+        shard_for = self.cluster.map.shard_for
+        return sorted(
+            k for k, _ptr in self.src.head.kv.tree.items()
+            if shard_for(k) == self.shard
+        )

@@ -189,3 +189,30 @@ class ClientStuckError(ReplicationError):
     def __init__(self, message: str, client_ids=()):
         super().__init__(message)
         self.client_ids = tuple(client_ids)
+
+
+# ---------------------------------------------------------------------------
+# Sharded-cluster errors
+# ---------------------------------------------------------------------------
+
+
+class ClusterConfigError(ReplicationError):
+    """A sharded cluster was configured inconsistently (no groups, a
+    shard assigned to a missing group, duplicate shard ids, ...)."""
+
+
+class StaleShardMapError(ReplicationError):
+    """A request was routed with a shard-map version older than the
+    placement service's current one — the cluster's analogue of
+    :class:`StaleViewError`.  The typed redirect carries the current
+    version so the client can refresh its cached map and re-route."""
+
+    def __init__(self, message: str, current_version: int = 0):
+        super().__init__(message)
+        self.current_version = current_version
+
+
+class ShardMigrationError(ReplicationError):
+    """A shard migration could not start or make progress (unknown
+    shard, source and destination coincide, a migration for the shard
+    is already running, ...)."""

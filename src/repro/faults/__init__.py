@@ -20,9 +20,10 @@ from .runner import (
     run_corpus,
     run_scenario,
 )
-from .scenarios import CORPUS, MEDIA_CORPUS, scenario_by_name
+from .scenarios import CLUSTER_CORPUS, CORPUS, MEDIA_CORPUS, scenario_by_name
 
 __all__ = [
+    "CLUSTER_CORPUS",
     "CORPUS",
     "FaultAction",
     "LinkFaultPolicy",

@@ -28,6 +28,12 @@ clear_faults    remove every link fault, partition, and slow-down
 quick_reboot    §5.3 crash + in-place repair of one replica
 fail_stop       §5.2 removal + chain re-stitch (no replacement)
 crash_replace   fail-stop + splice in a caught-up spare, one view change
+migrate_shard   start an online shard migration (sharded clusters only);
+                ``shard`` is an id or ``"hottest"``/``"coldest"``,
+                ``dst`` a group id or omitted for the least-loaded group
+crash_coord     power-fail the migration coordinator: volatile migration
+                state dies, the placement log survives, and recovery
+                resumes every in-flight migration from its durable cursor
 media_flip      inject seeded latent bit flips into one replica's durable
                 media (``target``: live heap bytes, whole heap, backup,
                 or input queue)
@@ -43,6 +49,11 @@ replica's device; the runner attaches one per node when
 ``scenario.media`` is ``"protected"`` (checksum sidecar maintained) or
 ``"unprotected"`` (faults injected, nothing detects them — the
 demonstration configuration), and the verbs attach one lazily otherwise.
+
+Sharded clusters (``scenario.groups > 1``) prefix every node selector
+with its group: ``"g1:head"``, ``"g0:2"``.  An unprefixed selector on a
+sharded cluster targets group 0, so single-chain scenarios keep their
+meaning when replayed against a one-group cluster.
 """
 
 from __future__ import annotations
@@ -101,6 +112,12 @@ class NemesisScenario:
     #: (model + checksum sidecar on every replica), or "unprotected"
     #: (model without detection — media verbs corrupt silently)
     media: str = "off"
+    #: chain groups; > 1 builds a sharded cluster instead of one chain
+    groups: int = 1
+    shards_per_group: int = 2
+    #: zipfian theta over each client's private key range (0 = uniform);
+    #: skews traffic onto a hot shard, the hot_shard_skew ingredient
+    key_skew: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -112,6 +129,9 @@ class NemesisScenario:
             "keyspace": self.keyspace,
             "read_fraction": self.read_fraction,
             "media": self.media,
+            "groups": self.groups,
+            "shards_per_group": self.shards_per_group,
+            "key_skew": self.key_skew,
         }
 
     @classmethod
@@ -127,6 +147,9 @@ class NemesisScenario:
             keyspace=int(data.get("keyspace", 4)),
             read_fraction=float(data.get("read_fraction", 0.0)),
             media=str(data.get("media", "off")),
+            groups=int(data.get("groups", 1)),
+            shards_per_group=int(data.get("shards_per_group", 2)),
+            key_skew=float(data.get("key_skew", 0.0)),
         )
 
     def describe(self) -> str:
@@ -157,9 +180,14 @@ def _resolve_id(cluster: ChainCluster, sel: Any) -> str:
 
 
 class Nemesis:
-    """Arms a scenario's actions on the cluster's event simulator."""
+    """Arms a scenario's actions on the cluster's event simulator.
 
-    def __init__(self, cluster: ChainCluster, scenario: NemesisScenario):
+    ``cluster`` is a :class:`~repro.replication.chain.ChainCluster` or a
+    :class:`~repro.cluster.sharded.ShardedCluster`; node-targeting verbs
+    resolve group-qualified selectors against the latter's groups.
+    """
+
+    def __init__(self, cluster: Any, scenario: NemesisScenario):
         self.cluster = cluster
         self.scenario = scenario
         #: (fired_at_ns, action) log, in firing order
@@ -178,6 +206,34 @@ class Nemesis:
         handler(**action.params)
         self.fired.append((self.cluster.sim.now, action))
 
+    # -- selector resolution ------------------------------------------------------
+
+    def _chain(self, sel: Any) -> Tuple[ChainCluster, Any]:
+        """(chain, inner selector) for a possibly group-qualified one.
+
+        ``"g1:head"`` / ``"g0:2"`` pick a group of a sharded cluster;
+        anything else resolves against the chain itself (group 0 when
+        the cluster is sharded, so single-chain scripts still replay)."""
+        cluster = self.cluster
+        if isinstance(sel, str) and ":" in sel:
+            gtag, _, inner = sel.partition(":")
+            if not gtag.startswith("g") or not gtag[1:].isdigit():
+                raise ValueError(f"bad group selector {sel!r}")
+            groups = getattr(cluster, "groups", None)
+            if not isinstance(groups, list):
+                raise ValueError(
+                    f"selector {sel!r} needs a sharded cluster"
+                )
+            cluster = groups[int(gtag[1:])]
+            sel = int(inner) if inner.lstrip("-").isdigit() else inner
+        elif not hasattr(cluster, "chain"):
+            cluster = cluster.groups[0]
+        return cluster, sel
+
+    def _node_id(self, sel: Any) -> str:
+        chain, inner = self._chain(sel)
+        return _resolve_id(chain, inner)
+
     # -- link verbs ------------------------------------------------------------
 
     def _do_flaky_link(self, src: Any = None, dst: Any = None, **knobs: float) -> None:
@@ -186,18 +242,18 @@ class Nemesis:
             self.cluster.net.set_default_policy(policy)
         else:
             self.cluster.net.set_link_policy(
-                _resolve_id(self.cluster, src), _resolve_id(self.cluster, dst), policy
+                self._node_id(src), self._node_id(dst), policy
             )
 
     def _do_partition(self, groups: List[List[Any]]) -> None:
-        resolved = [[_resolve_id(self.cluster, sel) for sel in g] for g in groups]
+        resolved = [[self._node_id(sel) for sel in g] for g in groups]
         self.cluster.net.partition(resolved)
 
     def _do_heal(self) -> None:
         self.cluster.net.heal_partition()
 
     def _do_slow_node(self, node: Any, delay_ns: float) -> None:
-        self.cluster.net.set_node_delay(_resolve_id(self.cluster, node), delay_ns)
+        self.cluster.net.set_node_delay(self._node_id(node), delay_ns)
 
     def _do_clear_faults(self) -> None:
         self.cluster.net.clear_faults()
@@ -205,13 +261,32 @@ class Nemesis:
     # -- replica verbs ----------------------------------------------------------
 
     def _do_quick_reboot(self, node: Any) -> None:
-        quick_reboot(self.cluster, _resolve_index(self.cluster, node))
+        chain, inner = self._chain(node)
+        quick_reboot(chain, _resolve_index(chain, inner))
 
     def _do_fail_stop(self, node: Any) -> None:
-        fail_stop(self.cluster, _resolve_index(self.cluster, node))
+        chain, inner = self._chain(node)
+        fail_stop(chain, _resolve_index(chain, inner))
 
     def _do_crash_replace(self, node: Any) -> None:
-        replace_node(self.cluster, _resolve_index(self.cluster, node))
+        chain, inner = self._chain(node)
+        replace_node(chain, _resolve_index(chain, inner))
+
+    # -- cluster verbs -----------------------------------------------------------
+
+    def _sharded(self):
+        if not hasattr(self.cluster, "migrate_shard"):
+            raise ValueError(
+                "migration verbs need a sharded cluster (scenario.groups > 1)"
+            )
+        return self.cluster
+
+    def _do_migrate_shard(self, shard: Any = "hottest",
+                          dst: Any = None) -> None:
+        self._sharded().migrate_shard(shard, dst_group=dst)
+
+    def _do_crash_coordinator(self) -> None:
+        self._sharded().crash_coordinator()
 
     # -- media verbs -------------------------------------------------------------
 
@@ -242,22 +317,29 @@ class Nemesis:
         return [(region.offset, region.size)]
 
     def _do_media_flip(self, node: Any, n: int = 4, target: str = "live") -> None:
-        replica = self.cluster.chain[_resolve_index(self.cluster, node)]
+        chain, inner = self._chain(node)
+        replica = chain.chain[_resolve_index(chain, inner)]
         media = self._ensure_media(replica)
         media.inject_flips(int(n), ranges=self._target_ranges(replica, target))
 
     def _do_media_dead(self, node: Any, n: int = 1, target: str = "backup") -> None:
-        replica = self.cluster.chain[_resolve_index(self.cluster, node)]
+        chain, inner = self._chain(node)
+        replica = chain.chain[_resolve_index(chain, inner)]
         media = self._ensure_media(replica)
         media.kill_lines(int(n), ranges=self._target_ranges(replica, target))
 
     def _do_media_scrub(self, node: Any = None) -> None:
         if node is None:
-            replicas = list(self.cluster.chain)
+            chains = (
+                [self.cluster] if hasattr(self.cluster, "chain")
+                else list(self.cluster.groups)
+            )
+            targets = [(c, replica) for c in chains for replica in c.chain]
         else:
-            replicas = [self.cluster.chain[_resolve_index(self.cluster, node)]]
-        for replica in replicas:
+            chain, inner = self._chain(node)
+            targets = [(chain, chain.chain[_resolve_index(chain, inner)])]
+        for chain, replica in targets:
             media = replica.device.media
             if media is None or not media.protected:
                 continue  # nothing to detect with — scrub cannot help
-            scrub_node(self.cluster, replica)
+            scrub_node(chain, replica)

@@ -32,11 +32,13 @@ import zlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
+from ..cluster.sharded import ShardedCluster
 from ..errors import MediaError
 from ..replication.chain import KAMINO, ChainCluster, RetryPolicy
 from ..replication.client import ChainClient, run_clients
 from ..replication.recovery import settle, scrub_node
 from ..sim.network import NetStats
+from ..workloads.keydist import ZipfianGenerator
 from ..workloads.ycsb import READ, UPDATE, Op
 from .nemesis import Nemesis, NemesisScenario
 from .scenarios import CORPUS
@@ -58,10 +60,26 @@ def client_streams(scenario: NemesisScenario, seed: int) -> List[List[Op]]:
     streams: List[List[Op]] = []
     for ci in range(scenario.n_clients):
         rng = random.Random((base + ci * 7919) & 0xFFFFFFFF)
+        # key_skew > 0 draws offsets zipfian inside the private range, so
+        # most traffic lands on a few keys (and therefore a hot shard)
+        zipf = (
+            ZipfianGenerator(
+                scenario.keyspace,
+                theta=min(scenario.key_skew, 0.999),
+                seed=(base + ci * 7919) & 0xFFFFFFFF,
+            )
+            if scenario.key_skew > 0 and scenario.keyspace > 1
+            else None
+        )
         lo = ci * KEY_STRIDE
         ops: List[Op] = []
         for i in range(scenario.ops_per_client):
-            key = lo + rng.randrange(scenario.keyspace)
+            offset = (
+                zipf.next() % scenario.keyspace
+                if zipf is not None
+                else rng.randrange(scenario.keyspace)
+            )
+            key = lo + offset
             if i > 0 and rng.random() < scenario.read_fraction:
                 ops.append(Op(READ, key))
             else:
@@ -88,6 +106,13 @@ class NemesisResult:
     degraded_rejections: int = 0
     duplicate_requests: int = 0
     net: Optional[NetStats] = None
+    #: sharded-cluster accounting (defaults describe a single chain)
+    groups: int = 1
+    map_version: Optional[int] = None
+    migrations: int = 0
+    migrations_aborted: int = 0
+    coordinator_crashes: int = 0
+    map_refreshes: int = 0
 
     @property
     def ok(self) -> bool:
@@ -116,14 +141,23 @@ def run_scenario(
     unhardened configuration."""
     retry = retry if retry is not None else RetryPolicy()
     result = NemesisResult(
-        scenario=scenario.name, seed=seed, mode=mode, hardened=retry.enabled
+        scenario=scenario.name, seed=seed, mode=mode, hardened=retry.enabled,
+        groups=scenario.groups,
     )
-    cluster = ChainCluster(
-        f=f, mode=mode, heap_mb=2, value_size=VALUE_SIZE, seed=seed, retry=retry
-    )
+    if scenario.groups > 1:
+        cluster = ShardedCluster(
+            groups=scenario.groups, shards_per_group=scenario.shards_per_group,
+            f=f, mode=mode, heap_mb=2, value_size=VALUE_SIZE, seed=seed,
+            retry=retry,
+        )
+    else:
+        cluster = ChainCluster(
+            f=f, mode=mode, heap_mb=2, value_size=VALUE_SIZE, seed=seed,
+            retry=retry,
+        )
     if scenario.media != "off":
         protect = scenario.media == "protected"
-        for i, node in enumerate(cluster.chain):
+        for i, node in enumerate(_all_nodes(cluster)):
             node.device.attach_media(seed=seed * 101 + i, protect=protect)
     nemesis = Nemesis(cluster, scenario)
     nemesis.arm()
@@ -145,7 +179,10 @@ def run_scenario(
             )
     cluster.net.clear_faults()
     try:
-        settle(cluster)
+        for chain in _chains(cluster):
+            settle(chain)
+        if isinstance(cluster, ShardedCluster):
+            cluster.drain()  # let any still-active migration finish
     except Exception as exc:
         result.problems.append(
             f"post-fault settle raised {type(exc).__name__}: {exc}"
@@ -178,13 +215,39 @@ def run_scenario(
     result.degraded_rejections = cluster.degraded_rejections
     result.duplicate_requests = cluster.duplicate_requests
     result.net = cluster.net.stats.snapshot()
+    if isinstance(cluster, ShardedCluster):
+        result.map_version = cluster.map_version
+        result.migrations = len(cluster.migration_reports)
+        result.migrations_aborted = sum(
+            1 for r in cluster.migration_reports if r.aborted
+        )
+        result.coordinator_crashes = cluster.coordinator_crashes
+        result.map_refreshes = sum(c.map_refreshes for c in clients)
     return result
 
 
-def _final_scrub(cluster: ChainCluster, result: NemesisResult) -> None:
+def _all_nodes(cluster) -> List:
+    """Every replica node, across all groups if sharded."""
+    if isinstance(cluster, ShardedCluster):
+        return [node for group in cluster.groups for node in group.chain]
+    return list(cluster.chain)
+
+
+def _chains(cluster) -> List[ChainCluster]:
+    if isinstance(cluster, ShardedCluster):
+        return list(cluster.groups)
+    return [cluster]
+
+
+def _final_scrub(cluster, result: NemesisResult) -> None:
     """Scrub every replica before judging; in a protected run, all
     injected corruption must end repaired, quarantined+restored, or
     degraded to a typed *lost* state — never silently resident."""
+    for chain in _chains(cluster):
+        _final_scrub_chain(chain, result)
+
+
+def _final_scrub_chain(cluster: ChainCluster, result: NemesisResult) -> None:
     for node in cluster.chain:
         media = node.device.media
         if media is None:
@@ -210,7 +273,7 @@ def _final_scrub(cluster: ChainCluster, result: NemesisResult) -> None:
 
 
 def _judge_state(
-    cluster: ChainCluster, clients: List[ChainClient], result: NemesisResult
+    cluster, clients: List[ChainClient], result: NemesisResult
 ) -> None:
     # exactly-once: no double resolutions, no double error surfacing
     for c in clients:
@@ -225,13 +288,28 @@ def _judge_state(
                 f"client {c.client_id} surfaced an error more than once "
                 f"for the same request"
             )
-    # replica convergence over the live range
+    # replica convergence over the live range (per group when sharded)
     try:
         cluster.assert_replicas_consistent()
     except AssertionError as exc:
         result.problems.append(f"replica divergence: {exc}")
-    # durability of acknowledged writes at the tail
-    tail_state = cluster.kv_states()[-1]
+    if isinstance(cluster, ShardedCluster):
+        # cross-shard oracles: every migration terminated, and with no
+        # migration in flight each key lives only on its owning group
+        if cluster.active_migrations:
+            result.problems.append(
+                f"migrations never terminated for shards "
+                f"{list(cluster.active_migrations)}"
+            )
+            return
+        try:
+            cluster.assert_placement_respected()
+        except AssertionError as exc:
+            result.problems.append(f"placement violated: {exc}")
+        tail_state = cluster.merged_tail_state()
+    else:
+        tail_state = cluster.kv_states()[-1]
+    # durability of acknowledged writes at the (owning) tail
     for c in clients:
         _judge_durability(c, tail_state, result)
 

@@ -169,11 +169,64 @@ CORPUS: List[NemesisScenario] = [
         ),
         media="protected",
     ),
+    # -- sharded-cluster scenarios (groups > 1 builds a ShardedCluster) ----
+    NemesisScenario(
+        name="rebalance_during_partition",
+        description="a shard migrates from group 0 to group 1 while "
+        "group 1's head is partitioned from its chain; copy traffic is "
+        "rejected as degraded and must retry to completion after the "
+        "heal, with no acked write lost on either group",
+        actions=(
+            FaultAction(100 * _US, "partition",
+                        {"groups": [["g1:0"], ["g1:1", "g1:2", "g1:3"]]}),
+            FaultAction(250 * _US, "migrate_shard", {"shard": 0, "dst": 1}),
+            FaultAction(2_500 * _US, "heal"),
+            FaultAction(2_600 * _US, "clear_faults"),
+        ),
+        groups=2,
+        n_clients=4,
+        ops_per_client=14,
+    ),
+    NemesisScenario(
+        name="migrate_then_crash",
+        description="the migration coordinator power-fails twice while a "
+        "shard is moving under live traffic; the durable cursor must "
+        "resume the copy (not restart or corrupt it) and the flip must "
+        "still happen exactly once",
+        actions=(
+            FaultAction(150 * _US, "migrate_shard", {"shard": 1, "dst": 0}),
+            FaultAction(400 * _US, "crash_coordinator", {}),
+            FaultAction(1_200 * _US, "crash_coordinator", {}),
+        ),
+        groups=2,
+        n_clients=4,
+        ops_per_client=14,
+        keyspace=8,
+    ),
+    NemesisScenario(
+        name="hot_shard_skew",
+        description="zipfian clients hammer a few keys, making one shard "
+        "hot; mid-run the hottest shard migrates to the least-loaded "
+        "group while the skewed traffic keeps flowing",
+        actions=(
+            FaultAction(500 * _US, "migrate_shard",
+                        {"shard": "hottest", "dst": None}),
+        ),
+        groups=2,
+        n_clients=4,
+        ops_per_client=16,
+        keyspace=12,
+        key_skew=0.95,
+    ),
 ]
 
 #: the media-fault subset — what ``repro nemesis --media`` and the
 #: integrity-smoke CI job run
 MEDIA_CORPUS: List[NemesisScenario] = [s for s in CORPUS if s.media != "off"]
+
+#: the sharded-cluster subset — what ``repro cluster`` and the
+#: cluster-smoke CI job run
+CLUSTER_CORPUS: List[NemesisScenario] = [s for s in CORPUS if s.groups > 1]
 
 
 def scenario_by_name(name: str) -> Optional[NemesisScenario]:

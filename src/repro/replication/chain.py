@@ -153,6 +153,8 @@ class ChainCluster:
         degraded_policy: str = "reject",
         degrade_after: int = 3,
         degraded_cooldown_ns: float = 10_000_000.0,
+        net: Optional[SimNetwork] = None,
+        node_prefix: str = "",
     ):
         if f < 1:
             raise ChainConfigError("f must be at least 1")
@@ -166,7 +168,15 @@ class ChainCluster:
             runtime if runtime is not None else ExecutionContext(model=model, seed=seed)
         )
         self.sim = sim if sim is not None else self.runtime.events
-        self.net = SimNetwork(self.sim, hop_latency_ns=hop_ns, rng=self.runtime.rng)
+        # ``net`` lets many chain groups share one transport (the
+        # sharded cluster); ``node_prefix`` keeps their node ids from
+        # colliding on it.  The defaults are the original single-chain
+        # deployment: a private network and bare ``r<i>`` names.
+        self.net = (
+            net if net is not None
+            else SimNetwork(self.sim, hop_latency_ns=hop_ns, rng=self.runtime.rng)
+        )
+        self.node_prefix = node_prefix
         self.retry = retry if retry is not None else RetryPolicy()
         #: bound on the head's deferred backup-sync backlog: admission
         #: stalls (back-pressure) instead of letting a slow tail grow it
@@ -184,8 +194,8 @@ class ChainCluster:
         for i in range(n):
             role = ROLE_HEAD if i == 0 else (ROLE_TAIL if i == n - 1 else ROLE_MID)
             node = ReplicaNode(
-                f"r{i}", mode, role, heap_mb=heap_mb, value_size=value_size,
-                alpha=alpha, model=model, seed=i,
+                f"{node_prefix}r{i}", mode, role, heap_mb=heap_mb,
+                value_size=value_size, alpha=alpha, model=model, seed=i,
             )
             self.chain.append(node)
             self.net.register(node.node_id, self._make_handler(node))
@@ -289,6 +299,18 @@ class ChainCluster:
             self._degraded_queue.clear()
             for op in parked:
                 self._try_admit(op)
+
+    # -- routing --------------------------------------------------------------------
+
+    #: single-chain deployments have no shard map; clients that cache a
+    #: map version see ``None`` and skip version checks entirely
+    map_version: Optional[int] = None
+
+    def route(self, key: Any, map_version: Optional[int] = None) -> "ChainCluster":
+        """Per-key submission target.  A plain chain owns every key, so
+        routing is the identity; the sharded cluster overrides this with
+        consistent-hash placement and stale-map redirects."""
+        return self
 
     # -- client API -----------------------------------------------------------------
 

@@ -25,7 +25,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..errors import ClientStuckError, ReplicationError, RequestTimeoutError
+from ..errors import (
+    ClientStuckError,
+    ReplicationError,
+    RequestTimeoutError,
+    StaleShardMapError,
+)
 from ..workloads.ycsb import INSERT, READ, RMW, SCAN, SCAN_LENGTH, UPDATE, Op
 from .chain import ChainCluster, RetryPolicy
 
@@ -54,6 +59,11 @@ class ChainClient:
         self._next_request = 0
         self.completed = 0
         self.retries = 0
+        #: the client's cached shard-map version (None on a plain
+        #: chain); refreshed on every typed stale-map redirect
+        self.map_version = getattr(cluster, "map_version", None)
+        #: stale-map redirects taken (each one refreshed the cache)
+        self.map_refreshes = 0
         self.latencies_ns: List[float] = []
         #: (request_id, op, error) for operations that resolved with a
         #: typed error — each rejected operation appears exactly once
@@ -83,6 +93,22 @@ class ChainClient:
         state = {"rid": rid, "op": op, "attempt": 0, "done": False, "timer": None}
         self._submit(state)
 
+    def _route(self, key) -> ChainCluster:
+        """Per-key submission target via the cluster's shard map.
+
+        A stale cached map version gets a typed
+        :class:`~repro.errors.StaleShardMapError` redirect: refresh the
+        cache from the error (one retry's worth of work) and re-route —
+        the second lookup is authoritative by construction.
+        """
+        try:
+            return self.cluster.route(key, self.map_version)
+        except StaleShardMapError as exc:
+            self.map_refreshes += 1
+            self.retries += 1
+            self.map_version = exc.current_version
+            return self.cluster.route(key, self.map_version)
+
     def _submit(self, state: dict) -> None:
         op = state["op"]
         rid = state["rid"]
@@ -90,20 +116,21 @@ class ChainClient:
         def on_reply(result, latency_ns, _s=state):
             self._on_reply(_s, result, latency_ns)
 
+        target = self._route(op.key)
         if op.kind == READ:
-            self.cluster.submit_read("get", (op.key,), on_reply)
+            target.submit_read("get", (op.key,), on_reply)
         elif op.kind in (UPDATE, INSERT):
-            self.cluster.submit_write(
+            target.submit_write(
                 "put", (op.key, op.value), [op.key], on_reply,
                 client_id=self.client_id, request_id=rid,
             )
         elif op.kind == RMW:
-            self.cluster.submit_write(
+            target.submit_write(
                 "rmw_const", (op.key, op.value), [op.key], on_reply,
                 client_id=self.client_id, request_id=rid,
             )
         elif op.kind == SCAN:
-            self.cluster.submit_read("scan", (op.key, SCAN_LENGTH), on_reply)
+            target.submit_read("scan", (op.key, SCAN_LENGTH), on_reply)
         else:
             raise ValueError(f"unsupported op kind {op.kind}")
         self._arm_timer(state)

@@ -222,7 +222,7 @@ def replace_node(
     _repair_chain(cluster, was_head, was_tail, pred, succ)
 
     donor = cluster.tail
-    spare_id = spare_id or f"s{cluster.view_id}x{len(cluster.chain)}"
+    spare_id = spare_id or f"{cluster.node_prefix}s{cluster.view_id}x{len(cluster.chain)}"
     spare = ReplicaNode(
         spare_id,
         cluster.mode,
@@ -241,6 +241,9 @@ def replace_node(
     cluster.chain.append(spare)
     cluster.membership.replace_failed(failed.node_id, spare_id)
     cluster.net.register(spare_id, cluster._make_handler(spare))
+    donor_group = cluster.net.group_of(donor.node_id)
+    if donor_group is not None:
+        cluster.net.assign_group(spare_id, donor_group)
     cluster._servers[spare_id] = cluster.runtime.resources.register(
         FIFOServer(spare_id)
     )
@@ -327,7 +330,7 @@ def join_new_replica(cluster: ChainCluster, heap_mb: int = 8, value_size: int = 
     """Grow the chain: a fresh replica joins as the tail after state
     transfer from the current tail (§5.2)."""
     old_tail = cluster.tail
-    node_id = f"r{cluster.view_id}x{len(cluster.chain)}"
+    node_id = f"{cluster.node_prefix}r{cluster.view_id}x{len(cluster.chain)}"
     node = ReplicaNode(
         node_id,
         cluster.mode,
@@ -344,6 +347,9 @@ def join_new_replica(cluster: ChainCluster, heap_mb: int = 8, value_size: int = 
     cluster.chain.append(node)
     cluster.membership.add_at_tail(node.node_id)
     cluster.net.register(node.node_id, cluster._make_handler(node))
+    tail_group = cluster.net.group_of(old_tail.node_id)
+    if tail_group is not None:
+        cluster.net.assign_group(node.node_id, tail_group)
     cluster._servers[node.node_id] = cluster.runtime.resources.register(
         FIFOServer(node.node_id)
     )

@@ -6,6 +6,8 @@ from .keydist import (
     UniformGenerator,
     ZipfianGenerator,
     fnv1a_64,
+    hash_point,
+    key_point,
     make_generator,
 )
 from .synthetic import DependentTxWorkload, WorstCaseWorkload
@@ -32,5 +34,7 @@ __all__ = [
     "ZipfianGenerator",
     "all_workloads",
     "fnv1a_64",
+    "hash_point",
+    "key_point",
     "make_generator",
 ]

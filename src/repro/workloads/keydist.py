@@ -31,6 +31,31 @@ def fnv1a_64(value: int) -> int:
     return h
 
 
+_GOLDEN_64 = 0x9E3779B97F4A7C15  # 2^64 / phi: the classic odd mixer
+
+
+def key_point(key: int) -> int:
+    """A key's position on the 64-bit consistent-hash circle.
+
+    Plain :func:`fnv1a_64` of the key: uniform over the circle even for
+    the dense small-integer keyspaces the workloads use.
+    """
+    return fnv1a_64(key & 0xFFFFFFFFFFFFFFFF)
+
+
+def hash_point(shard_id: int, replica: int) -> int:
+    """Ring position of one of a shard's virtual nodes.
+
+    Double-hashed so neighbouring ``(shard_id, replica)`` pairs land far
+    apart: the shard id is spread by a golden-ratio multiply before the
+    replica index perturbs it, and FNV-1a scatters the result.  Distinct
+    inputs give distinct points with overwhelming probability, keeping
+    the ring's arc lengths — and therefore shard load — balanced.
+    """
+    mixed = ((shard_id + 1) * _GOLDEN_64) & 0xFFFFFFFFFFFFFFFF
+    return fnv1a_64(mixed ^ (replica * _FNV_PRIME & 0xFFFFFFFFFFFFFFFF))
+
+
 class UniformGenerator:
     """Uniform integers in [0, nitems)."""
 

@@ -1,0 +1,61 @@
+"""Sharded nemesis scenarios: seeded convergence, determinism, and the
+cross-shard oracles (the full-corpus sweep in tests/faults already runs
+every cluster scenario; these pin the cluster-specific behaviour)."""
+
+import pytest
+
+from repro.faults import CLUSTER_CORPUS, run_scenario, scenario_by_name
+
+
+class TestClusterCorpus:
+    def test_corpus_is_registered(self):
+        names = {s.name for s in CLUSTER_CORPUS}
+        assert {"rebalance_during_partition", "migrate_then_crash",
+                "hot_shard_skew"} <= names
+        assert all(s.groups > 1 for s in CLUSTER_CORPUS)
+
+    def test_migrate_then_crash_resumes_and_flips_once(self):
+        result = run_scenario(scenario_by_name("migrate_then_crash"), seed=0)
+        assert result.ok, result.problems
+        assert result.groups == 2
+        assert result.coordinator_crashes == 2
+        assert result.migrations == 1
+        assert result.migrations_aborted == 0
+        assert result.map_version == 2
+
+    def test_rebalance_during_partition_completes_after_heal(self):
+        result = run_scenario(
+            scenario_by_name("rebalance_during_partition"), seed=0
+        )
+        assert result.ok, result.problems
+        assert result.migrations == 1
+        assert result.map_version == 2
+
+    def test_hot_shard_skew_moves_the_hot_shard(self):
+        result = run_scenario(scenario_by_name("hot_shard_skew"), seed=0)
+        assert result.ok, result.problems
+        assert result.migrations == 1
+
+    def test_same_seed_same_outcome(self):
+        scenario = scenario_by_name("migrate_then_crash")
+        a = run_scenario(scenario, seed=7)
+        b = run_scenario(scenario, seed=7)
+        assert (a.problems, a.summary(), a.map_version, a.migrations) == (
+            b.problems, b.summary(), b.map_version, b.migrations
+        )
+
+    def test_scenario_dict_round_trip_keeps_cluster_fields(self):
+        scenario = scenario_by_name("hot_shard_skew")
+        rebuilt = type(scenario).from_dict(scenario.to_dict())
+        assert rebuilt.groups == scenario.groups
+        assert rebuilt.shards_per_group == scenario.shards_per_group
+        assert rebuilt.key_skew == scenario.key_skew
+
+    @pytest.mark.cluster
+    def test_deep_multi_seed_sweep(self):
+        for scenario in CLUSTER_CORPUS:
+            for seed in range(5):
+                result = run_scenario(scenario, seed=seed)
+                assert result.ok, (
+                    f"{scenario.name} seed={seed}: " + "; ".join(result.problems)
+                )

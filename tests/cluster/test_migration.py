@@ -1,0 +1,132 @@
+"""Online shard migration: live moves under traffic, coordinator
+crash-resume from the durable cursor, and the migration-window crash
+sweeps (quick sample always; exhaustive behind --cluster)."""
+
+import pytest
+
+from repro.check import MigrationCrashExplorer, MigrationScenario
+from repro.cluster import ShardedCluster
+from repro.replication import run_clients
+from repro.workloads import Op, UPDATE
+
+
+def make_cluster(**kwargs):
+    defaults = dict(groups=2, shards_per_group=2, f=1, heap_mb=2,
+                    value_size=64)
+    defaults.update(kwargs)
+    return ShardedCluster(**defaults)
+
+
+def load(cluster, keys, tag=0):
+    run_clients(
+        cluster,
+        [[Op(UPDATE, k, bytes([(k + tag) % 255 + 1]) * 32) for k in keys]],
+    )
+
+
+class TestOnlineMigration:
+    def test_migrate_while_serving_traffic(self):
+        cluster = make_cluster()
+        load(cluster, range(60))
+        before = dict(cluster.merged_tail_state())
+        migration = cluster.migrate_shard(0, dst_group=1)
+        load(cluster, range(60), tag=9)  # overwrites race the copy
+        cluster.drain()
+        assert migration.phase == "done"
+        assert not migration.report.aborted
+        assert cluster.map_version == 2
+        assert cluster.map.assignment[0] == 1
+        cluster.assert_replicas_consistent()
+        cluster.assert_placement_respected()
+        after = cluster.merged_tail_state()
+        assert sorted(after) == sorted(before)  # no key lost or invented
+
+    def test_migration_report_accounts_for_every_key(self):
+        cluster = make_cluster()
+        load(cluster, range(60))
+        shard_keys = [k for k in range(60) if cluster.map.shard_for(k) == 0]
+        migration = cluster.migrate_shard(0, dst_group=1)
+        cluster.drain()
+        r = migration.report
+        assert r.copied_keys + r.skipped_keys >= len(shard_keys)
+        assert r.purged_keys == len(shard_keys)
+        assert r.cursor_advances >= 1
+        assert r.duration_ns > 0
+
+    def test_quiet_cluster_migration_is_pure_copy(self):
+        cluster = make_cluster()
+        load(cluster, range(30))
+        migration = cluster.migrate_shard(1, dst_group=0)
+        cluster.drain()
+        assert migration.report.parked_ops == 0
+        assert migration.report.catchup_keys == 0
+        cluster.assert_placement_respected()
+
+
+class TestCrashResume:
+    @pytest.mark.parametrize("crash_at_ns", [60_000.0, 150_000.0])
+    def test_coordinator_crash_resumes_from_cursor(self, crash_at_ns):
+        cluster = make_cluster()
+        load(cluster, range(60))
+        expected = dict(cluster.merged_tail_state())
+        cluster.migrate_shard(0, dst_group=1)
+        cluster.sim.schedule(crash_at_ns, cluster.crash_coordinator)
+        cluster.drain()
+        assert cluster.coordinator_crashes == 1
+        assert not cluster.active_migrations
+        assert not cluster.migration_failures
+        # the resumed incarnation appears in the reports
+        assert any(r.resumed for r in cluster.migration_reports)
+        assert cluster.map.assignment[0] == 1
+        cluster.assert_replicas_consistent()
+        cluster.assert_placement_respected()
+        assert cluster.merged_tail_state() == expected
+
+    def test_crash_after_completion_is_a_no_op(self):
+        """A coordinator power-fail with no migration in flight recovers
+        the placement log and resumes nothing."""
+        cluster = make_cluster()
+        load(cluster, range(60))
+        cluster.migrate_shard(0, dst_group=1)
+        cluster.drain()  # migration completes undisturbed
+        assert cluster.map_version == 2
+        resumed = cluster.crash_coordinator()
+        cluster.drain()
+        assert resumed == []
+        assert cluster.map_version == 2
+        cluster.assert_placement_respected()
+
+    def test_double_crash_is_idempotent(self):
+        cluster = make_cluster()
+        load(cluster, range(60))
+        cluster.migrate_shard(0, dst_group=1)
+        cluster.sim.schedule(80_000.0, cluster.crash_coordinator)
+        cluster.sim.schedule(90_000.0, cluster.crash_coordinator)
+        cluster.drain()
+        assert cluster.coordinator_crashes == 2
+        assert cluster.placement.recoveries == 2
+        assert not cluster.active_migrations
+        assert cluster.map.assignment[0] == 1
+        cluster.assert_placement_respected()
+
+
+class TestMigrationSweep:
+    def test_quick_sampled_sweep_is_clean(self):
+        report = MigrationCrashExplorer().explore(max_points=2, reboots=False)
+        assert report.ok, "\n".join(str(f) for f in report.failures)
+        assert report.states_explored >= 4
+
+    def test_single_scenario_replays_deterministically(self):
+        explorer = MigrationCrashExplorer()
+        scenario = MigrationScenario(after_events=40)
+        assert explorer.replay(scenario) is None
+        assert explorer.replay(scenario) is None
+
+    @pytest.mark.cluster
+    def test_deep_sweep_with_reboots(self):
+        """Exhaustively sampled migration-window crash exploration —
+        coordinator crashes (single + double) and per-side head reboots
+        at every sampled event boundary."""
+        report = MigrationCrashExplorer().explore(max_points=10)
+        assert report.ok, "\n".join(str(f) for f in report.failures)
+        assert report.states_explored >= 40

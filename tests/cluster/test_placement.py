@@ -1,0 +1,112 @@
+"""PlacementService: versioned durable shard map, migration records,
+crash-recovery, stale-map redirects, log compaction."""
+
+import pytest
+
+from repro.cluster import PlacementService
+from repro.errors import (
+    ClusterConfigError,
+    ShardMigrationError,
+    StaleShardMapError,
+)
+
+
+def make_service(groups=2, shards=2):
+    return PlacementService.bootstrap(groups, shards_per_group=shards)
+
+
+class TestVersioning:
+    def test_bootstrap_round_robins_shards(self):
+        svc = make_service(groups=2, shards=2)
+        assert svc.version == 1
+        assert sorted(svc.map.assignment) == [0, 1, 2, 3]
+        assert svc.map.assignment == {0: 0, 1: 1, 2: 0, 3: 1}
+
+    def test_install_requires_monotonic_version(self):
+        svc = make_service()
+        newer = svc.map.moved(0, 1)
+        svc.install(newer)
+        assert svc.version == 2
+        with pytest.raises(ClusterConfigError):
+            svc.install(newer)  # same version again
+
+    def test_validate_version_redirects_stale_clients(self):
+        svc = make_service()
+        svc.install(svc.map.moved(0, 1))
+        with pytest.raises(StaleShardMapError) as exc:
+            svc.validate_version(1)
+        assert exc.value.current_version == 2
+        svc.validate_version(2)  # current is fine
+        svc.validate_version(None)  # no cached map: no redirect
+
+
+class TestMigrationRecords:
+    def test_begin_advance_finish(self):
+        svc = make_service()
+        record = svc.begin_migration(0, dst_group=1)
+        assert record.src == 0 and record.dst == 1
+        svc.advance_cursor(0, 17)
+        svc.set_phase(0, "catchup")
+        assert svc.migrations[0].cursor == 17
+        assert svc.migrations[0].phase == "catchup"
+        svc.finish_migration(0)
+        assert 0 not in svc.migrations
+        assert svc.map.assignment[0] == 1
+        assert svc.version == 2
+
+    def test_double_begin_rejected(self):
+        svc = make_service()
+        svc.begin_migration(0, dst_group=1)
+        with pytest.raises(ShardMigrationError):
+            svc.begin_migration(0, dst_group=1)
+
+    def test_migrating_to_the_current_owner_rejected(self):
+        svc = make_service()
+        with pytest.raises(ShardMigrationError):
+            svc.begin_migration(0, dst_group=0)
+
+    def test_abort_keeps_the_source_assignment(self):
+        svc = make_service()
+        svc.begin_migration(0, dst_group=1)
+        svc.abort_migration(0)
+        assert 0 not in svc.migrations
+        assert svc.map.assignment[0] == 0
+        assert svc.version == 1
+
+
+class TestDurability:
+    def test_crash_and_recover_replays_map_and_migrations(self):
+        svc = make_service()
+        svc.install(svc.map.moved(2, 1))
+        svc.begin_migration(0, dst_group=1)
+        svc.advance_cursor(0, 9)
+        svc.set_phase(0, "handoff")
+        before_map, before_version = svc.map, svc.version
+        svc.crash_and_recover()
+        assert svc.recoveries == 1
+        assert svc.version == before_version
+        assert svc.map == before_map
+        assert svc.migrations[0].cursor == 9
+        assert svc.migrations[0].phase == "handoff"
+
+    def test_reopen_from_device_equals_live_state(self):
+        svc = make_service()
+        svc.begin_migration(1, dst_group=0)
+        svc.advance_cursor(1, 4)
+        svc.device.crash()
+        svc.device.restart()
+        reopened = PlacementService.open(svc.device)
+        assert reopened.map == svc.map
+        assert reopened.migrations[1].cursor == 4
+
+    def test_log_compaction_preserves_state(self):
+        """Thousands of cursor advances must not overflow the ring: the
+        checkpoint-and-truncate compaction rewrites the live state."""
+        svc = make_service()
+        svc.begin_migration(0, dst_group=1)
+        for cursor in range(1, 4000):
+            svc.advance_cursor(0, cursor)
+        assert svc.compactions > 0
+        svc.crash_and_recover()
+        assert svc.migrations[0].cursor == 3999
+        assert svc.version == 1

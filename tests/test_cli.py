@@ -74,6 +74,14 @@ class TestCommands:
         assert "undo" in out and "explored=" in out
         assert "all oracles satisfied" in out
 
+    def test_cluster_quick_no_sweep(self, capsys):
+        rc = main(["cluster", "--quick", "--no-sweep", "--seeds", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "map v2" in out and "online migrations" in out
+        assert "migrate_then_crash" in out
+        assert "all converged" in out
+
     def test_check_rejects_unknown_workload(self, capsys):
         rc = main(["check", "--workloads", "bogus", "--engine", "undo"])
         assert rc == 2

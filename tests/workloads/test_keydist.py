@@ -88,3 +88,36 @@ class TestFactory:
     def test_unknown_name(self):
         with pytest.raises(ValueError):
             make_generator("gaussian", 10)
+
+
+class TestCirclePoints:
+    """The consistent-hash circle primitives used by repro.cluster."""
+
+    def test_key_point_is_deterministic_and_64_bit(self):
+        from repro.workloads import key_point
+
+        assert key_point(7) == key_point(7)
+        points = {key_point(k) for k in range(2000)}
+        assert len(points) == 2000  # dense small ints do not collide
+        assert all(0 <= p < (1 << 64) for p in points)
+
+    def test_hash_point_scatters_neighbours(self):
+        from repro.workloads import hash_point
+
+        points = {
+            hash_point(s, r) for s in range(32) for r in range(64)
+        }
+        assert len(points) == 32 * 64  # vnodes of all shards distinct
+        # neighbouring vnodes of one shard land far apart on the circle
+        a, b = hash_point(0, 0), hash_point(0, 1)
+        assert abs(a - b) > (1 << 32)
+
+    def test_key_point_spreads_over_the_circle(self):
+        from repro.workloads import key_point
+
+        quarter = 1 << 62
+        quadrants = collections.Counter(
+            key_point(k) // quarter for k in range(4000)
+        )
+        assert set(quadrants) == {0, 1, 2, 3}
+        assert max(quadrants.values()) < 2 * min(quadrants.values())

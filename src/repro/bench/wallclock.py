@@ -35,11 +35,14 @@ import multiprocessing
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..nvm.device import NVMDevice
+from ..nvm import backend as nvm_backend
 from ..nvm.reference import ReferenceNVMDevice
+from ..parallel import cpu_count
 from .runners import run_tpcc_online, run_ycsb_matrix, run_ycsb_online
 
-SCHEMA_VERSION = 1
+#: v2 adds the ``metadata`` block (backend / workers / cpu_count) and
+#: the cross-backend comparison refusal in :func:`regression_report`
+SCHEMA_VERSION = 2
 
 #: sizes for the committed trajectory point (full) and CI/tests (quick)
 FULL_SIZES = {"nrecords": 800, "nops": 1600}
@@ -51,11 +54,19 @@ _KAMINO_ENGINES = ("kamino-simple", "kamino-dynamic")
 
 
 def _stack_kwargs(naive: bool, engine_name: str) -> dict:
-    """Device/engine configuration for one side of a measurement."""
+    """Device/engine configuration for one side of a measurement.
+
+    The optimized side constructs whatever device class the active
+    backend resolves to (numpy when importable, else pure python — or
+    whatever :func:`repro.nvm.backend.set_default_backend` pinned), so
+    one process measures the same benchmark under either backend.  The
+    naive side is always the reference device: the denominator of
+    ``speedup_vs_naive`` must not move with the backend.
+    """
     kwargs: dict = (
         {"device_cls": ReferenceNVMDevice, "lock_mode": "locked"}
         if naive
-        else {"device_cls": NVMDevice, "lock_mode": "uncontended"}
+        else {"device_cls": nvm_backend.device_class(None), "lock_mode": "uncontended"}
     )
     if any(engine_name.startswith(k) for k in _KAMINO_ENGINES):
         kwargs["coalesce_sync"] = not naive
@@ -164,7 +175,7 @@ BENCHMARKS: Dict[str, Callable[[dict, bool], Tuple[float, int]]] = {
 NO_NAIVE = frozenset({"cluster_ycsb"})
 
 
-def _run_job(job: Tuple[str, bool, bool, int]) -> Tuple[str, bool, float, float, int]:
+def _run_job(job: Tuple) -> Tuple[str, bool, float, float, int]:
     """One (benchmark, naive?) measurement — module-level so it pickles
     for the multiprocessing fan-out.
 
@@ -172,9 +183,18 @@ def _run_job(job: Tuple[str, bool, bool, int]) -> Tuple[str, bool, float, float,
     (the standard low-noise estimator); a ``gc.collect()`` precedes each
     timed run so collector debt from earlier work isn't charged to it.
     Simulated results must agree across repeats — same workload, fresh
-    device each time — and are asserted to.
+    device each time — and are asserted to.  The job carries the
+    resolved backend name so pool workers pin the same device class the
+    parent resolved.
     """
-    name, quick, naive, repeats = job if len(job) == 4 else (*job, 1)
+    if len(job) == 5:
+        name, quick, naive, repeats, backend = job
+    elif len(job) == 4:
+        (name, quick, naive, repeats), backend = job, None
+    else:
+        (name, quick, naive), repeats, backend = job, 1, None
+    if backend is not None:
+        nvm_backend.set_default_backend(backend)
     sizes = QUICK_SIZES if quick else FULL_SIZES
     fn = BENCHMARKS[name]
     wall = None
@@ -202,6 +222,7 @@ def run_benchmarks(
     with_naive: bool = True,
     budget_s: Optional[float] = None,
     repeats: int = 1,
+    backend: Optional[str] = None,
 ) -> dict:
     """Run the wall-clock suite; returns the ``BENCH_*.json`` document.
 
@@ -211,35 +232,48 @@ def run_benchmarks(
     launching *new* benchmarks once the wall budget is spent; anything
     already measured is reported, anything skipped is listed.
     ``repeats`` takes the best wall time of N runs per side (noise
-    suppression; the committed trajectory points use 3).
+    suppression; the committed trajectory points use 3).  ``backend``
+    pins the optimized stack's device backend (``"pure"``/``"numpy"``;
+    default: auto-detect); the resolved name lands in the document's
+    ``metadata`` so trajectory points are only ever compared
+    like-for-like.
     """
     chosen = list(names) if names else list(BENCHMARKS)
     unknown = [n for n in chosen if n not in BENCHMARKS]
     if unknown:
         raise KeyError(f"unknown benchmark(s): {', '.join(unknown)}")
-    jobs: List[Tuple[str, bool, bool, int]] = []
+    resolved = nvm_backend.resolve_backend(backend)
+    jobs: List[Tuple[str, bool, bool, int, str]] = []
     for name in chosen:
-        jobs.append((name, quick, False, repeats))
+        jobs.append((name, quick, False, repeats, resolved))
         if with_naive and name not in NO_NAIVE:
-            jobs.append((name, quick, True, repeats))
+            jobs.append((name, quick, True, repeats, resolved))
 
     measurements: Dict[str, Dict[bool, Tuple[float, float, int]]] = {}
     skipped: List[str] = []
     start = time.perf_counter()
-    if workers > 0:
-        with multiprocessing.Pool(workers) as pool:
-            for name, naive, wall, sim_time, txs in pool.imap_unordered(_run_job, jobs):
+    prev_default = nvm_backend._default
+    try:
+        if workers > 0:
+            with multiprocessing.Pool(workers) as pool:
+                for name, naive, wall, sim_time, txs in pool.imap_unordered(
+                    _run_job, jobs
+                ):
+                    measurements.setdefault(name, {})[naive] = (wall, sim_time, txs)
+        else:
+            for job in jobs:
+                if budget_s is not None and time.perf_counter() - start > budget_s:
+                    if job[0] not in measurements:
+                        skipped.append(job[0])
+                        continue
+                    # keep measuring the naive half of anything started, or
+                    # its speedup would be meaningless
+                name, naive, wall, sim_time, txs = _run_job(job)
                 measurements.setdefault(name, {})[naive] = (wall, sim_time, txs)
-    else:
-        for job in jobs:
-            if budget_s is not None and time.perf_counter() - start > budget_s:
-                if job[0] not in measurements:
-                    skipped.append(job[0])
-                    continue
-                # keep measuring the naive half of anything started, or
-                # its speedup would be meaningless
-            name, naive, wall, sim_time, txs = _run_job(job)
-            measurements.setdefault(name, {})[naive] = (wall, sim_time, txs)
+    finally:
+        # the serial path pins the process default inside _run_job;
+        # hand the caller's setting back
+        nvm_backend.set_default_backend(prev_default)
 
     benchmarks: Dict[str, dict] = {}
     for name, sides in measurements.items():
@@ -264,6 +298,11 @@ def run_benchmarks(
         "schema_version": SCHEMA_VERSION,
         "quick": quick,
         "sizes": QUICK_SIZES if quick else FULL_SIZES,
+        "metadata": {
+            "backend": resolved,
+            "workers": workers,
+            "cpu_count": cpu_count(),
+        },
         "benchmarks": benchmarks,
     }
     if skipped:
@@ -271,20 +310,51 @@ def run_benchmarks(
     return doc
 
 
-def emit_trajectory_point(path: str, workers: int = 0, repeats: int = 3) -> dict:
+def emit_trajectory_point(
+    path: str,
+    workers: int = 0,
+    repeats: int = 3,
+    backend: Optional[str] = None,
+) -> dict:
     """Measure and write one committed ``BENCH_PRn.json`` trajectory point.
 
     The document's headline numbers are the full-size runs; a
     ``quick_benchmarks`` section re-measures at CI sizes so the
     ``perf-smoke`` job compares quick-vs-quick (speedups shift with
-    problem size, so cross-profile comparison would mis-gate).
+    problem size, so cross-profile comparison would mis-gate).  When
+    more than one backend is constructible, a ``backend_comparison``
+    section re-measures the hot-loop cell under each — the numbers CI's
+    numpy-beats-pure gate and EXPERIMENTS.md quote.
     """
-    doc = run_benchmarks(quick=False, workers=workers, repeats=repeats)
-    quick_doc = run_benchmarks(quick=True, workers=workers, repeats=repeats)
+    doc = run_benchmarks(quick=False, workers=workers, repeats=repeats, backend=backend)
+    quick_doc = run_benchmarks(quick=True, workers=workers, repeats=repeats, backend=backend)
     doc["quick_benchmarks"] = quick_doc["benchmarks"]
     doc["quick_sizes"] = quick_doc["sizes"]
+    comparison = backend_comparison(workers=workers, repeats=repeats)
+    if len(comparison) > 1:
+        doc["backend_comparison"] = comparison
     save(doc, path)
     return doc
+
+
+def backend_comparison(
+    name: str = "fig12_hot_loop", workers: int = 0, repeats: int = 3
+) -> Dict[str, dict]:
+    """Quick-profile wall time of one benchmark under every backend this
+    interpreter can construct (optimized side only — the naive
+    denominator is backend-independent by construction)."""
+    out: Dict[str, dict] = {}
+    for candidate in nvm_backend.available_backends():
+        doc = run_benchmarks(
+            names=[name],
+            quick=True,
+            workers=workers,
+            with_naive=False,
+            repeats=repeats,
+            backend=candidate,
+        )
+        out[candidate] = {name: doc["benchmarks"][name]}
+    return out
 
 
 def _comparable_sections(current: dict, baseline: dict) -> Tuple[dict, dict]:
@@ -314,6 +384,18 @@ def regression_report(current: dict, baseline: dict, tolerance: float = 0.25) ->
     instead (same-profile comparison; speedups shift with size).
     """
     problems: List[str] = []
+    cur_backend = current.get("metadata", {}).get("backend")
+    base_backend = baseline.get("metadata", {}).get("backend")
+    if cur_backend and base_backend and cur_backend != base_backend:
+        # pure-vs-numpy wall clocks are not comparable: refuse rather
+        # than report a bogus regression.  Schema-v1 documents carry no
+        # metadata and keep comparing leniently.
+        return [
+            f"backend mismatch: current document measured on "
+            f"'{cur_backend}' but baseline on '{base_backend}' — "
+            f"cross-backend comparison refused; re-measure with "
+            f"backend='{base_backend}'"
+        ]
     current_cells, baseline_cells = _comparable_sections(current, baseline)
     for name, base in baseline_cells.items():
         base_speedup = base.get("speedup_vs_naive")

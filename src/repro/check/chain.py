@@ -250,26 +250,30 @@ class ChainCrashExplorer:
         device_crashes: bool = True,
         max_device_points: Optional[int] = 6,
         double_reboot: bool = True,
+        workers: int = 0,
     ) -> ChainReport:
         """Sweep interventions at every event boundary (sampled by
         ``max_points``) for every replica, plus device-op crash points on
-        one mid replica."""
+        one mid replica.  ``workers`` fans the scenario replays over a
+        process pool; the ordered fold keeps the report byte-identical
+        for any worker count."""
         report = ChainReport(mode=self.mode)
         n_events = self.count_events()
         n_replicas = len(self._build()[0].chain)
         if replicas is None:
             replicas = list(range(n_replicas))
+        scenarios: List[ChainScenario] = []
         for k in _sample_points(0, n_events, max_points):
             for idx in replicas:
                 for intervention in interventions:
-                    scenarios = [
+                    scenarios.append(
                         ChainScenario(
                             mode=self.mode,
                             intervention=intervention,
                             replica=idx,
                             after_events=k,
                         )
-                    ]
+                    )
                     if intervention == QUICK_REBOOT and double_reboot:
                         scenarios.append(
                             ChainScenario(
@@ -280,26 +284,49 @@ class ChainCrashExplorer:
                                 double_reboot=True,
                             )
                         )
-                    for scenario in scenarios:
-                        failure = self.replay(scenario)
-                        report.states_explored += 1
-                        if failure is not None:
-                            report.failures.append(failure)
         if device_crashes and n_replicas > 2:
             mid = 1  # first non-head replica: in-place + intent log
             n_ops = self.count_device_ops(mid)
             for p in _sample_points(0, n_ops - 1, max_device_points):
-                scenario = ChainScenario(
-                    mode=self.mode,
-                    intervention=QUICK_REBOOT,
-                    replica=mid,
-                    device_crash_after=p,
+                scenarios.append(
+                    ChainScenario(
+                        mode=self.mode,
+                        intervention=QUICK_REBOOT,
+                        replica=mid,
+                        device_crash_after=p,
+                    )
                 )
-                failure = self.replay(scenario)
-                report.states_explored += 1
-                if failure is not None:
-                    report.failures.append(failure)
+        for failure in self._replay_many(scenarios, workers):
+            report.states_explored += 1
+            if failure is not None:
+                report.failures.append(failure)
         return report
+
+    def _replay_many(
+        self, scenarios: List[ChainScenario], workers: int
+    ) -> List[Optional[ChainFailure]]:
+        if workers and workers != 1 and len(scenarios) > 1:
+            from ..parallel import fan_out
+
+            baseline = self.baseline()
+            jobs = [
+                (self.mode, self.f, self.n_writes, baseline, scenario)
+                for scenario in scenarios
+            ]
+            return fan_out(_chain_replay_job, jobs, workers)
+        return [self.replay(scenario) for scenario in scenarios]
+
+
+def _chain_replay_job(job) -> Optional[ChainFailure]:
+    """One chain scenario in a worker process (module-level: pickles).
+
+    The undisturbed baseline is computed once in the parent and shipped
+    with the job, mirroring the serial explorer's cache.
+    """
+    mode, f, n_writes, baseline, scenario = job
+    explorer = ChainCrashExplorer(mode=mode, f=f, n_writes=n_writes)
+    explorer._baseline = baseline
+    return explorer.replay(scenario)
 
 
 @dataclass(frozen=True)
@@ -468,16 +495,17 @@ class MigrationCrashExplorer:
         max_points: Optional[int] = None,
         double: bool = True,
         reboots: bool = True,
+        workers: int = 0,
     ) -> ChainReport:
         """Sweep coordinator crashes (and optionally per-group replica
         quick reboots) at every event boundary of the migration window,
-        sampled down by ``max_points``."""
+        sampled down by ``max_points``.  ``workers`` fans the replays
+        over a process pool with an ordered, byte-identical fold."""
         report = ChainReport(mode=f"{self.mode}-migration")
         n_events = self.count_events()
+        scenarios: List[MigrationScenario] = []
         for k in _sample_points(0, n_events, max_points):
-            scenarios = [
-                MigrationScenario(mode=self.mode, after_events=k)
-            ]
+            scenarios.append(MigrationScenario(mode=self.mode, after_events=k))
             if double:
                 scenarios.append(
                     MigrationScenario(mode=self.mode, after_events=k,
@@ -493,12 +521,39 @@ class MigrationCrashExplorer:
                     MigrationScenario(mode=self.mode, intervention=QUICK_REBOOT,
                                       group=1, replica=0, after_events=k)
                 )
-            for scenario in scenarios:
-                failure = self.replay(scenario)
-                report.states_explored += 1
-                if failure is not None:
-                    report.failures.append(failure)
+        results: List[Optional[ChainFailure]]
+        if workers and workers != 1 and len(scenarios) > 1:
+            from ..parallel import fan_out
+
+            jobs = [
+                (self.mode, self.f, self.n_keys, self.shards_per_group, scenario)
+                for scenario in scenarios
+            ]
+            results = fan_out(_migration_replay_job, jobs, workers)
+        else:
+            results = [self.replay(scenario) for scenario in scenarios]
+        for failure in results:
+            report.states_explored += 1
+            if failure is not None:
+                report.failures.append(failure)
         return report
+
+
+def _migration_replay_job(job) -> Optional[ChainFailure]:
+    """One migration-window scenario in a worker process."""
+    mode, f, n_keys, shards_per_group, scenario = job
+    explorer = MigrationCrashExplorer(
+        mode=mode, f=f, n_keys=n_keys, shards_per_group=shards_per_group
+    )
+    return explorer.replay(scenario)
+
+
+def _nemesis_job(job):
+    """One (scenario, seed) nemesis run in a worker process."""
+    scenario, seed, mode, f = job
+    from ..faults import run_scenario
+
+    return scenario.name, seed, run_scenario(scenario, seed=seed, mode=mode, f=f)
 
 
 def explore_nemesis(
@@ -506,25 +561,38 @@ def explore_nemesis(
     scenarios=None,
     seeds: int = 5,
     f: int = 2,
+    workers: int = 0,
 ) -> ChainReport:
     """Run the nemesis fault corpus and fold the verdicts into a
     :class:`ChainReport`, so `repro check` surfaces both sweeps with one
-    summary format.  ``scenarios=None`` runs the full built-in corpus."""
+    summary format.  ``scenarios=None`` runs the full built-in corpus.
+    ``workers`` fans the seeded runs over a process pool; every run is
+    seed-deterministic, so the folded report does not depend on the
+    worker count."""
     # local import: repro.faults pulls in the replication stack, and the
     # checker must stay importable without it
     from ..faults import CORPUS, run_scenario
 
+    chosen = list(scenarios if scenarios is not None else CORPUS)
     report = ChainReport(mode=f"{mode}-nemesis")
-    for scenario in (scenarios if scenarios is not None else CORPUS):
-        for seed in range(seeds):
-            result = run_scenario(scenario, seed=seed, mode=mode, f=f)
-            report.states_explored += 1
-            if not result.ok:
-                report.failures.append(
-                    ChainFailure(
-                        ChainScenario(mode=mode),
-                        f"nemesis {scenario.name} seed={seed}: "
-                        + "; ".join(result.problems),
-                    )
+    jobs = [(scenario, seed, mode, f) for scenario in chosen for seed in range(seeds)]
+    if workers and workers != 1 and len(jobs) > 1:
+        from ..parallel import fan_out
+
+        results = fan_out(_nemesis_job, jobs, workers)
+    else:
+        results = [
+            (scenario.name, seed, run_scenario(scenario, seed=seed, mode=mode, f=f))
+            for scenario, seed, _m, _f in jobs
+        ]
+    for name, seed, result in results:
+        report.states_explored += 1
+        if not result.ok:
+            report.failures.append(
+                ChainFailure(
+                    ChainScenario(mode=mode),
+                    f"nemesis {name} seed={seed}: "
+                    + "; ".join(result.problems),
                 )
+            )
     return report

@@ -196,6 +196,11 @@ class CrashExplorer:
         self.workload_name = workload
         self._workload_factory = workload_factory
         self.device_seed = device_seed
+        # a worker process can only rebuild this explorer from names; a
+        # custom (closure) factory keeps the sweep in-process
+        self._portable = engine_factory is None and workload in CANNED_WORKLOADS and (
+            workload_factory is CANNED_WORKLOADS.get(workload)
+        )
 
     # -- replay primitives ---------------------------------------------------
 
@@ -449,6 +454,27 @@ class CrashExplorer:
 
     # -- the sweep -----------------------------------------------------------
 
+    def _replay_many(
+        self,
+        scenarios: Sequence[Scenario],
+        ledger: Ledger,
+        workers: int,
+    ) -> List[Tuple[Optional[CheckFailure], Optional[str]]]:
+        """Replay a batch of scenarios, optionally on a process pool.
+
+        Results come back in scenario order either way (see
+        :mod:`repro.parallel`), so the caller's fold — pruning, counter
+        updates, failure collection — is byte-identical for any worker
+        count.  Explorers built from closures (custom factories) cannot
+        cross a process boundary and fall back to the serial loop.
+        """
+        if workers and workers != 1 and len(scenarios) > 1 and self._portable:
+            from ..parallel import fan_out
+
+            jobs = [(scenario, ledger) for scenario in scenarios]
+            return fan_out(_replay_job, jobs, workers)
+        return [self.replay(scenario, ledger) for scenario in scenarios]
+
     def explore(
         self,
         max_points: Optional[int] = None,
@@ -459,6 +485,7 @@ class CrashExplorer:
         progress: Optional[Callable[[str], None]] = None,
         media: str = "off",
         corrupt_lines: int = 2,
+        workers: int = 0,
     ) -> ExplorationReport:
         """Sweep crash points; returns the coverage + failure report.
 
@@ -474,16 +501,24 @@ class CrashExplorer:
                 between each crash and its recovery; the oracle becomes
                 detect-or-repair, never silent corruption.
             corrupt_lines: bit flips injected per scenario in media mode.
+            workers: fan scenario replays over this many processes
+                (0/1 = serial).  Each replay builds its own stack, so
+                the report is byte-identical for any worker count; only
+                wall-clock changes.
+
+        The sweep runs in three deterministic phases — base points,
+        RANDOM lotteries for the novel states, nested recovery crashes —
+        so the batches are wide enough to fan out.  Every phase folds
+        its ordered result list the same way serial exploration would.
         """
         report = ExplorationReport(engine=self.engine_name, workload=self.workload_name)
         report.n_ops = self.count_ops()
         ledger = self.golden_ledger()
-        seen: Dict[str, int] = {}
         # crash_after=p fires just before mutating op p+1, so p ranges over
         # 0 (nothing of the steps durable yet) .. n_ops-1 (all but the
         # final operation done)
-        for point in _sample_points(0, report.n_ops - 1, max_points):
-            base = Scenario(
+        bases = [
+            Scenario(
                 engine=self.engine_name,
                 workload=self.workload_name,
                 crash_after=point,
@@ -493,7 +528,18 @@ class CrashExplorer:
                 corrupt_lines=corrupt_lines if media != "off" else 0,
                 corrupt_seed=self.device_seed * 1000 + point,
             )
-            failure, fingerprint = self.replay(base, ledger)
+            for point in _sample_points(0, report.n_ops - 1, max_points)
+        ]
+        seen: Dict[str, int] = {}
+        novel: List[Scenario] = []
+        for base, (failure, fingerprint) in zip(
+            bases, self._replay_many(bases, ledger, workers)
+        ):
+            if progress is not None:
+                progress(
+                    f"{self.engine_name}/{self.workload_name}: "
+                    f"point {base.crash_after}/{report.n_ops}"
+                )
             if fingerprint is None:
                 continue
             if fingerprint in seen:
@@ -501,54 +547,77 @@ class CrashExplorer:
                 # point: every policy resolves it identically
                 report.states_pruned += 1
                 continue
-            seen[fingerprint] = point
+            seen[fingerprint] = base.crash_after
             report.states_explored += 1
             if failure is not None:
                 report.failures.append(failure)
-            for sample in range(random_samples):
-                scenario = replace(
-                    base,
-                    policy=CrashPolicy.RANDOM,
-                    survival=survival,
-                    device_seed=self.device_seed + 1 + sample,
+            novel.append(base)
+        lotteries = [
+            replace(
+                base,
+                policy=CrashPolicy.RANDOM,
+                survival=survival,
+                device_seed=self.device_seed + 1 + sample,
+            )
+            for base in novel
+            for sample in range(random_samples)
+        ]
+        for failure, fired in self._replay_many(lotteries, ledger, workers):
+            if fired is not None:
+                report.states_explored += 1
+                if failure is not None:
+                    report.failures.append(failure)
+        if nested:
+            nested_scenarios: List[Scenario] = []
+            for base in novel:
+                nested_scenarios.extend(
+                    self._nested_scenarios(base, max_nested_points)
                 )
-                failure, fired = self.replay(scenario, ledger)
-                if fired is not None:
-                    report.states_explored += 1
-                    if failure is not None:
-                        report.failures.append(failure)
-            if nested:
-                self._explore_nested(base, ledger, report, max_nested_points)
-            if progress is not None:
-                progress(
-                    f"{self.engine_name}/{self.workload_name}: point {point}/{report.n_ops}"
-                )
+            for failure, fired in self._replay_many(nested_scenarios, ledger, workers):
+                if fired is None:
+                    continue
+                report.nested_explored += 1
+                if failure is not None:
+                    report.failures.append(failure)
         return report
 
-    def _explore_nested(
+    def _nested_scenarios(
         self,
         base: Scenario,
-        ledger: Ledger,
-        report: ExplorationReport,
         max_nested_points: Optional[int],
-    ) -> None:
+    ) -> List[Scenario]:
+        """The crash-during-recovery scenarios nested under ``base``."""
         image = self._crash_image(base)
         if image is None:
-            return
+            return []
         try:
             n_recovery_ops = self._count_recovery_ops(image)
         except MediaError:
             # recovery on this image degrades with a typed error before
             # quiescing; there is no op timeline to nest crashes into
-            return
-        for q in _sample_points(0, n_recovery_ops - 1, max_nested_points):
-            scenario = replace(base, nested_after=q)
-            failure, fired = self.replay(scenario, ledger)
-            if fired is None:
-                continue
-            report.nested_explored += 1
-            if failure is not None:
-                report.failures.append(failure)
+            return []
+        return [
+            replace(base, nested_after=q)
+            for q in _sample_points(0, n_recovery_ops - 1, max_nested_points)
+        ]
+
+
+def _replay_job(
+    job: Tuple[Scenario, Ledger]
+) -> Tuple[Optional[CheckFailure], Optional[str]]:
+    """One scenario replay in a worker process.
+
+    Module-level so it pickles; the explorer is rebuilt from the
+    scenario's registry names (engine, workload) — the same "restart
+    with the same binary" the recovery path already relies on.
+    """
+    scenario, ledger = job
+    explorer = CrashExplorer(
+        scenario.engine,
+        workload=scenario.workload,
+        device_seed=scenario.device_seed,
+    )
+    return explorer.replay(scenario, ledger)
 
 
 def replay_scenario(
@@ -572,6 +641,7 @@ def sweep_registry(
     workloads: Sequence[str] = ("pairs",),
     engines: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    workers: int = 0,
     **explore_kwargs: Any,
 ) -> List[ExplorationReport]:
     """Run the explorer over every standalone-recoverable registered engine.
@@ -579,7 +649,9 @@ def sweep_registry(
     Engines declaring ``needs_chain_repair`` (the in-place chain replica)
     cannot recover alone and are swept by
     :class:`repro.check.chain.ChainCrashExplorer` instead; deliberately
-    unsafe baselines (``recoverable=False``) are skipped.
+    unsafe baselines (``recoverable=False``) are skipped.  ``workers``
+    fans each explorer's scenario replays over a process pool; the
+    reports are byte-identical for any worker count.
     """
     reports: List[ExplorationReport] = []
     for name, info in registered_engines().items():
@@ -590,5 +662,7 @@ def sweep_registry(
             continue
         for workload in workloads:
             explorer = CrashExplorer(name, workload=workload)
-            reports.append(explorer.explore(progress=progress, **explore_kwargs))
+            reports.append(
+                explorer.explore(progress=progress, workers=workers, **explore_kwargs)
+            )
     return reports

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..heap import FixedStr, Int64, PersistentHeap, PersistentStruct
 from ..kvstore import KVStore, PersistentList, PersistentRing
+from ..nvm.backend import make_device
 from ..nvm.device import NVMDevice
 from ..nvm.pool import PmemPool
 
@@ -53,7 +54,7 @@ def build_stack(
     detection (the demonstration configuration), ``"off"`` attaches
     nothing.
     """
-    device = NVMDevice(pool_size, seed=seed)
+    device = make_device(pool_size, seed=seed)
     device.fingerprint_crashes = True
     if media != "off":
         device.attach_media(seed=seed, protect=media == "protected")

@@ -40,6 +40,22 @@ def _parse_list(text: str) -> List[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
 
 
+def _pin_backend(args):
+    """Pin the NVM byte-store backend a subcommand asked for.
+
+    Returns the previous pin so callers can restore it (the CLI runs
+    in-process under the tests).  ``None``/``"auto"`` leaves detection
+    alone.
+    """
+    from .nvm import backend as nvm_backend
+
+    prev = nvm_backend._default
+    requested = getattr(args, "backend", None)
+    if requested:
+        nvm_backend.set_default_backend(requested)
+    return prev
+
+
 def _engine_kwargs(engine_name: str, args) -> dict:
     """Constructor kwargs for ``engine_name`` from parsed CLI arguments.
 
@@ -223,6 +239,8 @@ def cmd_check(args) -> int:
         )
         chain_kwargs = dict(max_points=12, max_device_points=8)
     explore_kwargs["nested"] = not args.no_nested
+    explore_kwargs["workers"] = args.workers
+    chain_kwargs["workers"] = args.workers
 
     workloads = (
         sorted(CANNED_WORKLOADS)
@@ -479,6 +497,7 @@ def cmd_cluster(args) -> int:
         sweep = MigrationCrashExplorer(mode=args.mode).explore(
             max_points=2 if args.quick else args.sweep_points,
             reboots=not args.quick,
+            workers=args.workers,
         )
         print(sweep.summary())
         for failure in sweep.failures[:5]:
@@ -584,7 +603,9 @@ def cmd_bench(args) -> int:
         with_naive=not args.no_naive,
         budget_s=args.budget,
         repeats=args.repeats,
+        backend=args.backend or None,
     )
+    backend = doc["metadata"]["backend"]
     rows = []
     for name, entry in sorted(doc["benchmarks"].items()):
         rows.append([
@@ -595,7 +616,8 @@ def cmd_bench(args) -> int:
             entry["txs"],
         ])
     print(format_table(
-        f"wall-clock benchmarks ({'quick' if args.quick else 'full'} sizes)",
+        f"wall-clock benchmarks ({'quick' if args.quick else 'full'} sizes, "
+        f"{backend} backend)",
         ["benchmark", "wall s", "naive s", "speedup", "txs"],
         rows,
     ))
@@ -694,6 +716,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip nested recovery crashes")
     p.add_argument("--no-chain", action="store_true",
                    help="skip the replication-chain intervention sweep")
+    p.add_argument("--workers", type=int, default=0,
+                   help="fan crash points over a process pool; 0 = serial, "
+                   "-1 = one per CPU (verdicts are worker-count invariant)")
+    p.add_argument("--backend", default="",
+                   choices=["", "auto", "pure", "numpy"],
+                   help="NVM byte-store backend (default: auto-detect)")
     p.add_argument("--verbose", action="store_true",
                    help="progress lines on stderr")
     p.set_defaults(fn=cmd_check)
@@ -739,6 +767,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the migration-window crash sweep")
     p.add_argument("--sweep-points", type=int, default=6,
                    help="sampled event boundaries in the crash sweep")
+    p.add_argument("--workers", type=int, default=0,
+                   help="fan the migration crash sweep over a process pool; "
+                   "0 = serial, -1 = one per CPU")
+    p.add_argument("--backend", default="",
+                   choices=["", "auto", "pure", "numpy"],
+                   help="NVM byte-store backend (default: auto-detect)")
     p.set_defaults(fn=cmd_cluster)
 
     p = sub.add_parser(
@@ -776,6 +810,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="best-of-N wall time per side (noise suppression)")
     p.add_argument("--no-naive", action="store_true",
                    help="skip the naive baseline (no speedups)")
+    p.add_argument("--backend", default="",
+                   choices=["", "auto", "pure", "numpy"],
+                   help="NVM byte-store backend for the optimized side "
+                   "(default: auto-detect; recorded in metadata)")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("info", help="inspect a pool/heap layout")
@@ -790,7 +828,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    from .nvm import backend as nvm_backend
+
+    prev = _pin_backend(args)
+    try:
+        return args.fn(args)
+    finally:
+        nvm_backend.set_default_backend(prev)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

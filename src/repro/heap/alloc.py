@@ -182,7 +182,17 @@ class SlabAllocator:
 
     def block_size_of(self, block_off: int) -> int:
         """Size class of the block at ``block_off`` (data-area offset)."""
-        ci, cls, _slot = self._locate(block_off)
+        # on every transactional read's lock path: only the chunk-class
+        # lookup is needed, so the full _locate() validation is deferred
+        # to the error branch
+        rel = block_off - self.data_off
+        if rel >= 0:
+            ci = rel // self.chunk_size
+            if ci < self.n_chunks:
+                cls = self._chunk_class[ci]
+                if cls and rel % self.chunk_size % cls == 0:
+                    return cls
+        _ci, cls, _slot = self._locate(block_off)
         return cls
 
     def is_allocated(self, block_off: int) -> bool:

@@ -11,8 +11,7 @@ from __future__ import annotations
 
 import struct
 import threading
-from contextlib import contextmanager
-from typing import Iterator, Optional, Type, TypeVar
+from typing import Optional, Type, TypeVar
 
 from ..errors import (
     DeviceCrashedError,
@@ -34,6 +33,43 @@ T = TypeVar("T", bound=PersistentStruct)
 HEAP_REGION = "heap"
 
 _OBJ_HDR_FMT = "<IIQ"  # type_id, data_size, reserved
+_OBJ_HDR = struct.Struct(_OBJ_HDR_FMT)
+
+
+class _TxScope:
+    """``with heap.transaction():`` — a hand-rolled context manager.
+
+    Replaces the previous ``@contextmanager`` generator: same semantics
+    (commit on success, abort on exception, crash propagation without an
+    abort), but without the generator frame and throw() machinery that
+    showed up in profiles — this wraps every transaction in the repo.
+    """
+
+    __slots__ = ("heap", "tx")
+
+    def __init__(self, heap: "PersistentHeap"):
+        self.heap = heap
+
+    def __enter__(self) -> Transaction:
+        tx = self.heap.begin()
+        self.tx = tx
+        return tx
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tx = self.tx
+        if exc_type is None:
+            if tx.state is TxState.ACTIVE:
+                tx.commit()
+        elif issubclass(exc_type, DeviceCrashedError):
+            # a simulated power failure is not an abort: the device
+            # refuses further writes and every volatile structure dies
+            # with the process, so just mark the transaction dead and
+            # let the crash propagate (recovery happens at reopen)
+            tx.state = TxState.ABORTED
+        elif tx.state is TxState.ACTIVE:
+            tx.depth = 1  # an exception unwinds every nesting level
+            tx.abort()
+        return False
 
 
 class PersistentHeap:
@@ -49,6 +85,19 @@ class PersistentHeap:
         self.region = region
         self.allocator = SlabAllocator(region, writer=self)
         self._tls = threading.local()
+        # hot-path bindings, resolved once per heap: field reads are the
+        # single hottest call chain in the repo, so the per-call property
+        # and dispatch layers (current_tx, region.read, engine attribute
+        # walks) are flattened here.  All of these are fixed for the
+        # heap's lifetime: the engine never changes after construction,
+        # ``translates_reads`` is a class attribute, and the region's
+        # offset/size and the device binding are set before first use.
+        # Device traffic is bit-identical — only python frames are cut.
+        self._dev_read = pool.device.read
+        self._heap_off = region.offset
+        self._heap_size = region.size
+        self._translates = engine.translates_reads
+        self._on_read = engine.on_read
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -99,40 +148,22 @@ class PersistentHeap:
 
     def begin(self) -> Transaction:
         """Begin (or flat-nest into) a transaction on this thread."""
-        tx = self.current_tx
-        if tx is not None:
+        tx = getattr(self._tls, "tx", None)
+        if tx is not None and tx.state is TxState.ACTIVE:
             tx.depth += 1
             return tx
         tx = self.engine.begin()
         self._tls.tx = tx
         return tx
 
-    @contextmanager
-    def transaction(self) -> Iterator[Transaction]:
+    def transaction(self) -> _TxScope:
         """``with heap.transaction() as tx:`` — commit on success, abort
         on any exception (NVML's TX_BEGIN/TX_END block)."""
-        tx = self.begin()
-        try:
-            yield tx
-        except DeviceCrashedError:
-            # a simulated power failure is not an abort: the device
-            # refuses further writes and every volatile structure dies
-            # with the process, so just mark the transaction dead and
-            # let the crash propagate (recovery happens at reopen)
-            tx.state = TxState.ABORTED
-            raise
-        except BaseException:
-            if tx.state is TxState.ACTIVE:
-                tx.depth = 1  # an exception unwinds every nesting level
-                tx.abort()
-            raise
-        else:
-            if tx.state is TxState.ACTIVE:
-                tx.commit()
+        return _TxScope(self)
 
     def _require_tx(self) -> Transaction:
-        tx = self.current_tx
-        if tx is None:
+        tx = getattr(self._tls, "tx", None)
+        if tx is None or tx.state is not TxState.ACTIVE:
             raise NoActiveTransactionError("operation requires an active transaction")
         return tx
 
@@ -142,12 +173,13 @@ class PersistentHeap:
     def read_bytes(self, offset: int, size: int) -> bytes:
         """Load heap bytes, honouring the engine's read translation
         (copy-on-write transactions must observe their own shadows)."""
-        engine = self.engine
-        if engine.translates_reads:
-            dest = engine.translate_read(self.current_tx, offset, size)
+        if self._translates:
+            dest = self.engine.translate_read(self.current_tx, offset, size)
             if dest is not None:
                 region, off = dest
                 return region.read(off, size)
+        if 0 <= offset and offset + size <= self._heap_size:
+            return self._dev_read(self._heap_off + offset, size)
         return self.region.read(offset, size)
 
     # -- allocation ---------------------------------------------------------------
@@ -159,7 +191,7 @@ class PersistentHeap:
             raise SchemaError(f"{struct_cls.__name__} declares no fields")
         tx = self._require_tx()
         block = self.allocator.alloc(tx, OBJ_HEADER_SIZE + schema.size)
-        header = struct.pack(_OBJ_HDR_FMT, schema.type_id, schema.size, 0)
+        header = _OBJ_HDR.pack(schema.type_id, schema.size, 0)
         self.tx_raw_write(tx, block, header, declared=True)
         return struct_cls(self, block + OBJ_HEADER_SIZE)
 
@@ -169,7 +201,7 @@ class PersistentHeap:
             raise ValueError("blob size must be positive")
         tx = self._require_tx()
         block = self.allocator.alloc(tx, OBJ_HEADER_SIZE + nbytes)
-        header = struct.pack(_OBJ_HDR_FMT, 0, nbytes, 0)
+        header = _OBJ_HDR.pack(0, nbytes, 0)
         self.tx_raw_write(tx, block, header, declared=True)
         return block + OBJ_HEADER_SIZE
 
@@ -183,8 +215,9 @@ class PersistentHeap:
 
     def object_header(self, oid: int) -> tuple:
         """(type_id, data_size) of the object at ``oid``."""
-        raw = self.read_bytes(oid - OBJ_HEADER_SIZE, OBJ_HEADER_SIZE)
-        type_id, size, _ = struct.unpack(_OBJ_HDR_FMT, raw)
+        type_id, size, _ = _OBJ_HDR.unpack(
+            self.read_bytes(oid - OBJ_HEADER_SIZE, OBJ_HEADER_SIZE)
+        )
         return type_id, size
 
     def deref(self, oid: int, struct_cls: Optional[Type[T]] = None):
@@ -215,12 +248,32 @@ class PersistentHeap:
             tx.add(block, size, IntentKind.WRITE)
 
     def read_object_field(self, obj: PersistentStruct, info: FieldInfo) -> bytes:
-        """Load one field's bytes; takes a read lock inside a transaction."""
-        tx = self.current_tx
-        block = obj.block_offset
-        if tx is not None and block not in tx.read_set and block not in tx.write_set:
-            tx.note_read(block, self.allocator.block_size_of(block))
-        return self.read_bytes(obj.oid + info.offset, info.ftype.size)
+        """Load one field's bytes; takes a read lock inside a transaction.
+
+        This is the hottest call in the repo (every ``obj.field`` load
+        lands here), so ``current_tx``/``block_offset`` and the
+        ``read_bytes`` dispatch are inlined — same lock discipline, same
+        device traffic, fewer frames.
+        """
+        tx = getattr(self._tls, "tx", None)
+        if tx is not None and tx.state is TxState.ACTIVE:
+            block = obj._oid - OBJ_HEADER_SIZE
+            if block not in tx.read_set and block not in tx.write_set:
+                # tx is verified ACTIVE: engine.on_read directly (the
+                # note_read wrapper re-checks liveness and re-dispatches)
+                self._on_read(tx, block, self.allocator.block_size_of(block))
+        else:
+            tx = None
+        offset = obj._oid + info.offset
+        size = info.ftype.size
+        if self._translates:
+            dest = self.engine.translate_read(tx, offset, size)
+            if dest is not None:
+                region, off = dest
+                return region.read(off, size)
+        if offset + size <= self._heap_size:
+            return self._dev_read(self._heap_off + offset, size)
+        return self.region.read(offset, size)
 
     def write_object_field(self, obj: PersistentStruct, info: FieldInfo, data: bytes) -> None:
         """Store one field's bytes; requires a declared write intent."""
@@ -240,10 +293,11 @@ class PersistentHeap:
         type_id, data_size = self.object_header(oid)
         if size is None:
             size = data_size
-        tx = self.current_tx
-        block = oid - OBJ_HEADER_SIZE
-        if tx is not None and block not in tx.read_set and block not in tx.write_set:
-            tx.note_read(block, self.allocator.block_size_of(block))
+        tx = getattr(self._tls, "tx", None)
+        if tx is not None and tx.state is TxState.ACTIVE:
+            block = oid - OBJ_HEADER_SIZE
+            if block not in tx.read_set and block not in tx.write_set:
+                self._on_read(tx, block, self.allocator.block_size_of(block))
         return self.read_bytes(oid, size)
 
     def read_blob_at(self, oid: int, offset: int, size: int) -> bytes:
@@ -253,10 +307,11 @@ class PersistentHeap:
             raise ValueError(
                 f"blob read [{offset}, {offset + size}) outside {data_size} bytes"
             )
-        tx = self.current_tx
-        block = oid - OBJ_HEADER_SIZE
-        if tx is not None and block not in tx.read_set and block not in tx.write_set:
-            tx.note_read(block, self.allocator.block_size_of(block))
+        tx = getattr(self._tls, "tx", None)
+        if tx is not None and tx.state is TxState.ACTIVE:
+            block = oid - OBJ_HEADER_SIZE
+            if block not in tx.read_set and block not in tx.write_set:
+                self._on_read(tx, block, self.allocator.block_size_of(block))
         return self.read_bytes(oid + offset, size)
 
     def write_blob_at(self, oid: int, offset: int, data: bytes) -> None:

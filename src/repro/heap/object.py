@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import ClassVar, List, Optional, Tuple
 
 from ..errors import SchemaError
+from ..tx.base import TxState
 from .layout import FieldType, PNULL
 from .schema import GLOBAL_REGISTRY, FieldInfo, StructSchema
 
@@ -31,19 +32,45 @@ OBJ_HEADER_SIZE = 16
 class _FieldDescriptor:
     """Routes ``obj.field`` loads/stores through the owning heap."""
 
-    __slots__ = ("info",)
+    __slots__ = ("info", "_unpack", "_pack", "_offset", "_size")
 
     def __init__(self, info: FieldInfo):
         self.info = info
+        # bound once: the codec and layout never change after schema
+        # creation, and every attribute saved here is one fewer lookup
+        # on the hottest path in the repo (obj.field loads)
+        self._unpack = info.ftype.unpack
+        self._pack = info.ftype.pack
+        self._offset = info.offset
+        self._size = info.ftype.size
 
     def __get__(self, obj: Optional["PersistentStruct"], owner=None):
         if obj is None:
             return self
-        raw = obj._heap.read_object_field(obj, self.info)
-        return self.info.ftype.unpack(raw)
+        # inlined PersistentHeap.read_object_field: same lock discipline
+        # and device traffic, minus the dispatch frames (see that method
+        # for the readable form — the two must stay behaviourally equal)
+        heap = obj._heap
+        tx = getattr(heap._tls, "tx", None)
+        if tx is not None and tx.state is TxState.ACTIVE:
+            block = obj._oid - OBJ_HEADER_SIZE
+            if block not in tx.read_set and block not in tx.write_set:
+                heap._on_read(tx, block, heap.allocator.block_size_of(block))
+        else:
+            tx = None
+        offset = obj._oid + self._offset
+        size = self._size
+        if heap._translates:
+            dest = heap.engine.translate_read(tx, offset, size)
+            if dest is not None:
+                region, off = dest
+                return self._unpack(region.read(off, size))
+        if offset + size <= heap._heap_size:
+            return self._unpack(heap._dev_read(heap._heap_off + offset, size))
+        return self._unpack(heap.region.read(offset, size))
 
     def __set__(self, obj: "PersistentStruct", value) -> None:
-        obj._heap.write_object_field(obj, self.info, self.info.ftype.pack(value))
+        obj._heap.write_object_field(obj, self.info, self._pack(value))
 
 
 class PersistentStructMeta(type):

@@ -45,10 +45,37 @@ class ChecksumSidecar:
         self._crcs[line] = zlib.crc32(bytes(durable[base : base + CACHE_LINE]))
 
     def record_many(self, lines: Iterable[int], durable) -> None:
+        """(Re)checksum a batch of lines in one pass.
+
+        Contiguous runs are snapshotted with a single bulk ``bytes()``
+        conversion and sliced locally — one buffer copy per run instead
+        of one per line, which is what makes the numpy-backed store
+        (where per-line ``bytes(arr[a:b])`` round-trips through array
+        indexing) as cheap to protect as the pure one.
+        """
+        run_start = run_end = None
+        for line in sorted(set(lines)):
+            if run_start is None:
+                run_start = run_end = line
+            elif line == run_end + 1:
+                run_end = line
+            else:
+                self.record_span(run_start, run_end, durable)
+                run_start = run_end = line
+        if run_start is not None:
+            self.record_span(run_start, run_end, durable)
+
+    def record_span(self, first: int, last: int, durable) -> None:
+        """(Re)checksum the inclusive line range ``[first, last]`` from
+        one bulk snapshot of the media."""
+        base = first << _LINE_SHIFT
+        blob = bytes(durable[base : (last + 1) << _LINE_SHIFT])
         crcs = self._crcs
-        for line in lines:
-            base = line << _LINE_SHIFT
-            crcs[line] = zlib.crc32(bytes(durable[base : base + CACHE_LINE]))
+        crc32 = zlib.crc32
+        off = 0
+        for line in range(first, last + 1):
+            crcs[line] = crc32(blob[off : off + CACHE_LINE])
+            off += CACHE_LINE
 
     def verify(self, line: int, durable) -> bool:
         """True when ``line`` matches its recorded checksum (or has none)."""
@@ -67,16 +94,32 @@ class ChecksumSidecar:
         Walks every *covered* line (uncovered lines were never persisted
         under protection and verify clean by definition), optionally
         restricted to the inclusive line range ``[first, last]``.
+        Contiguous covered runs are snapshotted once and verified from
+        the local buffer, so a scrub over a numpy-backed store does one
+        bulk conversion per run instead of one array round-trip per line.
         """
+        covered = sorted(
+            line
+            for line in self._crcs
+            if line >= first and (last is None or line <= last)
+        )
         bad: List[int] = []
+        crcs = self._crcs
         crc32 = zlib.crc32
-        for line, crc in self._crcs.items():
-            if line < first or (last is not None and line > last):
-                continue
-            base = line << _LINE_SHIFT
-            if crc != crc32(bytes(durable[base : base + CACHE_LINE])):
-                bad.append(line)
-        bad.sort()
+        i, n = 0, len(covered)
+        while i < n:
+            j = i
+            while j + 1 < n and covered[j + 1] == covered[j] + 1:
+                j += 1
+            run_first, run_last = covered[i], covered[j]
+            base = run_first << _LINE_SHIFT
+            blob = bytes(durable[base : (run_last + 1) << _LINE_SHIFT])
+            off = 0
+            for line in range(run_first, run_last + 1):
+                if crcs[line] != crc32(blob[off : off + CACHE_LINE]):
+                    bad.append(line)
+                off += CACHE_LINE
+            i = j + 1
         return bad
 
     def clone(self) -> "ChecksumSidecar":

@@ -114,10 +114,16 @@ class MediaFaultModel:
         durable = self.device._durable
         stuck = self.stuck
         tainted = self.tainted
+        lines = list(lines)
         for line in lines:
             tainted.discard(line)
-            if sidecar is not None:
-                sidecar.record(line, durable)
+        if sidecar is not None:
+            # bulk re-checksum: contiguous runs snapshot once.  Lines are
+            # distinct within one persist call and stuck-at bits only
+            # touch their own line, so recording before the stuck pass is
+            # byte-identical to the old interleaved per-line loop.
+            sidecar.record_many(lines, durable)
+        for line in lines:
             faults = stuck.get(line)
             if faults:
                 self._assert_stuck(line, faults)

@@ -5,6 +5,15 @@ persistence primitives the paper's testbed provides.  See DESIGN.md §1
 for the substitution rationale.
 """
 
+from .backend import (
+    HAVE_NUMPY,
+    available_backends,
+    default_backend,
+    device_class,
+    make_device,
+    resolve_backend,
+    set_default_backend,
+)
 from .device import CrashPolicy, NVMDevice
 from .latency import (
     CACHE_LINE,
@@ -21,8 +30,12 @@ from .pool import DATA_START, MAX_REGIONS, PmemPool, PmemRegion
 from .reference import ReferenceNVMDevice
 from .stats import NVMStats, StatsStack
 
+if HAVE_NUMPY:
+    from .numpy_device import NumpyNVMDevice  # noqa: F401
+
 __all__ = [
     "CACHE_LINE",
+    "HAVE_NUMPY",
     "WORD",
     "CrashPolicy",
     "DATA_START",
@@ -39,5 +52,11 @@ __all__ = [
     "PmemRegion",
     "ReferenceNVMDevice",
     "StatsStack",
+    "available_backends",
+    "default_backend",
+    "device_class",
+    "make_device",
     "profile",
+    "resolve_backend",
+    "set_default_backend",
 ]

@@ -142,7 +142,7 @@ class NVMDevice:
         self.coalesce_flushes = coalesce_flushes
         self.lock_mode = lock_mode
         self.stats = NVMStats()
-        self._durable = bytearray(size)
+        self._alloc_store(size)
         # line index -> (line buffer, dirty-word bitmask)
         self._dirty: Dict[int, Tuple[bytearray, int]] = {}
         # large line-aligned dirty ranges (e.g. the mirror seed copy),
@@ -179,6 +179,20 @@ class NVMDevice:
             self.persist_all = self._persist_all_locked
 
     # -- helpers -----------------------------------------------------------
+
+    #: which byte-store implementation backs this device class; the
+    #: numpy subclass overrides it (see repro.nvm.backend)
+    backend = "pure"
+
+    def _alloc_store(self, size: int) -> None:
+        """Allocate the durable byte store; subclasses swap the medium.
+
+        Whatever the representation, ``self._durable`` must remain a
+        byte-addressable, slice-assignable buffer of exactly ``size``
+        bytes — the media-fault model, the scrubber, and tests poke it
+        directly.
+        """
+        self._durable = bytearray(size)
 
     def _check(self, addr: int, size: int) -> None:
         if self._crashed:

@@ -62,6 +62,14 @@ class PmemRegion:
     offset: int
     size: int
 
+    def __post_init__(self):
+        # hot-path bindings: the pool's device binding is fixed for the
+        # region's lifetime (reopen builds fresh pool + region objects),
+        # so the two-hop ``self.pool.device.<op>`` walk is resolved once
+        object.__setattr__(self, "_dev_read", self.pool.device.read)
+        object.__setattr__(self, "_dev_write", self.pool.device.write)
+        object.__setattr__(self, "_dev_flush", self.pool.device.flush)
+
     def _abs(self, addr: int, size: int) -> int:
         if addr < 0 or size < 0 or addr + size > self.size:
             raise OutOfBoundsError(
@@ -73,20 +81,20 @@ class PmemRegion:
     def read(self, addr: int, size: int) -> bytes:
         # hot path: bounds check inlined, _abs only raises
         if 0 <= addr and 0 <= size and addr + size <= self.size:
-            return self.pool.device.read(self.offset + addr, size)
+            return self._dev_read(self.offset + addr, size)
         self._abs(addr, size)
         raise AssertionError("unreachable")
 
     def write(self, addr: int, data: bytes) -> None:
         size = len(data)
         if 0 <= addr and addr + size <= self.size:
-            self.pool.device.write(self.offset + addr, data)
+            self._dev_write(self.offset + addr, data)
             return
         self._abs(addr, size)
         raise AssertionError("unreachable")
 
     def flush(self, addr: int, size: int) -> None:
-        self.pool.device.flush(self._abs(addr, size), size)
+        self._dev_flush(self._abs(addr, size), size)
 
     def flush_multi(self, ranges) -> None:
         """Flush several ``(addr, size)`` ranges in one device call.

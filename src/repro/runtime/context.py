@@ -135,7 +135,8 @@ class ExecutionContext:
         seed: int = 0,
         coalesce_flushes: bool = False,
         resources: Optional[SharedResources] = None,
-        device_cls: type = NVMDevice,
+        device_cls: Optional[type] = None,
+        backend: Optional[str] = None,
         lock_mode: str = "locked",
         **engine_kwargs,
     ) -> "ExecutionContext":
@@ -144,16 +145,22 @@ class ExecutionContext:
         The pool is sized for the worst-case engine footprint (full
         mirror + logs), so every engine sees an identically sized heap.
 
-        ``device_cls`` swaps the device implementation (the wall-clock
-        harness passes :class:`~repro.nvm.reference.ReferenceNVMDevice`
-        for its naive baseline); ``lock_mode="uncontended"`` elides the
-        device mutex for single-threaded drivers.  Neither changes any
+        ``device_cls`` pins an explicit device implementation (the
+        wall-clock harness passes :class:`~repro.nvm.reference.
+        ReferenceNVMDevice` for its naive baseline); otherwise
+        ``backend`` (``"pure"`` / ``"numpy"`` / ``None`` for
+        auto-detect) selects one via :func:`repro.nvm.backend.
+        device_class`.  ``lock_mode="uncontended"`` elides the device
+        mutex for single-threaded drivers.  None of these change any
         simulated result.
         """
         from ..heap import PersistentHeap
         from ..kvstore import KVStore
+        from ..nvm.backend import device_class
         from ..nvm.pool import PmemPool
 
+        if device_cls is None:
+            device_cls = device_class(backend)
         heap_bytes = heap_mb << 20
         pool_bytes = heap_bytes * 2 + (32 << 20)
         device = device_cls(
@@ -166,6 +173,10 @@ class ExecutionContext:
         pool = PmemPool.create(device)
         engine = make_engine(engine_name, **engine_kwargs)
         heap = PersistentHeap.create(pool, engine, heap_size=heap_bytes)
+        if lock_mode == "uncontended" and hasattr(engine, "set_lock_mode"):
+            # single-threaded driver: elide the engine-side thread
+            # synchronisation too (lock table + log slot pool)
+            engine.set_lock_mode(lock_mode)
         kv = KVStore.create(heap, value_size=value_size, fanout=fanout)
         return cls(
             model=model,

@@ -94,9 +94,23 @@ class EventSimulator:
                 event = heappop(queue)
                 if event.cancelled:
                     continue
-                clock.now = event.time
+                now = event.time
+                clock.now = now
                 event.fn(*event.args)
                 processed += 1
+                # coalesce the same-timestamp batch: everything already
+                # due *now* (including events the callback just scheduled
+                # at zero delay) pops in seq order right here.  The clock
+                # store stays per-event — a callback may have advanced the
+                # shared clock inline, and the contract is that each event
+                # observes its own scheduled time.
+                while queue and queue[0].time == now:
+                    event = heappop(queue)
+                    if event.cancelled:
+                        continue
+                    clock.now = now
+                    event.fn(*event.args)
+                    processed += 1
             self._processed += processed
             return processed
         while queue:

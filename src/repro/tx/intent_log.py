@@ -50,9 +50,12 @@ _REGION_HDR_SIZE = struct.calcsize(_REGION_HDR_FMT)
 
 _SLOT_HDR_FMT = "<IIQQQ"  # magic, state, txid, n_entries, reserved
 _SLOT_HDR_SIZE = 64  # padded to one cache line
+_SLOT_HDR = struct.Struct(_SLOT_HDR_FMT)
+_SLOT_HDR_PAD = b"\0" * (_SLOT_HDR_SIZE - _SLOT_HDR.size)
 
 ENTRY_SIZE = 32
 _ENTRY_FMT = "<QIHHQQ"  # offset, size, kind, flags, data_off, check
+_ENTRY = struct.Struct(_ENTRY_FMT)
 
 
 class SlotState(IntEnum):
@@ -108,20 +111,17 @@ class TxLog:
         # never declares an intent touches NVM zero times (NVML likewise
         # builds its undo log only at the first TX_ADD)
         self._touched_nvm = False
+        # slot geometry is fixed for the handle's lifetime; computing it
+        # once here keeps append/make_durable off the property + method
+        # chain (these two sit on every transaction's critical path)
+        self._base = manager.slot_offset(index)
+        self._entries_base = self._base + _SLOT_HDR_SIZE
+        self.data_base = self._entries_base + manager.max_entries * ENTRY_SIZE
 
     # -- geometry ------------------------------------------------------------
 
-    @property
-    def _base(self) -> int:
-        return self.manager.slot_offset(self.index)
-
     def _entry_off(self, i: int) -> int:
-        return self._base + _SLOT_HDR_SIZE + i * ENTRY_SIZE
-
-    @property
-    def data_base(self) -> int:
-        """Region offset of this slot's data area (undo/CoW captures)."""
-        return self._base + _SLOT_HDR_SIZE + self.manager.max_entries * ENTRY_SIZE
+        return self._entries_base + i * ENTRY_SIZE
 
     # -- building ----------------------------------------------------------------
 
@@ -132,8 +132,7 @@ class TxLog:
                 f"transaction exceeds {self.manager.max_entries} write intents"
             )
         entry = IntentEntry(offset, size, kind, data_off)
-        raw = struct.pack(
-            _ENTRY_FMT,
+        raw = _ENTRY.pack(
             offset,
             size,
             kind.value,
@@ -141,7 +140,9 @@ class TxLog:
             data_off,
             _entry_check(offset, size, kind.value, data_off, self.txid),
         )
-        self.manager.region.write(self._entry_off(len(self.entries)), raw)
+        self.manager.region.write(
+            self._entries_base + len(self.entries) * ENTRY_SIZE, raw
+        )
         self.entries.append(entry)
 
     def reserve_data(self, nbytes: int) -> int:
@@ -160,23 +161,23 @@ class TxLog:
 
     def make_durable(self) -> None:
         """Flush pending entries + header count; one flush+fence per batch."""
-        if not self.dirty:
+        n = len(self.entries)
+        if n <= self._durable_entries:
             return
         region = self.manager.region
-        first = self._entry_off(self._durable_entries)
-        last = self._entry_off(len(self.entries))
-        region.flush(first, last - first)
+        first = self._entries_base + self._durable_entries * ENTRY_SIZE
+        region.flush(first, (n - self._durable_entries) * ENTRY_SIZE)
         self._write_header()
         region.flush(self._base, _SLOT_HDR_SIZE)
         region.pool.device.fence()
-        self._durable_entries = len(self.entries)
+        self._durable_entries = n
         self._touched_nvm = True
 
     def _write_header(self) -> None:
-        raw = struct.pack(
-            _SLOT_HDR_FMT, LOG_MAGIC, int(self._state), self.txid, len(self.entries), 0
+        raw = _SLOT_HDR.pack(
+            LOG_MAGIC, int(self._state), self.txid, len(self.entries), 0
         )
-        self.manager.region.write(self._base, raw.ljust(_SLOT_HDR_SIZE, b"\0"))
+        self.manager.region.write(self._base, raw + _SLOT_HDR_PAD)
 
     # -- state transitions -----------------------------------------------------------
 
@@ -239,6 +240,20 @@ class LogManager:
         self._mutex = threading.Lock()
         self._free_cond = threading.Condition(self._mutex)
         self._free: List[int] = list(range(n_slots - 1, -1, -1))
+
+    def set_mode(self, mode: str) -> None:
+        """Elide (or restore) the slot-pool mutex; see
+        :meth:`repro.tx.locks.ObjectLockTable.set_mode`."""
+        from .locks import _PLAIN_SYNC
+
+        if mode == "uncontended":
+            self._mutex = _PLAIN_SYNC  # type: ignore[assignment]
+            self._free_cond = _PLAIN_SYNC  # type: ignore[assignment]
+        elif mode == "locked":
+            self._mutex = threading.Lock()
+            self._free_cond = threading.Condition(self._mutex)
+        else:
+            raise ValueError(f"unknown lock mode '{mode}'")
 
     # -- sizing ----------------------------------------------------------------
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.bench import wallclock
 from repro.bench.runners import run_ycsb_online
-from repro.nvm import NVMDevice, ReferenceNVMDevice
+from repro.nvm import NVMDevice, ReferenceNVMDevice, backend as nvm_backend
 
 
 def _tiny(naive):
@@ -28,9 +28,17 @@ def _tiny(naive):
 class TestStackKwargs:
     def test_optimized_side(self):
         kw = wallclock._stack_kwargs(False, "kamino-simple")
-        assert kw["device_cls"] is NVMDevice
+        assert kw["device_cls"] is nvm_backend.device_class(None)
         assert kw["lock_mode"] == "uncontended"
         assert kw["coalesce_sync"] is True
+
+    def test_optimized_side_pure_backend(self):
+        nvm_backend.set_default_backend("pure")
+        try:
+            kw = wallclock._stack_kwargs(False, "kamino-simple")
+            assert kw["device_cls"] is NVMDevice
+        finally:
+            nvm_backend.set_default_backend(None)
 
     def test_naive_side(self):
         kw = wallclock._stack_kwargs(True, "kamino-dynamic")
@@ -55,6 +63,10 @@ def test_run_benchmarks_quick_serial_schema(tmp_path):
     doc = wallclock.run_benchmarks(names=["fig12_hot_loop"], quick=True, workers=0)
     assert doc["schema_version"] == wallclock.SCHEMA_VERSION
     assert doc["quick"] is True
+    meta = doc["metadata"]
+    assert meta["backend"] in ("pure", "numpy")
+    assert meta["workers"] == 0
+    assert meta["cpu_count"] >= 1
     entry = doc["benchmarks"]["fig12_hot_loop"]
     for key in ("wall_s", "sim_time", "txs", "naive_wall_s", "speedup_vs_naive"):
         assert key in entry
@@ -63,6 +75,15 @@ def test_run_benchmarks_quick_serial_schema(tmp_path):
     path = tmp_path / "bench.json"
     wallclock.save(doc, str(path))
     assert wallclock.load(str(path)) == json.loads(path.read_text())
+
+
+def test_run_benchmarks_explicit_pure_backend_restores_default():
+    before = nvm_backend.default_backend()
+    doc = wallclock.run_benchmarks(
+        names=["fig12_hot_loop"], quick=True, with_naive=False, backend="pure"
+    )
+    assert doc["metadata"]["backend"] == "pure"
+    assert nvm_backend.default_backend() == before
 
 
 def test_run_benchmarks_without_naive():
@@ -120,3 +141,28 @@ class TestRegressionReport:
         }
         cur = {"quick": False, "benchmarks": {"b": {"speedup_vs_naive": 3.5}}}
         assert wallclock.regression_report(cur, base, tolerance=0.25) == []
+
+    def test_cross_backend_comparison_refused(self):
+        base = {
+            "metadata": {"backend": "pure"},
+            "benchmarks": {"b": {"speedup_vs_naive": 4.0}},
+        }
+        cur = {
+            "metadata": {"backend": "numpy"},
+            "benchmarks": {"b": {"speedup_vs_naive": 0.1}},
+        }
+        problems = wallclock.regression_report(cur, base, tolerance=0.25)
+        assert len(problems) == 1
+        assert "backend mismatch" in problems[0]
+        assert "refused" in problems[0]
+
+    def test_schema_v1_baseline_without_metadata_still_compares(self):
+        """Pre-PR7 trajectory points carry no metadata block; they keep
+        gating leniently instead of erroring."""
+        cur = {
+            "metadata": {"backend": "numpy"},
+            "benchmarks": {"b": {"speedup_vs_naive": 3.2}},
+        }
+        assert wallclock.regression_report(cur, self.BASE, tolerance=0.25) == []
+        cur["benchmarks"]["b"]["speedup_vs_naive"] = 2.0
+        assert len(wallclock.regression_report(cur, self.BASE, tolerance=0.25)) == 1

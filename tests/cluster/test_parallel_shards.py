@@ -1,0 +1,78 @@
+"""run_sharded_parallel: correctness of the merge + worker invariance.
+
+The parallel runner models the *uncoupled* epoch of a sharded cluster
+(no migration in flight): every client op is routed by the bootstrap
+shard map to exactly one group, so the groups evolve as independent
+deterministic simulations.  These tests pin (a) that the merged report
+is byte-identical for serial and fanned execution — the per-group seed
+mix depends only on ``(seed, gid)`` — and (b) that the merge itself is
+faithful: counters sum, KV states union disjointly, the makespan is the
+max of the group timelines.
+"""
+
+from repro.cluster import PlacementService, run_sharded_parallel
+from repro.cluster.parallel import _run_group_job
+from repro.workloads import Op, UPDATE, YCSBWorkload
+
+GROUPS = 2
+
+
+def _streams(nclients=2, nrecords=24, nops=16, seed=0):
+    load = [[Op(UPDATE, k, bytes([k % 255 + 1]) * 32) for k in range(nrecords)]]
+    workload = YCSBWorkload("A", nrecords, 64, seed=seed + 1)
+    return load + [list(workload.run_ops(nops)) for _ in range(nclients)]
+
+
+def test_worker_count_invariance():
+    streams = _streams()
+    serial = run_sharded_parallel(streams, groups=GROUPS, workers=0, seed=3)
+    fanned = run_sharded_parallel(streams, groups=GROUPS, workers=2, seed=3)
+    serial.assert_matches(fanned)
+    # the per-group results match too, not just the fold
+    for a, b in zip(serial.groups, fanned.groups):
+        assert a.gid == b.gid
+        assert a.committed == b.committed
+        assert a.nvm == b.nvm
+        assert a.net == b.net
+        assert a.state == b.state
+
+
+def test_merge_is_faithful_to_the_groups():
+    report = run_sharded_parallel(_streams(), groups=GROUPS, workers=0, seed=1)
+    assert len(report.groups) == GROUPS
+    assert report.committed == sum(g.committed for g in report.groups)
+    assert report.committed > 0
+    assert report.events == sum(g.events for g in report.groups)
+    assert report.sim_time_ns == max(g.sim_time_ns for g in report.groups)
+    assert report.nvm.stores == sum(g.nvm.stores for g in report.groups)
+    assert report.nvm.flushes == sum(g.nvm.flushes for g in report.groups)
+    # states are disjoint by routing, so the union preserves every key
+    assert len(report.state) == sum(len(g.state) for g in report.groups)
+
+
+def test_routing_respects_the_shard_map():
+    """Every key lands in the group the bootstrap map owns it in."""
+    placement = PlacementService.bootstrap(GROUPS, 2, vnodes=32)
+    report = run_sharded_parallel(
+        _streams(), groups=GROUPS, workers=0, seed=1, placement=placement
+    )
+    for group in report.groups:
+        for key in group.state:
+            assert placement.map.group_for(key) == group.gid
+
+
+def test_group_job_is_deterministic():
+    """The same job tuple replayed twice gives the same result — the
+    property the resume/merge discipline leans on."""
+    streams = _streams()
+    placement = PlacementService.bootstrap(GROUPS, 2, vnodes=32)
+    partitions = [[[] for _ in streams] for _ in range(GROUPS)]
+    for cid, stream in enumerate(streams):
+        for op in stream:
+            partitions[placement.map.group_for(op.key)][cid].append(op)
+    job = (0, partitions[0], 1, "kamino", 2, 128, 7)
+    a, b = _run_group_job(job), _run_group_job(job)
+    assert a.committed == b.committed
+    assert a.sim_time_ns == b.sim_time_ns
+    assert a.nvm == b.nvm
+    assert a.state == b.state

@@ -1,0 +1,84 @@
+"""Backend selection: explicit names, env var, pinning, auto-detection."""
+
+import pytest
+
+from repro.nvm import NVMDevice, backend
+
+
+@pytest.fixture(autouse=True)
+def _unpinned(monkeypatch):
+    """Each test starts from auto-detection with a clean env."""
+    monkeypatch.delenv("REPRO_NVM_BACKEND", raising=False)
+    prev = backend._default
+    backend.set_default_backend(None)
+    yield
+    backend.set_default_backend(prev)
+
+
+def test_available_backends_always_include_pure():
+    names = backend.available_backends()
+    assert "pure" in names
+    assert ("numpy" in names) == backend.HAVE_NUMPY
+
+
+def test_resolve_pure_and_auto():
+    assert backend.resolve_backend("pure") == "pure"
+    expected = "numpy" if backend.HAVE_NUMPY else "pure"
+    assert backend.resolve_backend(None) == expected
+    assert backend.resolve_backend("auto") == expected
+
+
+def test_resolve_unknown_name_rejected():
+    with pytest.raises(ValueError):
+        backend.resolve_backend("cuda")
+
+
+def test_resolve_numpy_without_numpy_is_an_error():
+    if backend.HAVE_NUMPY:
+        assert backend.resolve_backend("numpy") == "numpy"
+    else:
+        with pytest.raises(RuntimeError):
+            backend.resolve_backend("numpy")
+
+
+def test_env_var_pins_pure(monkeypatch):
+    monkeypatch.setenv("REPRO_NVM_BACKEND", "pure")
+    assert backend.default_backend() == "pure"
+    assert backend.device_class(None) is NVMDevice
+
+
+def test_env_var_auto_detects(monkeypatch):
+    monkeypatch.setenv("REPRO_NVM_BACKEND", "auto")
+    assert backend.default_backend() == ("numpy" if backend.HAVE_NUMPY else "pure")
+
+
+def test_set_default_backend_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_NVM_BACKEND", "pure")
+    backend.set_default_backend("pure")
+    assert backend.default_backend() == "pure"
+    backend.set_default_backend(None)
+    monkeypatch.delenv("REPRO_NVM_BACKEND")
+    assert backend.default_backend() == ("numpy" if backend.HAVE_NUMPY else "pure")
+
+
+def test_device_class_pure_is_the_python_device():
+    assert backend.device_class("pure") is NVMDevice
+
+
+@pytest.mark.skipif(not backend.HAVE_NUMPY, reason="numpy not installed")
+def test_device_class_numpy_is_the_vectorized_device():
+    from repro.nvm.numpy_device import NumpyNVMDevice
+
+    assert backend.device_class("numpy") is NumpyNVMDevice
+    # the vectorized device subclasses the pure one: every isinstance
+    # check in the stack keeps passing
+    assert issubclass(NumpyNVMDevice, NVMDevice)
+
+
+def test_make_device_constructs_on_the_resolved_backend():
+    dev = backend.make_device(1 << 12, backend="pure", seed=7)
+    assert type(dev) is NVMDevice
+    dev.write(0, b"hello")
+    assert dev.read(0, 5) == b"hello"
+    auto = backend.make_device(1 << 12)
+    assert type(auto) is backend.device_class(None)

@@ -62,6 +62,36 @@ class TestScheduling:
         sim.run()
         assert fired == [10]
 
+    def test_coalesced_batch_restores_clock_after_inline_advance(self):
+        """The fast path pops same-timestamp events as one batch, but a
+        callback may advance the shared clock inline (cost charging);
+        every event in the batch must still observe its scheduled time."""
+        sim = EventSimulator()
+        observed = []
+
+        def charge_and_record(tag):
+            observed.append((tag, sim.now))
+            sim.clock.now += 7  # inline cost, as SimClock.advance does
+
+        for tag in "abc":
+            sim.schedule(10, charge_and_record, tag)
+        sim.schedule(20, lambda: observed.append(("late", sim.now)))
+        sim.run()
+        assert observed == [("a", 10), ("b", 10), ("c", 10), ("late", 20)]
+
+    def test_zero_delay_events_fire_within_the_batch(self):
+        sim = EventSimulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(10, outer)
+        sim.schedule(10, lambda: fired.append(("peer", sim.now)))
+        sim.run()
+        assert fired == [("outer", 10), ("peer", 10), ("inner", 10)]
+
 
 class TestControl:
     def test_cancel(self):

@@ -48,9 +48,14 @@ SCHEMA_VERSION = 2
 FULL_SIZES = {"nrecords": 800, "nops": 1600}
 QUICK_SIZES = {"nrecords": 200, "nops": 400}
 
-#: per-engine keyword overrides applied only on the kamino engines,
-#: which own the coalesce_sync knob
-_KAMINO_ENGINES = ("kamino-simple", "kamino-dynamic")
+#: per-engine keyword overrides applied only on the kamino-family
+#: engines, which own the coalesce_sync knob
+_KAMINO_ENGINES = (
+    "kamino-simple",
+    "kamino-dynamic",
+    "kamino-finegrained",
+    "nvtraverse",
+)
 
 
 def _stack_kwargs(naive: bool, engine_name: str) -> dict:
@@ -134,6 +139,38 @@ def _bench_ycsb_dynamic(sizes: dict, naive: bool) -> Tuple[float, int]:
     return res.duration_ns, res.ops
 
 
+def _bench_contended_ycsb(sizes: dict, naive: bool) -> Tuple[float, int]:
+    """The concurrency-crossover cell: global-lock vs striped engines on
+    a hot zipfian YCSB-A key space at 4 simulated clients.
+
+    The key space is deliberately narrow (a quarter of the standard
+    record count) so the zipfian head collides across clients; the
+    summed simulated duration is the invariance-checked result, and the
+    per-engine crossover evidence lands in the trajectory point's
+    ``contention`` section (see :mod:`repro.bench.contention`).
+    """
+    total_ns = 0.0
+    total_ops = 0
+    for name, kwargs in (
+        ("kamino-dynamic", {"alpha": 0.5}),
+        ("kamino-finegrained", {"alpha": 0.5, "stripes": 16}),
+    ):
+        res = run_ycsb_online(
+            name,
+            "A",
+            4,
+            nrecords=max(120, sizes["nrecords"] // 4),
+            nops=sizes["nops"],
+            value_size=256,
+            heap_mb=24,
+            **kwargs,
+            **_stack_kwargs(naive, name),
+        )
+        total_ns += res.duration_ns
+        total_ops += res.ops
+    return total_ns, total_ops
+
+
 def _bench_cluster_ycsb(sizes: dict, naive: bool) -> Tuple[float, int]:
     """Multi-shard YCSB on a 2-group sharded cluster with one online
     migration mid-run (load + route + copy + flip all on the clock)."""
@@ -165,6 +202,7 @@ BENCHMARKS: Dict[str, Callable[[dict, bool], Tuple[float, int]]] = {
     "fig12_matrix": _bench_fig12_matrix,
     "tpcc_online": _bench_tpcc_online,
     "ycsb_dynamic": _bench_ycsb_dynamic,
+    "contended_ycsb": _bench_contended_ycsb,
     "cluster_ycsb": _bench_cluster_ycsb,
 }
 
@@ -333,6 +371,11 @@ def emit_trajectory_point(
     comparison = backend_comparison(workers=workers, repeats=repeats)
     if len(comparison) > 1:
         doc["backend_comparison"] = comparison
+    # the concurrency-crossover evidence: virtual-time (deterministic)
+    # multi-client battery, global-lock baseline vs striped challenger
+    from .contention import run_contention_sweep
+
+    doc["contention"] = run_contention_sweep().to_dict()
     save(doc, path)
     return doc
 

@@ -12,6 +12,9 @@ repo's own ``tests/conftest.py`` does this).  It contributes:
 * the ``assert_engine_crash_consistent`` fixture — the one-line form:
   sweep an engine × workload under the session budget and fail the test
   with each failure's minimized repro snippet if anything is found.
+* ``--contention-seeds=N`` — seeds per contended multi-client scenario
+  (the zipfian YCSB-A battery in ``tests/runtime/``), mirroring
+  ``--nemesis-seeds``.
 * ``--media-faults`` — opt into the deep media-fault sweeps (tests
   marked ``@pytest.mark.media``); without the flag those tests skip.
   The quick media-integrity tests run unconditionally.
@@ -83,6 +86,14 @@ def pytest_addoption(parser) -> None:
         "deeper sweeps, e.g. --nemesis-seeds=5",
     )
     parser.addoption(
+        "--contention-seeds",
+        type=int,
+        default=2,
+        help="seeds per contended-workload scenario (the multi-client "
+        "zipfian battery); raise for deeper sweeps, e.g. "
+        "--contention-seeds=5",
+    )
+    parser.addoption(
         "--media-faults",
         action="store_true",
         default=False,
@@ -133,6 +144,12 @@ def check_budget(request) -> CheckBudget:
 def nemesis_seeds(request) -> int:
     """How many seeds each nemesis scenario runs under."""
     return request.config.getoption("--nemesis-seeds")
+
+
+@pytest.fixture(scope="session")
+def contention_seeds(request) -> int:
+    """How many seeds the contended multi-client battery runs under."""
+    return request.config.getoption("--contention-seeds")
 
 
 @pytest.fixture(scope="session")

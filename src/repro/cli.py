@@ -13,6 +13,7 @@ Subcommands::
     python -m repro cluster --groups 2 --shards 2 --quick
     python -m repro scrub  --flips 8 --dead 2
     python -m repro bench  --quick --out BENCH.json --compare BENCH_PR2.json
+    python -m repro contend --clients 1,2,4,8 --require-crossover 4
     python -m repro info   --engine kamino-dynamic --alpha 0.3
 
 Each prints the same fixed-width tables the benchmark suite records.
@@ -638,6 +639,70 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_contend(args) -> int:
+    """The contended multi-client zipfian battery (see bench.contention)."""
+    from .bench.contention import run_contention_sweep
+    from .nvm import backend as nvm_backend
+
+    engines = _parse_list(args.engines)
+    clients = [int(t) for t in _parse_list(args.clients)]
+    model = PROFILES[args.medium]
+    prev = _pin_backend(args)
+    try:
+        sweep = run_contention_sweep(
+            engines=engines,
+            client_counts=clients,
+            workload_name=args.workload,
+            nrecords=args.records,
+            nops=args.ops,
+            seed=args.seed,
+            model=model,
+            baseline=args.baseline,
+            challenger=args.challenger,
+            engine_kwargs={e: _engine_kwargs(e, args) for e in engines},
+        )
+    finally:
+        nvm_backend.set_default_backend(prev)
+    rows = []
+    for c in sweep.cells:
+        rows.append([
+            c.engine,
+            c.nclients,
+            round(c.duration_ns / 1000, 1),
+            round(c.throughput_kops, 2),
+            round(c.mean_latency_ns / 1000, 2),
+            c.dependent_waits,
+            c.lock_stats.get("stripes", "-"),
+        ])
+    print(format_table(
+        f"contended YCSB-{args.workload}: {args.records} hot records, "
+        f"{args.ops} ops, {model.name} medium, zipfian",
+        ["engine", "clients", "dur us", "K ops/s", "mean us", "dep-waits", "stripes"],
+        rows,
+    ))
+    crossover = sweep.crossover_clients()
+    max_clients = max(clients)
+    speedup = sweep.speedup_at(max_clients)
+    if crossover is None:
+        print(f"no crossover: {sweep.challenger} never beats {sweep.baseline}")
+    else:
+        print(
+            f"crossover at {crossover} clients; "
+            f"{sweep.challenger} is {speedup:.3f}x {sweep.baseline} "
+            f"at {max_clients} clients"
+        )
+    if args.require_crossover is not None:
+        if crossover is None or crossover > args.require_crossover:
+            print(
+                f"FAIL: crossover {crossover} exceeds required "
+                f"<= {args.require_crossover} clients",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"ok: crossover <= {args.require_crossover} clients")
+    return 0
+
+
 def cmd_info(args) -> int:
     from .runtime.context import ExecutionContext
 
@@ -815,6 +880,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="NVM byte-store backend for the optimized side "
                    "(default: auto-detect; recorded in metadata)")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "contend",
+        help="contended multi-client zipfian battery (crossover gate)",
+    )
+    p.add_argument("--workload", default="A", help="YCSB mix letter")
+    p.add_argument("--engines", default="kamino-dynamic,kamino-finegrained")
+    p.add_argument("--clients", default="1,2,4,8",
+                   help="comma-separated simulated client counts")
+    p.add_argument("--records", type=int, default=240,
+                   help="hot key-space width (small => real collisions)")
+    p.add_argument("--ops", type=int, default=720)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--medium", default="nvdimm", choices=sorted(PROFILES))
+    p.add_argument("--backend", default="",
+                   choices=["", "auto", "pure", "numpy"],
+                   help="NVM byte-store backend (default: auto-detect)")
+    p.add_argument("--alpha", type=float, default=0.5)
+    p.add_argument("--stripes", type=int, default=16)
+    p.add_argument("--baseline", default="kamino-dynamic")
+    p.add_argument("--challenger", default="kamino-finegrained")
+    p.add_argument("--require-crossover", type=int, default=None,
+                   help="exit 1 unless the challenger beats the baseline "
+                   "at this client count or fewer (CI gate)")
+    p.set_defaults(fn=cmd_contend)
 
     p = sub.add_parser("info", help="inspect a pool/heap layout")
     p.add_argument("--engine", default="kamino-simple")

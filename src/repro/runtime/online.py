@@ -167,17 +167,29 @@ class VirtualClients:
                 return
         for off in rec.write_set:
             self.locked[off] = True
-        # serialized log management: the per-intent software cost always
-        # extends the critical path; the log-arena memcpy's *service*
-        # time is already inside crit_ns (it is a device copy), so it
-        # contributes only mutual exclusion — queueing delay — here.
-        software = self.cost.serial_ns_per_intent * rec.n_intents
+        # serialized log/lock management: the per-intent software cost
+        # always extends the critical path; the log-arena memcpy's
+        # *service* time is already inside crit_ns (it is a device copy),
+        # so it contributes only mutual exclusion — queueing delay — here.
+        # Read-lock acquires pass through the same table mutex for the
+        # profiles that charge them (read-set entries the tx only reads).
+        read_locks = len(rec.read_set - rec.write_set)
+        software = (
+            self.cost.serial_ns_per_intent * rec.n_intents
+            + self.cost.serial_ns_per_read_lock * read_locks
+        )
         service = software
         if self.cost.serial_includes_copy:
             service += rec.crit_copy_bytes * self.model_byte_copy_ns
         done = self.serial.request(self.sim.now, service)
         queue_delay = done - self.sim.now - service
-        self.sim.schedule(queue_delay + software, self._transfer_crit, client)
+        # local (non-serialized) software runs on this client's own
+        # timeline — striped-lock work other clients never queue behind
+        local = (
+            self.cost.local_ns_per_intent * rec.n_intents
+            + self.cost.local_ns_per_read_lock * read_locks
+        )
+        self.sim.schedule(queue_delay + software + local, self._transfer_crit, client)
 
     def _transfer_crit(self, client: int) -> None:
         rec = self.source.peek(client)

@@ -27,6 +27,7 @@ prefix, because engines may decorate their runtime name with parameters
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
@@ -38,6 +39,7 @@ __all__ = [
     "make_engine",
     "register_engine",
     "registered_engines",
+    "registry_snapshot",
     "unregister_engine",
 ]
 
@@ -136,6 +138,27 @@ def register_engine(
 def unregister_engine(name: str) -> None:
     """Remove a registration (tests registering throwaway engines)."""
     _REGISTRY.pop(name, None)
+
+
+@contextmanager
+def registry_snapshot():
+    """Restore the registry to its entry state on exit.
+
+    Guards registry-mutating code (tests that ``register_engine`` a
+    throwaway double, or ``unregister_engine`` a builtin) so later
+    registry-driven consumers see the pristine table.  The builtins —
+    including the deferred replication extra — are force-loaded *before*
+    the snapshot: the loader's once-only flags stay set, so an early
+    (pre-extra) snapshot would otherwise permanently erase the deferred
+    registration when restored.
+    """
+    _ensure_builtins_loaded()
+    saved = dict(_REGISTRY)
+    try:
+        yield
+    finally:
+        _REGISTRY.clear()
+        _REGISTRY.update(saved)
 
 
 def registered_engines() -> Dict[str, EngineInfo]:

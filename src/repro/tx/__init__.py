@@ -19,10 +19,13 @@ from .base import (
 )
 from .cow import CoWEngine
 from .dynamic import DynamicBackup, kamino_dynamic
+from .finegrained import FineGrainedKaminoEngine, kamino_finegrained
 from .intent_log import ENTRY_SIZE, IntentEntry, LogManager, SlotState, TxLog
 from .kamino import KaminoEngine, kamino_simple
 from .locks import LockStats, ObjectLockTable
+from .nvtraverse import NVTraverseEngine, nvtraverse
 from .recovery import reopen_after_crash, verify_backup_consistency
+from .striped_locks import LockTableStats, StripedLockTable
 from .undo import NoLoggingEngine, UndoLogEngine
 
 __all__ = [
@@ -34,22 +37,28 @@ __all__ = [
     "DynamicBackup",
     "ENGINE_FACTORIES",
     "ENTRY_SIZE",
+    "FineGrainedKaminoEngine",
     "FullBackup",
     "IntentEntry",
     "IntentKind",
     "KaminoEngine",
     "LockStats",
+    "LockTableStats",
     "LogManager",
+    "NVTraverseEngine",
     "NoLoggingEngine",
     "ObjectLockTable",
     "RecoveryReport",
     "SlotState",
+    "StripedLockTable",
     "Transaction",
     "TxLog",
     "TxState",
     "UndoLogEngine",
     "kamino_dynamic",
+    "kamino_finegrained",
     "kamino_simple",
+    "nvtraverse",
     "make_engine",
     "reopen_after_crash",
     "run_transaction",

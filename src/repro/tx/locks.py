@@ -230,7 +230,22 @@ class ObjectLockTable:
         self._cond.wait(timeout=min(0.05, deadline - now))
         return deadline
 
+    def acquire_write_many(self, txid: int, offsets) -> None:
+        """Take several write locks in canonical (ascending) order.
+
+        The deadlock-avoidance discipline shared with
+        :class:`~repro.tx.striped_locks.StripedLockTable`: every
+        multi-lock acquirer climbs the same global offset order, so the
+        waits-for graph cannot contain a cycle.
+        """
+        for offset in sorted(set(offsets)):
+            self.acquire_write(txid, offset)
+
     # -- release ---------------------------------------------------------------
+
+    def release_write_many(self, txid: int, offsets) -> None:
+        for offset in sorted(set(offsets)):
+            self.release_write(txid, offset)
 
     def release_read(self, txid: int, offset: int) -> None:
         with self._cond:

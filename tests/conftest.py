@@ -4,7 +4,15 @@ import pytest
 
 from repro.heap import FixedStr, Int64, PPtr, PersistentHeap, PersistentStruct, UInt64
 from repro.nvm import NVMDevice, PmemPool
-from repro.tx import CoWEngine, UndoLogEngine, kamino_dynamic, kamino_simple
+from repro.runtime.registry import registry_snapshot
+from repro.tx import (
+    CoWEngine,
+    UndoLogEngine,
+    kamino_dynamic,
+    kamino_finegrained,
+    kamino_simple,
+    nvtraverse,
+)
 
 #: the crash-consistency checker's fixtures (--check-budget,
 #: assert_engine_crash_consistent) are available suite-wide
@@ -18,7 +26,23 @@ ENGINES = {
     "cow": CoWEngine,
     "kamino-simple": kamino_simple,
     "kamino-dynamic": lambda: kamino_dynamic(alpha=0.5),
+    "kamino-finegrained": lambda: kamino_finegrained(alpha=0.5, stripes=8),
+    "nvtraverse": nvtraverse,
 }
+
+
+@pytest.fixture(autouse=True)
+def _pristine_engine_registry():
+    """Restore the engine registry around every test.
+
+    Tests that register throwaway doubles or ``unregister_engine`` a
+    builtin would otherwise leak the mutation into later tests whose
+    parametrization or sweeps are registry-driven.  The snapshot
+    force-loads the builtins (including the deferred replication extra)
+    first, so restoring never erases a not-yet-loaded registration.
+    """
+    with registry_snapshot():
+        yield
 
 
 class Pair(PersistentStruct):

@@ -9,6 +9,7 @@ from repro.runtime.registry import (
     make_engine,
     register_engine,
     registered_engines,
+    registry_snapshot,
     unregister_engine,
 )
 
@@ -89,6 +90,45 @@ class TestDecorator:
             assert caps.options == ()
         finally:
             unregister_engine("test-default")
+
+
+class TestRegistrySnapshot:
+    """``registry_snapshot`` heals any mutation — the conftest fixture
+    wraps every test in one, so these also document why leaks stopped."""
+
+    def test_unregistered_builtin_is_restored(self):
+        with registry_snapshot():
+            unregister_engine("undo")
+            assert "undo" not in registered_engines()
+        assert "undo" in registered_engines()
+
+    def test_throwaway_registration_is_erased(self):
+        with registry_snapshot():
+            @register_engine("test-leak")
+            def factory():
+                return object()
+
+            assert "test-leak" in registered_engines()
+        assert "test-leak" not in registered_engines()
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with registry_snapshot():
+                unregister_engine("cow")
+                raise RuntimeError("boom")
+        assert "cow" in registered_engines()
+
+    def test_conftest_fixture_leak_first_half(self):
+        """Deliberately leak a mutation (no explicit snapshot)..."""
+        unregister_engine("kamino-simple")
+        register_engine("test-fixture-leak")(lambda: object())
+        assert "kamino-simple" not in registered_engines()
+
+    def test_conftest_fixture_leak_second_half(self):
+        """...and observe the autouse fixture healed it before this test
+        (file order is execution order within a module)."""
+        assert "kamino-simple" in registered_engines()
+        assert "test-fixture-leak" not in registered_engines()
 
 
 class TestCostModelIntegration:

@@ -1,0 +1,148 @@
+"""NVTraverse-engine oracles: the correctness argument, as assertions.
+
+The engine's claim (see ``src/repro/tx/nvtraverse.py``) decomposes into
+device-counter oracles this file checks directly:
+
+1. the traversal phase performs zero NVM stores, flushes, fences, or
+   copies — only loads;
+2. the destination phase costs exactly three fences per update
+   transaction, regardless of write-set size;
+3. an abort is NVM-silent (no stores at all) and leaves the main heap
+   bytes untouched;
+4. shadow writes are visible to reads inside the transaction but reach
+   the main heap only at commit;
+5. the full crash-recovery sweep passes (CrashExplorer fixture), for
+   nvtraverse and the fine-grained engine both.
+"""
+
+import pytest
+
+from repro.tx import nvtraverse
+
+from ..conftest import Pair, build_heap
+
+
+@pytest.fixture
+def traverse_heap():
+    return build_heap(nvtraverse)
+
+
+def _committed_pair(heap):
+    with heap.transaction():
+        p = heap.alloc(Pair)
+        p.key = 1
+        p.value = "seed"
+        heap.set_root(p)
+    heap.drain()
+    return heap.root(Pair)
+
+
+class TestTraversalPhaseIsVolatile:
+    def test_zero_nvm_mutations_before_commit(self, traverse_heap):
+        heap, engine, device = traverse_heap
+        _committed_pair(heap)
+        base = device.stats.snapshot()
+        with heap.transaction():
+            p = heap.root(Pair)
+            p.tx_add()
+            p.key = 2
+            p.value = "updated"
+            q = heap.alloc(Pair)
+            q.key = 3
+            mid = device.stats.delta(base)
+            # loads are allowed (seeding shadows, reading structs);
+            # everything that mutates NVM is deferred to the destination
+            assert mid.stores == 0
+            assert mid.flushes == 0
+            assert mid.fences == 0
+            assert mid.copies == 0
+
+    def test_shadow_read_visibility(self, traverse_heap):
+        heap, engine, device = traverse_heap
+        _committed_pair(heap)
+        root_off = heap.root(Pair).block_offset
+        before = bytes(engine.heap_region.read(root_off, 8))
+        with heap.transaction():
+            p = heap.root(Pair)
+            p.tx_add()
+            p.key = 42
+            # the transaction sees its own shadow...
+            assert p.key == 42
+            # ...while the main heap still holds the committed bytes
+            assert bytes(engine.heap_region.read(root_off, 8)) == before
+        heap.drain()
+        assert heap.root(Pair).key == 42
+
+
+class TestDestinationPhase:
+    def test_exactly_three_fences_per_update(self, traverse_heap):
+        heap, engine, device = traverse_heap
+        _committed_pair(heap)
+        for n_extra in (0, 3):
+            heap.drain()  # settle the previous iteration's backup sync
+            base = device.stats.snapshot()
+            with heap.transaction():
+                p = heap.root(Pair)
+                p.tx_add()
+                p.key += 1
+                for _ in range(n_extra):  # widen the write set
+                    heap.alloc(Pair)
+            delta = device.stats.delta(base)
+            # fence 1: intent batch; fence 2: destination stores;
+            # fence 3: commit record — independent of write-set size
+            assert delta.fences == 3
+
+    def test_read_only_transaction_is_free(self, traverse_heap):
+        heap, engine, device = traverse_heap
+        _committed_pair(heap)
+        base = device.stats.snapshot()
+        with heap.transaction():
+            assert heap.root(Pair).key == 1
+        delta = device.stats.delta(base)
+        assert delta.stores == 0
+        assert delta.fences == 0
+
+
+class TestAbort:
+    def test_abort_is_nvm_silent(self, traverse_heap):
+        heap, engine, device = traverse_heap
+        _committed_pair(heap)
+        root_off = heap.root(Pair).block_offset
+        before = bytes(engine.heap_region.read(root_off, 64))
+        base = device.stats.snapshot()
+
+        class Boom(RuntimeError):
+            pass
+
+        with pytest.raises(Boom):
+            with heap.transaction():
+                p = heap.root(Pair)
+                p.tx_add()
+                p.key = 99
+                raise Boom()
+        delta = device.stats.delta(base)
+        assert delta.stores == 0, "abort wrote to NVM"
+        assert bytes(engine.heap_region.read(root_off, 64)) == before
+        assert heap.root(Pair).key == 1
+        # the engine is still usable afterwards
+        with heap.transaction():
+            p = heap.root(Pair)
+            p.tx_add()
+            p.key = 7
+        heap.drain()
+        assert heap.root(Pair).key == 7
+
+
+class TestCrashSweep:
+    def test_nvtraverse_crash_consistent(self, assert_engine_crash_consistent):
+        assert_engine_crash_consistent(
+            "nvtraverse", max_points=None, random_samples=1, max_nested_points=6
+        )
+
+    def test_finegrained_crash_consistent(self, assert_engine_crash_consistent):
+        assert_engine_crash_consistent(
+            "kamino-finegrained",
+            max_points=None,
+            random_samples=1,
+            max_nested_points=6,
+        )

@@ -16,12 +16,18 @@ Top-level convenience re-exports; see the subpackages for the full API:
 """
 
 from .errors import (
+    AdmissionRejected,
     BothCopiesLostError,
     ClusterConfigError,
     ClusterDegraded,
     IntegrityError,
     MediaError,
+    ProcedureAborted,
+    ProcedureError,
+    ProcedureResumed,
+    ProtocolError,
     ReproError,
+    ServeError,
     ShardMigrationError,
     StaleShardMapError,
     UncorrectableMediaError,
@@ -54,23 +60,28 @@ from .tx import (
 
 __version__ = "1.0.0"
 
-# the heavy cluster members stay lazy (see repro.cluster's docstring):
-# importing repro must not drag in the simulator + NVM stack
+# the heavy cluster/serve members stay lazy (see repro.cluster's
+# docstring): importing repro must not drag in the simulator + NVM stack
 _LAZY_CLUSTER = ("MigrationRecord", "PlacementService", "ShardMigration",
                  "ShardedCluster")
+_LAZY_SERVE = ("AdmissionController", "DurableProcedure", "ProcedureEngine",
+               "ProcedureStore", "ReproServer")
 
 
 def __getattr__(name: str):
-    if name in _LAZY_CLUSTER:
+    if name in _LAZY_CLUSTER or name in _LAZY_SERVE:
         from importlib import import_module
 
-        value = getattr(import_module(".cluster", __name__), name)
+        pkg = ".cluster" if name in _LAZY_CLUSTER else ".serve"
+        value = getattr(import_module(pkg, __name__), name)
         globals()[name] = value
         return value
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
     "BothCopiesLostError",
     "ChecksumSidecar",
     "ClusterConfigError",
@@ -78,6 +89,7 @@ __all__ = [
     "ClusterReport",
     "CoWEngine",
     "CrashPolicy",
+    "DurableProcedure",
     "EngineCapabilities",
     "ExecutionContext",
     "IntegrityError",
@@ -91,10 +103,18 @@ __all__ = [
     "PersistentStruct",
     "PlacementService",
     "PmemPool",
+    "ProcedureAborted",
+    "ProcedureEngine",
+    "ProcedureError",
+    "ProcedureResumed",
+    "ProcedureStore",
+    "ProtocolError",
     "RangeRouter",
     "ReproError",
+    "ReproServer",
     "ScrubReport",
     "Scrubber",
+    "ServeError",
     "ShardMap",
     "ShardMigration",
     "ShardMigrationError",

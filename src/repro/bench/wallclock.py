@@ -197,6 +197,54 @@ def _bench_cluster_ycsb(sizes: dict, naive: bool) -> Tuple[float, int]:
     return cluster.sim.now - start_ns, cluster.committed
 
 
+def _bench_served_ycsb(sizes: dict, naive: bool) -> Tuple[float, int]:
+    """YCSB-A through the real socket path: the asyncio front door over
+    a 2-group sharded cluster, one pipelined closed-loop client.
+
+    Wall time is what the trajectory tracks (protocol parse + event
+    loop + gateway pump all on the clock); the simulated duration and
+    request count are the deterministic invariance-checked result — a
+    single connection makes the request order, and with it every
+    virtual-time step, exact across repeats.
+    """
+    # local imports: the serving stack is not needed by the other cells
+    import asyncio
+
+    from ..serve import ReproServer, ServeClient
+    from ..workloads import READ, YCSBWorkload
+
+    async def drive() -> Tuple[float, int]:
+        server = ReproServer(groups=2, shards_per_group=2, f=1, seed=0)
+        host, port = await server.start()
+        try:
+            client = await ServeClient.connect(host, port)
+            try:
+                load = [
+                    ["PUT", k, b"%019d" % k]
+                    for k in range(sizes["nrecords"])
+                ]
+                for i in range(0, len(load), 64):
+                    await client.pipeline(load[i:i + 64])
+                workload = YCSBWorkload("A", sizes["nrecords"], 64, seed=1)
+                cmds = [
+                    ["GET", op.key] if op.kind == READ
+                    else ["PUT", op.key, op.value]
+                    for op in workload.run_ops(sizes["nops"])
+                ]
+                start_ns = server.cluster.sim.now
+                count = 0
+                for i in range(0, len(cmds), 32):
+                    replies = await client.pipeline(cmds[i:i + 32])
+                    count += len(replies)
+                return server.cluster.sim.now - start_ns, count
+            finally:
+                await client.close()
+        finally:
+            await server.stop()
+
+    return asyncio.run(drive())
+
+
 BENCHMARKS: Dict[str, Callable[[dict, bool], Tuple[float, int]]] = {
     "fig12_hot_loop": _bench_fig12_hot_loop,
     "fig12_matrix": _bench_fig12_matrix,
@@ -204,13 +252,15 @@ BENCHMARKS: Dict[str, Callable[[dict, bool], Tuple[float, int]]] = {
     "ycsb_dynamic": _bench_ycsb_dynamic,
     "contended_ycsb": _bench_contended_ycsb,
     "cluster_ycsb": _bench_cluster_ycsb,
+    "served_ycsb": _bench_served_ycsb,
 }
 
-#: benchmarks with no meaningful naive side: the sharded cluster builds
-#: its own device stack internally, so the reference-device swap does
-#: not apply — these report wall_s only (no speedup_vs_naive), which
-#: :func:`regression_report` treats as informational
-NO_NAIVE = frozenset({"cluster_ycsb"})
+#: benchmarks with no meaningful naive side: the sharded cluster (and
+#: the server fronting it) builds its own device stack internally, so
+#: the reference-device swap does not apply — these report wall_s only
+#: (no speedup_vs_naive), which :func:`regression_report` treats as
+#: informational
+NO_NAIVE = frozenset({"cluster_ycsb", "served_ycsb"})
 
 
 def _run_job(job: Tuple) -> Tuple[str, bool, float, float, int]:

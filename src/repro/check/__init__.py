@@ -13,6 +13,10 @@ during recovery itself — mechanically testable:
 * :class:`ChainCrashExplorer` does the same for the replication chain's
   fail-stop and quick-reboot modes (§5.2–§5.3), where the in-place
   replica engine needs a neighbour to repair.
+* :class:`ServeCrashExplorer` (re-exported from :mod:`repro.serve`)
+  sweeps the serving layer's durable-procedure frame log: a crash at any
+  frame-persist boundary — or nested inside the recovery — must lose no
+  committed step and apply none twice.
 * :func:`minimize_failure` / :func:`repro_snippet` shrink any failure to
   the earliest, simplest crash point and print a self-contained replay.
 
@@ -42,6 +46,12 @@ from .explorer import (
 )
 from .minimize import minimize_failure, repro_snippet
 from .oracle import Ledger, OracleViolation, check_against_ledger
+from ..serve.explorer import (
+    ServeCrashExplorer,
+    ServeFailure,
+    ServeReport,
+    ServeScenario,
+)
 from .workload import (
     CANNED_WORKLOADS,
     CheckWorkload,
@@ -74,6 +84,10 @@ __all__ = [
     "PairsWorkload",
     "RingWorkload",
     "Scenario",
+    "ServeCrashExplorer",
+    "ServeFailure",
+    "ServeReport",
+    "ServeScenario",
     "build_stack",
     "check_against_ledger",
     "minimize_failure",

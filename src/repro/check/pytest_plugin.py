@@ -15,6 +15,8 @@ repo's own ``tests/conftest.py`` does this).  It contributes:
 * ``--contention-seeds=N`` — seeds per contended multi-client scenario
   (the zipfian YCSB-A battery in ``tests/runtime/``), mirroring
   ``--nemesis-seeds``.
+* ``--serve-seeds=N`` — device seeds per serving-layer crash sweep
+  (``tests/serve/``), same shape as the other seed knobs.
 * ``--media-faults`` — opt into the deep media-fault sweeps (tests
   marked ``@pytest.mark.media``); without the flag those tests skip.
   The quick media-integrity tests run unconditionally.
@@ -94,6 +96,13 @@ def pytest_addoption(parser) -> None:
         "--contention-seeds=5",
     )
     parser.addoption(
+        "--serve-seeds",
+        type=int,
+        default=2,
+        help="device seeds per serving-layer crash sweep (tests/serve); "
+        "raise for deeper sweeps, e.g. --serve-seeds=5",
+    )
+    parser.addoption(
         "--media-faults",
         action="store_true",
         default=False,
@@ -150,6 +159,12 @@ def nemesis_seeds(request) -> int:
 def contention_seeds(request) -> int:
     """How many seeds the contended multi-client battery runs under."""
     return request.config.getoption("--contention-seeds")
+
+
+@pytest.fixture(scope="session")
+def serve_seeds(request) -> int:
+    """How many device seeds the serving-layer crash sweeps run under."""
+    return request.config.getoption("--serve-seeds")
 
 
 @pytest.fixture(scope="session")

@@ -14,6 +14,7 @@ Subcommands::
     python -m repro scrub  --flips 8 --dead 2
     python -m repro bench  --quick --out BENCH.json --compare BENCH_PR2.json
     python -m repro contend --clients 1,2,4,8 --require-crossover 4
+    python -m repro serve  --smoke
     python -m repro info   --engine kamino-dynamic --alpha 0.3
 
 Each prints the same fixed-width tables the benchmark suite records.
@@ -703,6 +704,143 @@ def cmd_contend(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """The serving front door: boot the asyncio server, or run the
+    self-contained smoke gate (``--smoke``) CI uses.
+
+    The smoke gate boots on an ephemeral port and drives the whole
+    surface through a real socket: a pipelined burst, a durable
+    procedure crashed mid-flight by a scheduled power failure of the
+    procedure log (recovered *inside the request*), an explicit
+    CRASH/resume cycle, exactly-once re-submission, admission control
+    under a tripped breaker, and the METRICS endpoint.
+    """
+    import asyncio
+    import json
+
+    from .errors import AdmissionRejected
+    from .serve import ReproServer, ServeClient
+
+    server = ReproServer(
+        host=args.host, port=args.port, groups=args.groups,
+        shards_per_group=args.shards, f=args.f, seed=args.seed,
+    )
+
+    if not args.smoke:
+        async def _forever():
+            host, port = await server.start()
+            print(f"repro serve: listening on {host}:{port} "
+                  f"({args.groups} group(s) x {args.shards} shard(s), "
+                  f"f={args.f})")
+            await server.serve_forever()
+
+        try:
+            asyncio.run(_forever())
+        except KeyboardInterrupt:
+            print("repro serve: shutting down")
+        return 0
+
+    async def _smoke() -> int:
+        problems: List[str] = []
+
+        def check(cond: bool, label: str) -> None:
+            status = "ok" if cond else "FAIL"
+            print(f"  [{status}] {label}")
+            if not cond:
+                problems.append(label)
+
+        host, port = await server.start()
+        print(f"serve smoke: {host}:{port}")
+        client = await ServeClient.connect(host, port)
+        reply = await client.execute("PING")
+        check(reply == ("simple", "PONG"), "PING round-trip")
+
+        # pipelined burst: one write carries the whole batch
+        burst = [["PUT", 100 + i, b"%019d" % (100 + i)] for i in range(8)]
+        burst += [["GET", 100 + i] for i in range(8)]
+        replies = await client.pipeline(burst)
+        check(
+            all(r == ("simple", "OK") for r in replies[:8])
+            and all(
+                int(replies[8 + i][1].rstrip(b"\x00")) == 100 + i
+                for i in range(8)
+            ),
+            f"pipelined burst of {len(burst)} commands",
+        )
+
+        # durable procedure + exactly-once re-submission (a retried pid
+        # surfaces as +RESUMED <stored result> on the wire)
+        reply = await client.proc("incr", "smoke-incr", 100, 7)
+        check(json.loads(reply[1]) == 107, "PROC incr")
+        reply = await client.execute("PROC", "incr", "smoke-incr", 100, 7)
+        check(
+            reply[0] == "simple" and reply[1].startswith("RESUMED")
+            and json.loads(reply[1].split(" ", 1)[1]) == 107,
+            "re-submitted pid replays stored result (RESUMED)",
+        )
+
+        # kill the procedure log mid-procedure: the scheduled power
+        # failure fires during the transfer's frame appends and the
+        # server must recover + resume inside the request
+        await client.put(200, b"%019d" % 100)
+        await client.put(201, b"%019d" % 100)
+        server.store.device.schedule_crash(20)
+        reply = await client.proc("transfer", "smoke-xfer", 200, 201, 30)
+        result = (json.loads(reply[1]) if reply[0] == "bulk"
+                  else json.loads(reply[1].split(" ", 1)[1]))
+        check(result == {"src": 70, "dst": 130},
+              "durable procedure crashed mid-flight still answers")
+        check(server.crashes_recovered >= 1,
+              f"server recovered the log ({server.crashes_recovered} time(s))")
+        src = int((await client.get(200)).rstrip(b"\x00"))
+        dst = int((await client.get(201)).rstrip(b"\x00"))
+        check((src, dst) == (70, 130),
+              f"transfer applied exactly once (200={src}, 201={dst})")
+
+        # explicit crash/resume cycle plus exactly-once re-submission
+        reply = await client.execute("CRASH")
+        check(reply[0] == "simple" and reply[1].startswith("RECOVERED"),
+              f"CRASH -> {reply[1]}")
+        reply = await client.execute("PROC", "transfer", "smoke-xfer",
+                                     200, 201, 30)
+        check(
+            reply[0] == "simple" and reply[1].startswith("RESUMED"),
+            "pid re-submitted after reboot replays, never re-executes",
+        )
+
+        # admission control: a tripped breaker sheds with RETRY-AFTER
+        server.cluster.trip_breaker()
+        try:
+            await client.put(300, b"x")
+            check(False, "tripped breaker sheds writes with RETRY-AFTER")
+        except AdmissionRejected as exc:
+            check(exc.retry_after_ns > 0,
+                  f"tripped breaker sheds writes "
+                  f"(retry after {exc.retry_after_ns:.0f}ns)")
+        server.cluster.close_breaker()
+        await client.put(300, b"x")
+        check(True, "write readmitted after the breaker closed")
+
+        metrics = json.loads(await client.metrics())
+        check(
+            metrics["admission"]["rejected_degraded"] >= 1
+            and metrics["procedures"]["recoveries"] >= 2
+            and "procedure_log_device" in metrics,
+            "METRICS reports admission + recovery counters",
+        )
+
+        await client.execute("QUIT")
+        await client.close()
+        await server.stop()
+        if problems:
+            print(f"serve smoke: {len(problems)} FAILURE(S)")
+            return 1
+        print("serve smoke: all checks passed")
+        return 0
+
+    return asyncio.run(_smoke())
+
+
 def cmd_info(args) -> int:
     from .runtime.context import ExecutionContext
 
@@ -905,6 +1043,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit 1 unless the challenger beats the baseline "
                    "at this client count or fewer (CI gate)")
     p.set_defaults(fn=cmd_contend)
+
+    p = sub.add_parser(
+        "serve",
+        help="asyncio serving front door over a sharded cluster",
+        description="Boot the RESP-like TCP server fronting a "
+        "ShardedCluster, or run the self-contained --smoke gate "
+        "(pipelined burst, mid-flight procedure crash + resume, "
+        "exactly-once assert, admission control, metrics).",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 picks an ephemeral one)")
+    p.add_argument("--groups", type=int, default=2)
+    p.add_argument("--shards", type=int, default=2, help="shards per group")
+    p.add_argument("--f", type=int, default=1, help="failures to tolerate")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--smoke", action="store_true",
+                   help="run the smoke gate against an ephemeral server "
+                   "and exit (CI)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("info", help="inspect a pool/heap layout")
     p.add_argument("--engine", default="kamino-simple")

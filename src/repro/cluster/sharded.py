@@ -166,6 +166,29 @@ class ShardedCluster:
     def degraded(self) -> bool:
         return any(group.degraded for group in self.groups)
 
+    def retry_after_ns(self) -> Optional[float]:
+        """Admission-control hint aggregated over the groups: the
+        longest remaining cooldown of any degraded group (writes for
+        any key may land there), ``None`` when every group is healthy."""
+        hints = [g.retry_after_ns() for g in self.groups]
+        hints = [h for h in hints if h is not None]
+        return max(hints) if hints else None
+
+    def add_degradation_listener(
+        self, listener: Callable[[ChainCluster, bool], None]
+    ) -> None:
+        """Register a breaker-transition listener on every group (the
+        serving layer's queue-and-readmit hook)."""
+        for group in self.groups:
+            group.add_degradation_listener(listener)
+
+    def trip_breaker(self, group: int = 0,
+                     cooldown_ns: Optional[float] = None) -> None:
+        self.groups[group].trip_breaker(cooldown_ns)
+
+    def close_breaker(self, group: int = 0) -> None:
+        self.groups[group].close_breaker()
+
     # -- migration -------------------------------------------------------------
 
     def hottest_shard(self) -> int:
@@ -270,6 +293,10 @@ class ShardedCluster:
     @property
     def degraded_rejections(self) -> int:
         return self._sum("degraded_rejections")
+
+    @property
+    def degraded_readmissions(self) -> int:
+        return self._sum("degraded_readmissions")
 
     @property
     def duplicate_requests(self) -> int:

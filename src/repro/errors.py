@@ -216,3 +216,55 @@ class ShardMigrationError(ReplicationError):
     """A shard migration could not start or make progress (unknown
     shard, source and destination coincide, a migration for the shard
     is already running, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Serving-layer errors
+# ---------------------------------------------------------------------------
+
+
+class ServeError(ReproError):
+    """Base class for serving-layer failures (the network front door)."""
+
+
+class ProtocolError(ServeError):
+    """A connection sent bytes the RESP-like grammar cannot parse, or a
+    well-formed command with the wrong shape (unknown verb, bad arity).
+    Surfaced on the wire as ``-ERR`` and the connection keeps going —
+    one malformed command must not poison the pipeline behind it."""
+
+
+class AdmissionRejected(ServeError):
+    """Admission control shed the request: the cluster is degraded (its
+    circuit breaker is open or it is below write quorum) or the server
+    is at its in-flight/queue bounds.  Carries ``retry_after_ns``, the
+    server's best estimate of when capacity returns — surfaced on the
+    wire as ``-RETRY-AFTER <ns>`` so clients back off instead of
+    hammering a breaker that is already open."""
+
+    def __init__(self, message: str, retry_after_ns: float = 0.0):
+        super().__init__(message)
+        self.retry_after_ns = retry_after_ns
+
+
+class ProcedureError(ServeError):
+    """A durable procedure could not run (unknown procedure name, bad
+    arguments, a step raised)."""
+
+
+class ProcedureResumed(ProcedureError):
+    """A procedure id was re-submitted after the original already ran to
+    completion; the stored result is replayed instead of re-executing.
+    This is the exactly-once delivery path, typed so the serving layer
+    can tell a replayed result from a first execution."""
+
+    def __init__(self, message: str, pid: str = "", result=None):
+        super().__init__(message)
+        self.pid = pid
+        self.result = result
+
+
+class ProcedureAborted(ProcedureError):
+    """A durable procedure gave up before completing (a step exhausted
+    its retries against the cluster); its frames stay in the log and a
+    re-submission resumes from the last persisted step."""

@@ -28,6 +28,10 @@ clear_faults    remove every link fault, partition, and slow-down
 quick_reboot    §5.3 crash + in-place repair of one replica
 fail_stop       §5.2 removal + chain re-stitch (no replacement)
 crash_replace   fail-stop + splice in a caught-up spare, one view change
+trip_breaker    force a chain's circuit breaker open (as if its
+                ``degrade_after`` ladder had just been exhausted) for
+                ``cooldown_ns``; the selector picks the group
+close_breaker   force the breaker closed and readmit any parked writes
 migrate_shard   start an online shard migration (sharded clusters only);
                 ``shard`` is an id or ``"hottest"``/``"coldest"``,
                 ``dst`` a group id or omitted for the least-loaded group
@@ -271,6 +275,16 @@ class Nemesis:
     def _do_crash_replace(self, node: Any) -> None:
         chain, inner = self._chain(node)
         replace_node(chain, _resolve_index(chain, inner))
+
+    def _do_trip_breaker(self, node: Any = "head",
+                         cooldown_ns: float = None) -> None:
+        # the selector only picks the group (the breaker is chain-wide)
+        chain, _inner = self._chain(node)
+        chain.trip_breaker(cooldown_ns)
+
+    def _do_close_breaker(self, node: Any = "head") -> None:
+        chain, _inner = self._chain(node)
+        chain.close_breaker()
 
     # -- cluster verbs -----------------------------------------------------------
 

@@ -129,6 +129,28 @@ CORPUS: List[NemesisScenario] = [
         ),
         ops_per_client=10,
     ),
+    NemesisScenario(
+        name="overload_storm",
+        description="the serving-layer overload drill: a connection storm "
+        "(8 clients) hits a chain whose mid replica is slow, the circuit "
+        "breaker is forced open mid-storm, and the chain partitions "
+        "before the breaker closes; hardened clients must ride the "
+        "RETRY-AFTER rejections and retransmission ladders to "
+        "convergence before the quiesce",
+        actions=(
+            FaultAction(50 * _US, "slow_node",
+                        {"node": 1, "delay_ns": 80 * _US}),
+            FaultAction(150 * _US, "trip_breaker",
+                        {"cooldown_ns": 5 * _MS}),
+            FaultAction(400 * _US, "partition",
+                        {"groups": [[0, 1], [-2, -1]]}),
+            FaultAction(700 * _US, "close_breaker", {}),
+            FaultAction(1_500 * _US, "heal"),
+            FaultAction(1_600 * _US, "clear_faults"),
+        ),
+        n_clients=8,
+        ops_per_client=10,
+    ),
     # -- media-fault scenarios (the failure class below fail-stop) --------
     NemesisScenario(
         name="bitrot_scrub",

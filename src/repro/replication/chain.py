@@ -228,6 +228,9 @@ class ChainCluster:
         self._consecutive_failures = 0
         self._degraded_until: Optional[float] = None
         self._backpressure_event: Optional[Event] = None
+        #: breaker-transition listeners (the serving layer's admission
+        #: controller registers here for queue-and-readmit)
+        self._degradation_listeners: List[Callable[["ChainCluster", bool], None]] = []
         # metrics
         self.write_latencies_ns: List[float] = []
         self.read_latencies_ns: List[float] = []
@@ -237,6 +240,7 @@ class ChainCluster:
         self.retransmissions = 0
         self.timed_out = 0
         self.degraded_rejections = 0
+        self.degraded_readmissions = 0
         self.duplicate_requests = 0
         self.backpressure_stalls = 0
 
@@ -286,11 +290,16 @@ class ChainCluster:
         if self._consecutive_failures >= self.degrade_after:
             # open the breaker: reject fast for a cooldown window rather
             # than burning a full retransmission ladder per write
+            was_open = self._degraded_until is not None
             self._degraded_until = self.sim.now + self.degraded_cooldown_ns
+            if not was_open:
+                self._notify_degradation(True)
 
     def _note_write_success(self) -> None:
         self._consecutive_failures = 0
-        self._degraded_until = None
+        if self._degraded_until is not None:
+            self._degraded_until = None
+            self._notify_degradation(False)
         self._readmit_degraded_queue()
 
     def _readmit_degraded_queue(self) -> None:
@@ -298,7 +307,49 @@ class ChainCluster:
             parked = list(self._degraded_queue)
             self._degraded_queue.clear()
             for op in parked:
+                self.degraded_readmissions += 1
                 self._try_admit(op)
+
+    def retry_after_ns(self) -> Optional[float]:
+        """Admission-control hint: how long until this group can be
+        expected to accept writes again.  ``None`` when healthy; the
+        breaker's remaining cooldown when it is open; one full cooldown
+        when below write quorum (repair has no fixed deadline, so the
+        cooldown doubles as the client's poll interval)."""
+        if self._degraded_until is not None and self.sim.now < self._degraded_until:
+            return self._degraded_until - self.sim.now
+        if len(self.chain) < self.write_quorum:
+            return self.degraded_cooldown_ns
+        return None
+
+    def trip_breaker(self, cooldown_ns: Optional[float] = None) -> None:
+        """Force the circuit breaker open for one cooldown window, as if
+        ``degrade_after`` ladders had just been exhausted — the nemesis
+        verb behind the overload scenarios and an operator's manual
+        drain switch."""
+        was_open = self.degraded
+        self._consecutive_failures = self.degrade_after
+        self._degraded_until = self.sim.now + (
+            cooldown_ns if cooldown_ns is not None else self.degraded_cooldown_ns
+        )
+        if not was_open:
+            self._notify_degradation(True)
+
+    def close_breaker(self) -> None:
+        """Force the breaker shut and readmit anything parked on it."""
+        self._note_write_success()
+
+    def add_degradation_listener(
+        self, listener: Callable[["ChainCluster", bool], None]
+    ) -> None:
+        """Register ``listener(group, degraded)`` to fire on breaker
+        transitions — the serving layer's queue-and-readmit path hangs
+        off this instead of polling."""
+        self._degradation_listeners.append(listener)
+
+    def _notify_degradation(self, degraded: bool) -> None:
+        for listener in self._degradation_listeners:
+            listener(self, degraded)
 
     # -- routing --------------------------------------------------------------------
 
@@ -647,7 +698,9 @@ class ChainCluster:
         for node in self.chain:
             node.view_id = self.view_id
         self._consecutive_failures = 0
-        self._degraded_until = None
+        if self._degraded_until is not None:
+            self._degraded_until = None
+            self._notify_degradation(False)
         self._readmit_degraded_queue()
 
     # -- execution driver ---------------------------------------------------------------------

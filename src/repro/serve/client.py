@@ -1,0 +1,87 @@
+"""Asyncio client for the serving layer (tests, smoke, bench).
+
+Thin by design: encodes commands (:func:`encode_command`), decodes
+replies (:class:`ReplyReader`), and exposes the two shapes the harness
+needs — one request/one reply (:meth:`ServeClient.execute`, raising
+typed errors) and a pipelined burst (:meth:`ServeClient.pipeline`,
+returning decoded replies in order, errors included in-band so a
+partially-shed burst is observable reply by reply).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Union
+
+from .protocol import Reply, ReplyReader, encode_command, raise_for_reply
+
+Arg = Union[bytes, str, int]
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.ReproServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._replies = ReplyReader()
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    # -- request shapes --------------------------------------------------------
+
+    async def execute(self, *args: Arg) -> Reply:
+        """One command, one decoded reply; typed errors are raised."""
+        replies = await self.pipeline([list(args)])
+        return raise_for_reply(replies[0])
+
+    async def pipeline(self, commands: List[List[Arg]]) -> List[Reply]:
+        """Send every command in one write, read replies in order.
+
+        Error replies stay in-band as ``("error", code, message)``
+        tuples — a shed command must not mask the commands behind it.
+        """
+        payload = b"".join(encode_command(cmd) for cmd in commands)
+        self._writer.write(payload)
+        await self._writer.drain()
+        out: List[Reply] = []
+        while len(out) < len(commands):
+            reply = self._replies.pop()
+            if reply is not None:
+                out.append(reply)
+                continue
+            data = await self._reader.read(65536)
+            if not data:
+                raise ConnectionError(
+                    f"server closed with {len(commands) - len(out)} "
+                    f"replies outstanding"
+                )
+            self._replies.feed(data)
+        return out
+
+    # -- conveniences ----------------------------------------------------------
+
+    async def put(self, key: int, value: bytes) -> None:
+        await self.execute("PUT", key, value)
+
+    async def get(self, key: int) -> Optional[bytes]:
+        reply = await self.execute("GET", key)
+        return reply[1]
+
+    async def proc(self, name: str, pid: str, *args: Arg) -> Reply:
+        return await self.execute("PROC", name, pid, *args)
+
+    async def metrics(self) -> bytes:
+        reply = await self.execute("METRICS")
+        return reply[1]

@@ -1,0 +1,268 @@
+"""The RESP-like wire protocol: grammar, incremental parser, encoders.
+
+Requests are RESP2-style arrays of bulk strings —
+
+    *2\\r\\n$3\\r\\nGET\\r\\n$2\\r\\n17\\r\\n
+
+— or, for hand-driven sessions, inline commands (``GET 17\\r\\n``,
+tokens split on whitespace).  Replies use the RESP2 type prefixes:
+
+    ``+`` simple string   ``+OK``, ``+PONG``, ``+RESUMED <json>``
+    ``-`` typed error     ``-ERR ...``, ``-RETRY-AFTER <ns> ...``,
+                          ``-DEGRADED ...``, ``-TIMEOUT ...``
+    ``$`` bulk string     ``$5\\r\\nhello\\r\\n`` (``$-1\\r\\n`` = nil)
+    ``:`` integer         ``:42``
+
+The error *code* is the first token of the error line; ``RETRY-AFTER``
+carries the server's back-off hint in nanoseconds as its second token.
+See docs/SERVING.md for the full command table.
+
+Both sides are incremental: feed bytes as they arrive, pop complete
+commands/replies as they become available — per-connection pipelining
+falls out of parsing greedily and replying in order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from ..errors import (
+    AdmissionRejected,
+    ClusterDegraded,
+    ProtocolError,
+    RequestTimeoutError,
+    ServeError,
+)
+
+CRLF = b"\r\n"
+
+#: parser safety bounds — a malformed length cannot balloon the buffer
+MAX_BULK = 1 << 20
+MAX_ARGS = 1024
+MAX_INLINE = 1 << 16
+
+
+# ---------------------------------------------------------------------------
+# Encoding (both directions)
+# ---------------------------------------------------------------------------
+
+
+def encode_command(args: List[Union[bytes, str, int]]) -> bytes:
+    """Encode one client command as a RESP array of bulk strings."""
+    if not args:
+        raise ProtocolError("empty command")
+    out = [b"*%d" % len(args), CRLF]
+    for arg in args:
+        if isinstance(arg, str):
+            arg = arg.encode("utf-8")
+        elif isinstance(arg, int):
+            arg = str(arg).encode("ascii")
+        out += [b"$%d" % len(arg), CRLF, arg, CRLF]
+    return b"".join(out)
+
+
+def encode_simple(text: str) -> bytes:
+    return b"+" + text.encode("utf-8") + CRLF
+
+
+def encode_error(code: str, message: str) -> bytes:
+    flat = message.replace("\r", " ").replace("\n", " ")
+    return b"-" + f"{code} {flat}".encode("utf-8") + CRLF
+
+
+def encode_bulk(payload: Optional[bytes]) -> bytes:
+    if payload is None:
+        return b"$-1" + CRLF
+    return b"$%d" % len(payload) + CRLF + bytes(payload) + CRLF
+
+
+def encode_integer(n: int) -> bytes:
+    return b":%d" % n + CRLF
+
+
+def error_reply(exc: Exception) -> bytes:
+    """Map a typed serving/cluster error onto the wire."""
+    if isinstance(exc, AdmissionRejected):
+        return encode_error(
+            "RETRY-AFTER", f"{int(exc.retry_after_ns)} {exc}"
+        )
+    if isinstance(exc, ClusterDegraded):
+        return encode_error("DEGRADED", str(exc))
+    if isinstance(exc, RequestTimeoutError):
+        return encode_error("TIMEOUT", f"outcome unknown: {exc}")
+    return encode_error("ERR", str(exc))
+
+
+# ---------------------------------------------------------------------------
+# Request parsing (server side)
+# ---------------------------------------------------------------------------
+
+
+class ProtocolReader:
+    """Incremental request parser: feed bytes, pop complete commands."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buf += data
+
+    def pop(self) -> Optional[List[bytes]]:
+        """One complete command (list of argument byte-strings), or
+        ``None`` if the buffer holds only a partial command."""
+        while True:
+            if not self._buf:
+                return None
+            if self._buf[:1] == b"*":
+                return self._pop_array()
+            cmd = self._pop_inline()
+            if cmd is None:
+                return None
+            if cmd:  # bare CRLF keep-alives are skipped
+                return cmd
+
+    def pop_all(self) -> List[List[bytes]]:
+        """Every complete command currently buffered (the pipeline)."""
+        out = []
+        while True:
+            cmd = self.pop()
+            if cmd is None:
+                return out
+            out.append(cmd)
+
+    # -- internals -------------------------------------------------------------
+
+    def _take_line(self) -> Optional[bytes]:
+        idx = self._buf.find(CRLF)
+        if idx < 0:
+            if len(self._buf) > MAX_INLINE:
+                raise ProtocolError("unterminated line exceeds limit")
+            return None
+        line = bytes(self._buf[:idx])
+        del self._buf[: idx + 2]
+        return line
+
+    def _pop_inline(self) -> Optional[List[bytes]]:
+        line = self._take_line()
+        if line is None:
+            return None
+        return line.split()
+
+    def _pop_array(self) -> Optional[List[bytes]]:
+        # parse against a scratch copy: an incomplete command must leave
+        # the buffer untouched for the next feed
+        view = bytes(self._buf)
+        pos = view.find(CRLF)
+        if pos < 0:
+            return None
+        try:
+            nargs = int(view[1:pos])
+        except ValueError:
+            raise ProtocolError(f"bad array header {view[:pos]!r}") from None
+        if not (0 < nargs <= MAX_ARGS):
+            raise ProtocolError(f"bad argument count {nargs}")
+        cursor = pos + 2
+        args: List[bytes] = []
+        for _ in range(nargs):
+            if cursor >= len(view):
+                return None
+            if view[cursor:cursor + 1] != b"$":
+                raise ProtocolError("expected bulk string in array")
+            end = view.find(CRLF, cursor)
+            if end < 0:
+                return None
+            try:
+                length = int(view[cursor + 1:end])
+            except ValueError:
+                raise ProtocolError(
+                    f"bad bulk length {view[cursor:end]!r}"
+                ) from None
+            if not (0 <= length <= MAX_BULK):
+                raise ProtocolError(f"bad bulk length {length}")
+            start = end + 2
+            if len(view) < start + length + 2:
+                return None
+            if view[start + length:start + length + 2] != CRLF:
+                raise ProtocolError("bulk string not CRLF-terminated")
+            args.append(view[start:start + length])
+            cursor = start + length + 2
+        del self._buf[:cursor]
+        return args
+
+
+# ---------------------------------------------------------------------------
+# Reply parsing (client side)
+# ---------------------------------------------------------------------------
+
+#: decoded replies: ("simple", str) / ("error", code, message) /
+#: ("bulk", bytes | None) / ("int", int)
+Reply = Tuple
+
+
+class ReplyReader:
+    """Incremental reply parser for the test/bench client."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buf += data
+
+    def pop(self) -> Optional[Reply]:
+        if not self._buf:
+            return None
+        kind = self._buf[:1]
+        idx = self._buf.find(CRLF)
+        if idx < 0:
+            return None
+        line = bytes(self._buf[1:idx])
+        if kind == b"+":
+            del self._buf[: idx + 2]
+            return ("simple", line.decode("utf-8"))
+        if kind == b"-":
+            del self._buf[: idx + 2]
+            code, _, rest = line.decode("utf-8").partition(" ")
+            return ("error", code, rest)
+        if kind == b":":
+            del self._buf[: idx + 2]
+            return ("int", int(line))
+        if kind == b"$":
+            length = int(line)
+            if length < 0:
+                del self._buf[: idx + 2]
+                return ("bulk", None)
+            start = idx + 2
+            if len(self._buf) < start + length + 2:
+                return None
+            payload = bytes(self._buf[start:start + length])
+            del self._buf[: start + length + 2]
+            return ("bulk", payload)
+        raise ProtocolError(f"unknown reply type {kind!r}")
+
+    def pop_all(self) -> List[Reply]:
+        out = []
+        while True:
+            reply = self.pop()
+            if reply is None:
+                return out
+            out.append(reply)
+
+
+def raise_for_reply(reply: Reply) -> Reply:
+    """Convert an ``("error", code, message)`` reply into its typed
+    exception; pass anything else through."""
+    if reply[0] != "error":
+        return reply
+    code, message = reply[1], reply[2]
+    if code == "RETRY-AFTER":
+        ns, _, rest = message.partition(" ")
+        try:
+            hint = float(ns)
+        except ValueError:
+            hint, rest = 0.0, message
+        raise AdmissionRejected(rest, retry_after_ns=hint)
+    if code == "DEGRADED":
+        raise ClusterDegraded(message)
+    if code == "TIMEOUT":
+        raise RequestTimeoutError(message)
+    raise ServeError(f"{code} {message}")

@@ -130,6 +130,24 @@ class TestDegradation:
         assert len(results) == 1 and not isinstance(results[0], Exception)
         assert cluster.committed == 1
 
+    def test_queue_policy_readmits_when_the_breaker_closes(self):
+        # the breaker-close readmit path (docs/FAULTS.md): a write parked
+        # while the breaker is open drains back through admission on
+        # close_breaker, counted by degraded_readmissions
+        cluster = small_cluster(degraded_policy="queue")
+        cluster.trip_breaker()
+        results = []
+        cluster.submit_write("put", (1, b"parked"), [1],
+                             lambda r, lat: results.append(r))
+        cluster.drain()
+        assert results == []  # parked, not rejected
+        assert cluster.degraded_readmissions == 0
+        cluster.close_breaker()
+        cluster.drain()
+        assert len(results) == 1 and not isinstance(results[0], Exception)
+        assert cluster.committed == 1
+        assert cluster.degraded_readmissions == 1
+
     def test_reads_degrade_to_deepest_live_replica(self):
         cluster = small_cluster()
         cluster.submit_write("put", (1, b"v"), [1])
@@ -186,6 +204,28 @@ class TestClientStuck:
         )
         assert clients[0].done
         assert not clients[0].failed
+        cluster.assert_replicas_consistent()
+
+
+class TestUnknownOutcomes:
+    def test_late_reply_after_timeout_is_not_double_applied(self):
+        # a slow replica pushes the first op past the client timeout: the
+        # rid lands in unknown_rids and is resubmitted under the same
+        # identity, so when the original's reply finally arrives the head
+        # must have absorbed the duplicate — one execution, not two
+        cluster = small_cluster()
+        cluster.net.set_node_delay("r1", 600_000.0)
+        cluster.sim.at(3_000_000.0, cluster.net.clear_faults)
+        clients = run_clients(
+            cluster, [[Op(UPDATE, 1, b"a" * 8), Op(UPDATE, 1, b"b" * 8)]]
+        )
+        client = clients[0]
+        assert client.done and not client.failed
+        assert 0 in client.unknown_rids  # the timeout was recorded
+        assert cluster.duplicate_requests >= 1  # the resubmit was absorbed
+        assert cluster.committed == 2  # each op executed exactly once
+        # the late rid-0 completion must not clobber the later write
+        assert cluster.kv_states()[-1][1].startswith(b"b")
         cluster.assert_replicas_consistent()
 
 

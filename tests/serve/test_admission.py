@@ -1,0 +1,107 @@
+"""Admission control: typed rejection, queue-and-readmit, pipeline bounds."""
+
+import pytest
+
+from repro.errors import AdmissionRejected, ServeError
+from repro.replication import KAMINO, ChainCluster
+from repro.serve import AdmissionConfig, AdmissionController
+
+_US = 1_000.0
+
+
+def small_cluster(**kw):
+    kw.setdefault("f", 1)
+    kw.setdefault("mode", KAMINO)
+    kw.setdefault("heap_mb", 2)
+    kw.setdefault("value_size", 64)
+    return ChainCluster(**kw)
+
+
+class TestRejectPolicy:
+    def test_healthy_cluster_admits(self):
+        ctrl = AdmissionController(small_cluster())
+        ctrl.admit()
+        assert ctrl.admitted == 1
+
+    def test_open_breaker_rejects_with_cooldown_hint(self):
+        cluster = small_cluster()
+        ctrl = AdmissionController(cluster)
+        cluster.trip_breaker(cooldown_ns=500 * _US)
+        with pytest.raises(AdmissionRejected) as exc:
+            ctrl.admit()
+        # the hint is the breaker's remaining cooldown, not a default
+        assert 0 < exc.value.retry_after_ns <= 500 * _US
+        assert ctrl.rejected_degraded == 1
+
+    def test_closed_breaker_admits_again(self):
+        cluster = small_cluster()
+        ctrl = AdmissionController(cluster)
+        cluster.trip_breaker()
+        with pytest.raises(AdmissionRejected):
+            ctrl.admit()
+        cluster.close_breaker()
+        ctrl.admit()
+        assert ctrl.admitted == 1
+
+    def test_unknown_policy_rejected_at_construction(self):
+        with pytest.raises(ServeError):
+            AdmissionController(small_cluster(), AdmissionConfig(policy="drop"))
+
+
+class TestQueuePolicy:
+    def config(self, **kw):
+        kw.setdefault("policy", "queue")
+        return AdmissionConfig(**kw)
+
+    def test_hold_rides_out_the_cooldown(self):
+        cluster = small_cluster()
+        ctrl = AdmissionController(cluster, self.config())
+        cluster.trip_breaker(cooldown_ns=200 * _US)
+        before = cluster.sim.now
+        ctrl.admit()  # parks, runs virtual time past the cooldown, readmits
+        assert cluster.sim.now >= before + 200 * _US
+        assert ctrl.queued == 1
+        assert ctrl.readmitted == 1
+        assert ctrl.admitted == 1
+
+    def test_hold_gives_up_after_max_wait(self):
+        cluster = small_cluster()
+        ctrl = AdmissionController(
+            cluster, self.config(max_wait_ns=100 * _US)
+        )
+        cluster.trip_breaker(cooldown_ns=50_000 * _US)
+        with pytest.raises(AdmissionRejected):
+            ctrl.admit()
+        assert ctrl.shed_after_wait == 1
+        assert ctrl.readmitted == 0
+
+    def test_queue_overflow_sheds(self):
+        cluster = small_cluster()
+        ctrl = AdmissionController(cluster, self.config(queue_limit=0))
+        cluster.trip_breaker()
+        with pytest.raises(AdmissionRejected):
+            ctrl.admit()
+        assert ctrl.queue_overflow == 1
+
+
+class TestPipelineWindow:
+    def test_positions_beyond_window_are_shed(self):
+        ctrl = AdmissionController(
+            small_cluster(), AdmissionConfig(max_inflight=2)
+        )
+        ctrl.admit(batch_index=0)
+        ctrl.admit(batch_index=1)
+        with pytest.raises(AdmissionRejected):
+            ctrl.admit(batch_index=2)
+        assert ctrl.rejected_overload == 1
+        assert ctrl.admitted == 2
+
+
+class TestBreakerEvents:
+    def test_listener_records_open_and_close_edges(self):
+        cluster = small_cluster()
+        ctrl = AdmissionController(cluster)
+        cluster.trip_breaker()
+        cluster.close_breaker()
+        assert [deg for _t, deg in ctrl.breaker_events] == [True, False]
+        assert ctrl.stats()["breaker_transitions"] == 2

@@ -1,0 +1,115 @@
+"""ClusterGateway: per-request pump, retries, unknown ids, stale maps."""
+
+import pytest
+
+from repro import ShardedCluster
+from repro.errors import ClusterDegraded, ReplicationError, RequestTimeoutError
+from repro.replication import KAMINO, ChainCluster, RetryPolicy
+from repro.serve import ClusterGateway
+
+_US = 1_000.0
+
+
+def small_cluster(**kw):
+    kw.setdefault("f", 1)
+    kw.setdefault("mode", KAMINO)
+    kw.setdefault("heap_mb", 2)
+    kw.setdefault("value_size", 64)
+    return ChainCluster(**kw)
+
+
+class TestBasics:
+    def test_write_then_read_round_trip(self):
+        gw = ClusterGateway(small_cluster())
+        gw.call_write("put", (1, b"hello"), (1,), "c0", 0)
+        value = gw.call_read("get", (1,))
+        assert bytes(value).rstrip(b"\x00") == b"hello"
+        assert gw.stats()["writes"] == 1
+        assert gw.stats()["reads"] == 1
+
+    def test_works_over_sharded_cluster(self):
+        cluster = ShardedCluster(groups=2, shards_per_group=2, f=1,
+                                 heap_mb=2, value_size=64, seed=0)
+        gw = ClusterGateway(cluster)
+        for i, key in enumerate(range(0, 8000, 1000)):
+            gw.call_write("put", (key, b"v%d" % i), (key,), "c0", i)
+        for i, key in enumerate(range(0, 8000, 1000)):
+            got = bytes(gw.call_read("get", (key,))).rstrip(b"\x00")
+            assert got == b"v%d" % i
+
+
+class TestDegradedWrites:
+    def test_rejection_surfaces_immediately_without_burning_the_ladder(self):
+        # the head records rejections as completed outcomes, so a
+        # same-id resubmit can only replay the rejection: the gateway
+        # must not waste its backoff ladder on it
+        cluster = small_cluster()
+        gw = ClusterGateway(cluster)
+        cluster.trip_breaker(cooldown_ns=200 * _US)
+        with pytest.raises(ClusterDegraded):
+            gw.call_write("put", (1, b"x"), (1,), "c0", 0)
+        assert gw.internal_retries == 0
+        assert cluster.degraded_rejections == 1
+
+    def test_fresh_id_succeeds_after_the_cooldown(self):
+        cluster = small_cluster()
+        gw = ClusterGateway(cluster)
+        cluster.trip_breaker(cooldown_ns=200 * _US)
+        with pytest.raises(ClusterDegraded):
+            gw.call_write("put", (1, b"x"), (1,), "c0", 0)
+        cluster.sim.run(until=cluster.sim.now + 300 * _US)
+        # a same-id retry replays the recorded rejection...
+        with pytest.raises(ClusterDegraded):
+            gw.call_write("put", (1, b"x"), (1,), "c0", 0)
+        assert cluster.duplicate_requests >= 1
+        # ...a fresh id (what RETRY-AFTER tells the client to send) lands
+        gw.call_write("put", (1, b"late"), (1,), "c0", 1)
+        assert bytes(gw.call_read("get", (1,))).rstrip(b"\x00") == b"late"
+
+
+class TestUnknownRids:
+    def test_timeout_records_the_request_id(self):
+        # head -> r1 severed and never healed: the ladder exhausts, the
+        # outcome is unknown, and the id must be on the unknown list
+        cluster = small_cluster(retry=RetryPolicy(max_retries=2))
+        gw = ClusterGateway(cluster)
+        head_id = cluster.chain[0].node_id
+        next_id = cluster.chain[1].node_id
+        cluster.net.cut_link(head_id, next_id)
+        with pytest.raises(ReplicationError):
+            gw.call_write("put", (1, b"lost?"), (1,), "c0", 7)
+        assert ("c0", 7) in gw.unknown_rids
+        assert gw.stats()["unknown_rids"] == 1
+        assert gw.timed_out >= 1
+
+    def test_timeouts_count_even_with_retries_disabled(self):
+        cluster = small_cluster(retry=RetryPolicy.disabled())
+        gw = ClusterGateway(cluster)
+        head_id = cluster.chain[0].node_id
+        next_id = cluster.chain[1].node_id
+        cluster.net.cut_link(head_id, next_id)
+        with pytest.raises(RequestTimeoutError):
+            gw.call_write("put", (1, b"gone"), (1,), "c0", 0)
+        assert ("c0", 0) in gw.unknown_rids
+
+
+class TestStaleMap:
+    def test_migration_refreshes_the_cached_map(self):
+        cluster = ShardedCluster(groups=2, shards_per_group=2, f=1,
+                                 heap_mb=2, value_size=64, seed=0)
+        gw = ClusterGateway(cluster)
+        for i, key in enumerate(range(0, 4000, 1000)):
+            gw.call_write("put", (key, b"seed"), (key,), "c0", i)
+        stale = gw.map_version
+        cluster.migrate_shard()
+        cluster.drain()
+        assert cluster.map_version > stale
+        # the gateway still holds the stale version: the typed redirect
+        # refreshes it mid-request instead of failing the write
+        for i, key in enumerate(range(0, 4000, 1000)):
+            gw.call_write("put", (key, b"after"), (key,), "c1", i)
+        assert gw.map_refreshes >= 1
+        assert gw.map_version == cluster.map_version
+        for key in range(0, 4000, 1000):
+            got = bytes(gw.call_read("get", (key,))).rstrip(b"\x00")
+            assert got == b"after"

@@ -1,0 +1,146 @@
+"""Wire protocol: incremental parsing, encoding, typed error mapping."""
+
+import pytest
+
+from repro.errors import (
+    AdmissionRejected,
+    ClusterDegraded,
+    ProtocolError,
+    RequestTimeoutError,
+    ServeError,
+)
+from repro.serve.protocol import (
+    ProtocolReader,
+    ReplyReader,
+    encode_bulk,
+    encode_command,
+    encode_error,
+    encode_integer,
+    encode_simple,
+    error_reply,
+    raise_for_reply,
+)
+
+
+class TestRequestParsing:
+    def test_command_round_trip(self):
+        reader = ProtocolReader()
+        reader.feed(encode_command(["PUT", 17, b"value"]))
+        assert reader.pop() == [b"PUT", b"17", b"value"]
+        assert reader.pop() is None
+
+    def test_byte_at_a_time_feeding(self):
+        payload = encode_command(["GET", 42])
+        reader = ProtocolReader()
+        for i in range(len(payload) - 1):
+            reader.feed(payload[i:i + 1])
+            assert reader.pop() is None  # never a partial command
+        reader.feed(payload[-1:])
+        assert reader.pop() == [b"GET", b"42"]
+
+    def test_pipelined_batch_pops_in_order(self):
+        reader = ProtocolReader()
+        reader.feed(
+            encode_command(["PUT", 1, b"a"])
+            + encode_command(["GET", 1])
+            + encode_command(["PING"])
+        )
+        batch = reader.pop_all()
+        assert [cmd[0] for cmd in batch] == [b"PUT", b"GET", b"PING"]
+
+    def test_inline_commands(self):
+        reader = ProtocolReader()
+        reader.feed(b"GET 17\r\nPING\r\n")
+        assert reader.pop() == [b"GET", b"17"]
+        assert reader.pop() == [b"PING"]
+
+    def test_blank_inline_lines_are_skipped(self):
+        reader = ProtocolReader()
+        reader.feed(b"\r\n\r\nPING\r\n")
+        assert reader.pop() == [b"PING"]
+
+    def test_incomplete_array_leaves_buffer_intact(self):
+        reader = ProtocolReader()
+        payload = encode_command(["PUT", 1, b"abc"])
+        reader.feed(payload[:10])
+        assert reader.pop() is None
+        reader.feed(payload[10:])
+        assert reader.pop() == [b"PUT", b"1", b"abc"]
+
+    def test_bad_array_header_raises(self):
+        reader = ProtocolReader()
+        reader.feed(b"*x\r\n")
+        with pytest.raises(ProtocolError):
+            reader.pop()
+
+    def test_oversized_argument_count_raises(self):
+        reader = ProtocolReader()
+        reader.feed(b"*99999\r\n")
+        with pytest.raises(ProtocolError):
+            reader.pop()
+
+    def test_bad_bulk_length_raises(self):
+        reader = ProtocolReader()
+        reader.feed(b"*1\r\n$nope\r\n")
+        with pytest.raises(ProtocolError):
+            reader.pop()
+
+    def test_unterminated_bulk_raises(self):
+        reader = ProtocolReader()
+        reader.feed(b"*1\r\n$3\r\nabcXX")
+        with pytest.raises(ProtocolError):
+            reader.pop()
+
+
+class TestReplyParsing:
+    def test_all_reply_kinds_round_trip(self):
+        reader = ReplyReader()
+        reader.feed(
+            encode_simple("OK")
+            + encode_error("DEGRADED", "no quorum")
+            + encode_integer(42)
+            + encode_bulk(b"hello")
+            + encode_bulk(None)
+        )
+        assert reader.pop() == ("simple", "OK")
+        assert reader.pop() == ("error", "DEGRADED", "no quorum")
+        assert reader.pop() == ("int", 42)
+        assert reader.pop() == ("bulk", b"hello")
+        assert reader.pop() == ("bulk", None)
+        assert reader.pop() is None
+
+    def test_split_bulk_waits_for_payload(self):
+        reader = ReplyReader()
+        payload = encode_bulk(b"abcdef")
+        reader.feed(payload[:6])
+        assert reader.pop() is None
+        reader.feed(payload[6:])
+        assert reader.pop() == ("bulk", b"abcdef")
+
+
+class TestErrorMapping:
+    def test_admission_rejected_carries_hint_both_ways(self):
+        wire = error_reply(AdmissionRejected("busy", retry_after_ns=12_345.0))
+        assert wire.startswith(b"-RETRY-AFTER 12345 ")
+        reply = ReplyReader()
+        reply.feed(wire)
+        with pytest.raises(AdmissionRejected) as exc:
+            raise_for_reply(reply.pop())
+        assert exc.value.retry_after_ns == 12_345.0
+
+    def test_degraded_and_timeout_round_trip(self):
+        for exc_in, exc_type in [
+            (ClusterDegraded("no quorum"), ClusterDegraded),
+            (RequestTimeoutError("gone"), RequestTimeoutError),
+        ]:
+            reply = ReplyReader()
+            reply.feed(error_reply(exc_in))
+            with pytest.raises(exc_type):
+                raise_for_reply(reply.pop())
+
+    def test_unknown_error_code_becomes_serve_error(self):
+        with pytest.raises(ServeError):
+            raise_for_reply(("error", "WAT", "???"))
+
+    def test_non_error_replies_pass_through(self):
+        assert raise_for_reply(("simple", "OK")) == ("simple", "OK")

@@ -21,12 +21,14 @@ from .errors import (
     ClusterConfigError,
     ClusterDegraded,
     IntegrityError,
+    IntegrityTreeError,
     MediaError,
     ProcedureAborted,
     ProcedureError,
     ProcedureResumed,
     ProtocolError,
     ReproError,
+    RootMismatchError,
     ServeError,
     ShardMigrationError,
     StaleShardMapError,
@@ -39,7 +41,13 @@ from .cluster import (
     ShardMap,
     ShardRouter,
 )
-from .integrity import ChecksumSidecar, MediaFaultModel, ScrubReport, Scrubber
+from .integrity import (
+    ChecksumSidecar,
+    IntegrityTree,
+    MediaFaultModel,
+    ScrubReport,
+    Scrubber,
+)
 from .heap import PersistentHeap, PersistentStruct
 from .nvm import CrashPolicy, NVMDevice, PmemPool
 from .runtime import (
@@ -93,6 +101,8 @@ __all__ = [
     "EngineCapabilities",
     "ExecutionContext",
     "IntegrityError",
+    "IntegrityTree",
+    "IntegrityTreeError",
     "MediaError",
     "MediaFaultModel",
     "MigrationRecord",
@@ -112,6 +122,7 @@ __all__ = [
     "RangeRouter",
     "ReproError",
     "ReproServer",
+    "RootMismatchError",
     "ScrubReport",
     "Scrubber",
     "ServeError",

@@ -43,6 +43,16 @@ disagrees with the ledger is a failure, and so is any line still
 detectably bad after the post-recovery scrub.  With
 ``media="unprotected"`` the same flips go undetected, which is how the
 checker demonstrates the failure class the sidecar exists to close.
+
+**Adversarial mode** (``Scenario.stale_lines`` + ``tree``) goes one step
+further: instead of random flips, changed live lines (and their backup
+partners) are replayed with their setup-time bytes *and the matching
+stale CRCs forged into the sidecar* — consistent multi-line corruption
+that per-line checksums verify clean.  Checksum-only configurations
+demonstrably serve stale state (the must-fail leg); with
+``tree="streamed"``/``"eager"`` the persistent integrity tree's root
+still disputes the replayed lines, and the same detect-or-repair oracle
+passes: root-verified repair from a surviving copy, or a typed degrade.
 """
 
 from __future__ import annotations
@@ -51,8 +61,14 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import DeviceCrashedError, MediaError, RecoveryError
+from ..errors import (
+    DeviceCrashedError,
+    MediaError,
+    PoolCorruptionError,
+    RecoveryError,
+)
 from ..nvm.device import CrashPolicy, NVMDevice
+from ..nvm.latency import CACHE_LINE
 from ..runtime.registry import EngineInfo, engine_info, registered_engines
 from ..tx.recovery import reopen_after_crash, verify_backup_consistency
 from .oracle import Ledger, OracleViolation, check_against_ledger
@@ -60,6 +76,8 @@ from .workload import CANNED_WORKLOADS, CheckWorkload, build_stack
 
 #: fail-point budget no sane canned workload exhausts
 OP_BUDGET = 1_000_000
+
+_LINE_SHIFT = CACHE_LINE.bit_length() - 1
 
 
 @dataclass(frozen=True)
@@ -86,6 +104,13 @@ class Scenario:
     #: seeded bit flips injected into heap+backup between crash and recovery
     corrupt_lines: int = 0
     corrupt_seed: int = 0
+    #: "off" | "streamed" | "eager" — maintain the persistent integrity
+    #: tree (requires media="protected")
+    tree: str = "off"
+    #: adversarial consistent corruption: replay this many live main
+    #: lines (plus their backup partners) with setup-time bytes AND the
+    #: matching stale CRCs, between the crash and recovery
+    stale_lines: int = 0
 
     def describe(self) -> str:
         parts = [
@@ -106,6 +131,10 @@ class Scenario:
                 f"media={self.media} corrupt_lines={self.corrupt_lines} "
                 f"corrupt_seed={self.corrupt_seed}"
             )
+            if self.tree != "off":
+                parts.append(f"tree={self.tree}")
+            if self.stale_lines:
+                parts.append(f"stale_lines={self.stale_lines}")
         return ", ".join(parts)
 
 
@@ -205,15 +234,74 @@ class CrashExplorer:
     # -- replay primitives ---------------------------------------------------
 
     def _fresh(
-        self, seed: int, media: str = "off"
+        self, seed: int, media: str = "off", tree: str = "off"
     ) -> Tuple[Any, Any, NVMDevice, CheckWorkload]:
         heap, engine, device = build_stack(
-            self._engine_factory, seed=seed, media=media
+            self._engine_factory, seed=seed, media=media, tree=tree
         )
         workload = self._workload_factory()
         workload.setup(heap)
         heap.drain()
         return heap, engine, device, workload
+
+    @staticmethod
+    def _stale_snapshot(device: NVMDevice, heap: Any, scenario: Scenario):
+        """Setup-time line images for the stale-replay adversary.
+
+        Captured right after setup drains (so every image is a
+        legitimately persisted state with a CRC the sidecar once
+        vouched for), covering the live main lines and their
+        backup-mirror partners."""
+        media = device.media
+        if media is None or scenario.stale_lines <= 0:
+            return None
+        region = heap.region
+        live = heap.allocator.live_ranges()
+        spans = [(region.offset + off, size) for off, size in live]
+        images = media.snapshot_lines(spans)
+        main_lines = sorted(images)
+        partner: Dict[int, int] = {}
+        backup = region.pool.regions.get("backup")
+        if backup is not None and backup.size >= region.size:
+            images.update(
+                media.snapshot_lines(
+                    [(backup.offset + off, size) for off, size in live]
+                )
+            )
+            for line in main_lines:
+                rel = (line << _LINE_SHIFT) - region.offset
+                partner[line] = (backup.offset + rel) >> _LINE_SHIFT
+        return {"images": images, "main": main_lines, "partner": partner}
+
+    @staticmethod
+    def _inject_stale(device: NVMDevice, scenario: Scenario, snap) -> None:
+        """Replay stale-but-consistent line images into the crashed
+        durable state: seeded live main lines that changed since setup
+        get their setup-time bytes back *with the matching stale CRC
+        forged in the sidecar*, and so do their backup partners — a
+        consistent multi-line replay that per-line checksums verify
+        clean.  Only the integrity tree still disputes it."""
+        media = device.media
+        if media is None or snap is None or scenario.stale_lines <= 0:
+            return
+        durable = device._durable
+        images = snap["images"]
+        changed = []
+        for line in snap["main"]:
+            base = line << _LINE_SHIFT
+            if bytes(durable[base : base + CACHE_LINE]) != images[line]:
+                changed.append(line)
+        if not changed:
+            return
+        rng = random.Random(scenario.corrupt_seed ^ 0x5A1E)
+        chosen = sorted(rng.sample(changed, min(scenario.stale_lines, len(changed))))
+        targets = list(chosen)
+        partner = snap["partner"]
+        for line in chosen:
+            p = partner.get(line)
+            if p is not None and p in images:
+                targets.append(p)
+        media.replay_stale(images, targets)
 
     @staticmethod
     def _inject_corruption(device: NVMDevice, heap: Any, scenario: Scenario) -> None:
@@ -276,8 +364,9 @@ class CrashExplorer:
         if ledger is None:
             ledger = self.golden_ledger()
         heap, _engine, device, workload = self._fresh(
-            scenario.device_seed, media=scenario.media
+            scenario.device_seed, media=scenario.media, tree=scenario.tree
         )
+        snap = self._stale_snapshot(device, heap, scenario)
         device.schedule_crash(
             scenario.crash_after, scenario.policy, scenario.survival
         )
@@ -295,14 +384,18 @@ class CrashExplorer:
             return None, None
         fingerprint = device.last_crash_fingerprint
         self._inject_corruption(device, heap, scenario)
+        self._inject_stale(device, scenario, snap)
 
         if scenario.nested_after is not None:
             try:
                 crashed_again = self._crash_inside_recovery(device, scenario)
-            except MediaError:
+            except (MediaError, PoolCorruptionError):
                 # the first recovery hit the rot and degraded with a typed
                 # error before the nested fail-point fired — detection, not
-                # silence, so the scenario passes under "protected"
+                # silence, so the scenario passes under "protected".
+                # PoolCorruptionError covers self-validating metadata
+                # (pool header, allocator tables) parsing the rot before
+                # the post-open scrub could mark the line.
                 device.cancel_scheduled_crash()
                 if scenario.media == "protected":
                     return None, fingerprint
@@ -350,6 +443,18 @@ class CrashExplorer:
         except MediaError as exc:
             if media_mode != "off":
                 return None  # typed detection — never served silently
+            return OracleViolation(
+                kind="recovery",
+                message=f"recovery raised {type(exc).__name__}: {exc}",
+                steps_completed=steps_done,
+            )
+        except PoolCorruptionError as exc:
+            media = getattr(device, "media", None)
+            if media_mode == "protected" and media is not None and media.faulty:
+                # self-validating metadata (pool header, allocator
+                # tables) caught the injected rot and refused to mount —
+                # fail-stop detection, not silence
+                return None
             return OracleViolation(
                 kind="recovery",
                 message=f"recovery raised {type(exc).__name__}: {exc}",
@@ -436,8 +541,9 @@ class CrashExplorer:
         """The durable post-crash device image for ``scenario``, if the
         fail-point fires."""
         heap, _engine, device, _workload = self._fresh(
-            scenario.device_seed, media=scenario.media
+            scenario.device_seed, media=scenario.media, tree=scenario.tree
         )
+        snap = self._stale_snapshot(device, heap, scenario)
         device.schedule_crash(
             scenario.crash_after, scenario.policy, scenario.survival
         )
@@ -448,6 +554,7 @@ class CrashExplorer:
             heap.drain()
         except DeviceCrashedError:
             self._inject_corruption(device, heap, scenario)
+            self._inject_stale(device, scenario, snap)
             return device.clone_durable(seed=self.device_seed)
         device.cancel_scheduled_crash()
         return None
@@ -485,6 +592,8 @@ class CrashExplorer:
         progress: Optional[Callable[[str], None]] = None,
         media: str = "off",
         corrupt_lines: int = 2,
+        tree: str = "off",
+        stale_lines: int = 0,
         workers: int = 0,
     ) -> ExplorationReport:
         """Sweep crash points; returns the coverage + failure report.
@@ -501,6 +610,13 @@ class CrashExplorer:
                 between each crash and its recovery; the oracle becomes
                 detect-or-repair, never silent corruption.
             corrupt_lines: bit flips injected per scenario in media mode.
+            tree: ``"streamed"``/``"eager"`` maintains the persistent
+                integrity tree (``media="protected"`` only).
+            stale_lines: adversarial consistent corruption — replay this
+                many changed live lines (plus backup partners) with
+                setup-time bytes and forged matching CRCs between each
+                crash and its recovery.  Checksum-only protection
+                verifies the replay clean; only a tree catches it.
             workers: fan scenario replays over this many processes
                 (0/1 = serial).  Each replay builds its own stack, so
                 the report is byte-identical for any worker count; only
@@ -527,6 +643,8 @@ class CrashExplorer:
                 media=media,
                 corrupt_lines=corrupt_lines if media != "off" else 0,
                 corrupt_seed=self.device_seed * 1000 + point,
+                tree=tree if media == "protected" else "off",
+                stale_lines=stale_lines if media != "off" else 0,
             )
             for point in _sample_points(0, report.n_ops - 1, max_points)
         ]
@@ -592,7 +710,7 @@ class CrashExplorer:
             return []
         try:
             n_recovery_ops = self._count_recovery_ops(image)
-        except MediaError:
+        except (MediaError, PoolCorruptionError):
             # recovery on this image degrades with a typed error before
             # quiescing; there is no op timeline to nest crashes into
             return []

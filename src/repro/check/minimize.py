@@ -58,14 +58,32 @@ def minimize_failure(
 
     if scenario.media != "off":
         # if it fails without the rot, the media corruption was noise;
-        # else try the single-flip version of the same failure
-        shrunk = still_fails(replace(scenario, media="off", corrupt_lines=0))
+        # else drop each injection axis separately, then try the
+        # single-flip / single-replay version of the same failure
+        shrunk = still_fails(
+            replace(scenario, media="off", corrupt_lines=0, stale_lines=0,
+                    tree="off")
+        )
         if shrunk is not None:
             best, scenario = shrunk, shrunk.scenario
-        elif scenario.corrupt_lines > 1:
-            shrunk = still_fails(replace(scenario, corrupt_lines=1))
-            if shrunk is not None:
-                best, scenario = shrunk, shrunk.scenario
+        else:
+            if scenario.stale_lines > 0 and scenario.corrupt_lines > 0:
+                # one of the two corruption kinds may carry the failure
+                shrunk = still_fails(replace(scenario, corrupt_lines=0))
+                if shrunk is not None:
+                    best, scenario = shrunk, shrunk.scenario
+                else:
+                    shrunk = still_fails(replace(scenario, stale_lines=0))
+                    if shrunk is not None:
+                        best, scenario = shrunk, shrunk.scenario
+            if scenario.corrupt_lines > 1:
+                shrunk = still_fails(replace(scenario, corrupt_lines=1))
+                if shrunk is not None:
+                    best, scenario = shrunk, shrunk.scenario
+            if scenario.stale_lines > 1:
+                shrunk = still_fails(replace(scenario, stale_lines=1))
+                if shrunk is not None:
+                    best, scenario = shrunk, shrunk.scenario
 
     for point in range(0, scenario.crash_after):
         shrunk = still_fails(replace(scenario, crash_after=point))
@@ -105,6 +123,10 @@ def repro_snippet(failure: CheckFailure) -> str:
         lines.append(f"    media={s.media!r},")
         lines.append(f"    corrupt_lines={s.corrupt_lines},")
         lines.append(f"    corrupt_seed={s.corrupt_seed},")
+        if s.tree != "off":
+            lines.append(f"    tree={s.tree!r},")
+        if s.stale_lines:
+            lines.append(f"    stale_lines={s.stale_lines},")
     lines.append("))")
     lines.append("assert failure is not None, 'no longer reproduces'")
     return "\n".join(lines)

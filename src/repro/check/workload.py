@@ -45,6 +45,7 @@ def build_stack(
     pool_size: int = POOL_SIZE,
     heap_size: int = HEAP_SIZE,
     media: str = "off",
+    tree: str = "off",
 ) -> Tuple[PersistentHeap, Any, NVMDevice]:
     """Fresh device + pool + heap bound to a new engine instance.
 
@@ -52,12 +53,20 @@ def build_stack(
     before the pool is formatted: ``"protected"`` maintains the checksum
     sidecar (scrub/repair works), ``"unprotected"`` injects without
     detection (the demonstration configuration), ``"off"`` attaches
-    nothing.
+    nothing.  ``tree`` (``"streamed"``/``"eager"``, protected media
+    only) additionally maintains the persistent integrity tree, enabling
+    detection of consistent stale-CRC replays the sidecar alone misses.
     """
+    if tree != "off" and media != "protected":
+        raise ValueError("integrity tree requires media='protected'")
     device = make_device(pool_size, seed=seed)
     device.fingerprint_crashes = True
     if media != "off":
-        device.attach_media(seed=seed, protect=media == "protected")
+        device.attach_media(
+            seed=seed,
+            protect=media == "protected",
+            tree=None if tree == "off" else tree,
+        )
     pool = PmemPool.create(device)
     engine = engine_factory()
     heap = PersistentHeap.create(pool, engine, heap_size=heap_size)

@@ -72,6 +72,25 @@ class BothCopiesLostError(MediaError):
         self.lines = tuple(lines)
 
 
+class IntegrityTreeError(MediaError):
+    """Base class for integrity-tree failures: the Merkle tree over the
+    pool's line CRCs could not be maintained, recovered, or verified.
+    Distinct from :class:`IntegrityError` (a single line failing its
+    own checksum) — tree errors are about the *binding* of lines to the
+    published root."""
+
+
+class RootMismatchError(IntegrityTreeError):
+    """The integrity tree's rebuilt root does not match the published
+    root, or a scrub/recovery pass left lines the tree still disputes.
+    Consistent multi-line corruption (e.g. a stale-CRC replay that fools
+    per-line checksums) surfaces here instead of silently verifying."""
+
+    def __init__(self, message: str, lines=()):
+        super().__init__(message)
+        self.lines = tuple(lines)
+
+
 class RingCorruptionError(IntegrityError, PoolCorruptionError):
     """A persistent-ring record *behind* the durable produce index failed
     its CRC — mid-ring media corruption, not a torn append (a torn tail

@@ -46,6 +46,12 @@ media_dead      declare seeded random cache lines uncorrectable on one
 media_scrub     run a scrub-and-repair pass on one replica (or all of
                 them), with neighbour state transfer as the last resort;
                 a no-op on unprotected media — nothing can be detected
+media_stale     adversarial consistent replay on one replica: live main
+                lines that changed since the scheduled snapshot leg
+                (``snapshot_at_ns``) get their old bytes back together
+                with the matching stale CRC forged into the sidecar —
+                per-line checksums verify clean; only an integrity tree
+                (``scenario.tree``) still disputes and repairs them
 ==============  ============================================================
 
 Media verbs need a :class:`~repro.integrity.model.MediaFaultModel` on the
@@ -66,9 +72,12 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
+from ..nvm.latency import CACHE_LINE as _CACHE_LINE
 from ..replication.chain import ChainCluster
 from ..replication.recovery import fail_stop, quick_reboot, replace_node, scrub_node
 from ..sim.network import LinkFaultPolicy
+
+_LINE_SHIFT = _CACHE_LINE.bit_length() - 1
 
 
 @dataclass(frozen=True)
@@ -116,6 +125,10 @@ class NemesisScenario:
     #: (model + checksum sidecar on every replica), or "unprotected"
     #: (model without detection — media verbs corrupt silently)
     media: str = "off"
+    #: integrity-tree mode on every replica's media model ("off",
+    #: "streamed", or "eager"); requires media="protected".  The tree is
+    #: what catches the media_stale verb's consistent stale-CRC replays
+    tree: str = "off"
     #: chain groups; > 1 builds a sharded cluster instead of one chain
     groups: int = 1
     shards_per_group: int = 2
@@ -133,6 +146,7 @@ class NemesisScenario:
             "keyspace": self.keyspace,
             "read_fraction": self.read_fraction,
             "media": self.media,
+            "tree": self.tree,
             "groups": self.groups,
             "shards_per_group": self.shards_per_group,
             "key_skew": self.key_skew,
@@ -151,6 +165,7 @@ class NemesisScenario:
             keyspace=int(data.get("keyspace", 4)),
             read_fraction=float(data.get("read_fraction", 0.0)),
             media=str(data.get("media", "off")),
+            tree=str(data.get("tree", "off")),
             groups=int(data.get("groups", 1)),
             shards_per_group=int(data.get("shards_per_group", 2)),
             key_skew=float(data.get("key_skew", 0.0)),
@@ -198,9 +213,21 @@ class Nemesis:
         self.fired: List[Tuple[float, FaultAction]] = []
         #: whether lazily attached media models carry a checksum sidecar
         self.media_protected = scenario.media != "unprotected"
+        #: integrity-tree mode for lazily attached media models
+        self.media_tree = scenario.tree if scenario.tree != "off" else None
+        #: media_stale ammunition: (node, snapshot_at_ns) -> line images
+        self._stale_snaps: Dict[Tuple[str, float], Dict[str, Any]] = {}
 
     def arm(self) -> None:
         for action in self.scenario.actions:
+            if action.verb == "media_stale":
+                # the replay needs *older* line images: schedule the
+                # snapshot leg at snapshot_at_ns, the replay at at_ns
+                snap_ns = float(action.params.get("snapshot_at_ns", 0.0))
+                node = action.params.get("node", "head")
+                self.cluster.sim.at(
+                    snap_ns, self._snapshot_stale, node, snap_ns
+                )
             self.cluster.sim.at(action.at_ns, self._fire, action)
 
     def _fire(self, action: FaultAction) -> None:
@@ -310,6 +337,7 @@ class Nemesis:
             media = replica.device.attach_media(
                 seed=zlib.crc32(replica.node_id.encode()),
                 protect=self.media_protected,
+                tree=self.media_tree if self.media_protected else None,
             )
         return media
 
@@ -341,6 +369,57 @@ class Nemesis:
         replica = chain.chain[_resolve_index(chain, inner)]
         media = self._ensure_media(replica)
         media.kill_lines(int(n), ranges=self._target_ranges(replica, target))
+
+    def _replica(self, node: Any):
+        chain, inner = self._chain(node)
+        return chain.chain[_resolve_index(chain, inner)]
+
+    def _snapshot_stale(self, node: Any, snap_ns: float) -> None:
+        """Capture one replica's live main-line images (the media_stale
+        verb's ammunition) at virtual time ``snap_ns``."""
+        replica = self._replica(node)
+        media = self._ensure_media(replica)
+        heap = replica.heap
+        region = heap.region
+        live = heap.allocator.live_ranges()
+        spans = [(region.offset + off, size) for off, size in live]
+        images = media.snapshot_lines(spans)
+        self._stale_snaps[(str(node), float(snap_ns))] = {
+            "images": images,
+            "main": sorted(images),
+        }
+
+    def _do_media_stale(
+        self, node: Any = "head", n: int = 2, snapshot_at_ns: float = 0.0
+    ) -> None:
+        """Adversarial consistent replay on one replica: ``n`` live main
+        lines that changed since the snapshot leg get their old bytes
+        back *with the matching stale CRC forged into the sidecar*.
+        Per-line checksums verify the replay clean; only an integrity
+        tree still disputes the lines (root-verified repair from the
+        backup mirror or a chain peer restores them).  Main lines only —
+        the backup copy stays current, so a protected scrub converges."""
+        replica = self._replica(node)
+        media = self._ensure_media(replica)
+        snap = self._stale_snaps.get((str(node), float(snapshot_at_ns)))
+        if snap is None:
+            raise ValueError(
+                "media_stale fired without its snapshot leg "
+                f"(node={node!r}, snapshot_at_ns={snapshot_at_ns})"
+            )
+        durable = replica.device._durable
+        images = snap["images"]
+        changed = []
+        for line in snap["main"]:
+            base = line << _LINE_SHIFT
+            if bytes(durable[base : base + _CACHE_LINE]) != images[line]:
+                changed.append(line)
+        if not changed:
+            return
+        chosen = sorted(
+            media.rng.sample(changed, min(int(n), len(changed)))
+        )
+        media.replay_stale(images, chosen)
 
     def _do_media_scrub(self, node: Any = None) -> None:
         if node is None:

@@ -157,8 +157,11 @@ def run_scenario(
         )
     if scenario.media != "off":
         protect = scenario.media == "protected"
+        tree = scenario.tree if (protect and scenario.tree != "off") else None
         for i, node in enumerate(_all_nodes(cluster)):
-            node.device.attach_media(seed=seed * 101 + i, protect=protect)
+            node.device.attach_media(
+                seed=seed * 101 + i, protect=protect, tree=tree
+            )
     nemesis = Nemesis(cluster, scenario)
     nemesis.arm()
     streams = client_streams(scenario, seed)

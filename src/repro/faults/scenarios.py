@@ -191,6 +191,24 @@ CORPUS: List[NemesisScenario] = [
         ),
         media="protected",
     ),
+    NemesisScenario(
+        name="stale_replay_tree",
+        description="an adversarial consistent replay on a mid replica: "
+        "live main lines that changed after the snapshot leg get their "
+        "old bytes back with matching stale CRCs forged into the "
+        "sidecar, so per-line checksums verify clean; only the integrity "
+        "tree's published root disputes them, and the scrub must repair "
+        "every replayed line from the backup mirror before the "
+        "convergence oracles look",
+        actions=(
+            FaultAction(1_500 * _US, "media_stale",
+                        {"node": "mid", "n": 4,
+                         "snapshot_at_ns": 300 * _US}),
+            FaultAction(2_500 * _US, "media_scrub", {}),
+        ),
+        media="protected",
+        tree="streamed",
+    ),
     # -- sharded-cluster scenarios (groups > 1 builds a ShardedCluster) ----
     NemesisScenario(
         name="rebalance_during_partition",

@@ -9,6 +9,10 @@ Kamino backup mirror into a detect/repair/degrade loop:
   (``device.attach_media()``);
 * :class:`ChecksumSidecar` — per-line CRC metadata maintained by the
   device's flush/fence paths;
+* :class:`IntegrityTree` — persistent Merkle tree over the line CRCs
+  with streamed (coalesced) or eager update propagation; its published
+  root binds every line together, catching the consistent multi-line /
+  stale-CRC corruption the per-line sidecar cannot see;
 * :class:`Scrubber` — periodic verify-and-repair over the pool, using
   commit records and backup-sync lag to pick the authoritative copy,
   quarantining dead lines via the pool's spare-line table, and degrading
@@ -21,11 +25,15 @@ machine, and the authority rules.
 from .checksum import ChecksumSidecar
 from .model import MediaFaultModel
 from .scrub import ScrubReport, Scrubber, verify_ranges
+from .tree import FANOUT, TREE_MODES, IntegrityTree
 
 __all__ = [
     "ChecksumSidecar",
+    "FANOUT",
+    "IntegrityTree",
     "MediaFaultModel",
     "ScrubReport",
     "Scrubber",
+    "TREE_MODES",
     "verify_ranges",
 ]

@@ -39,9 +39,12 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import zlib
+
 from ..errors import BothCopiesLostError, UncorrectableMediaError
 from ..nvm.latency import CACHE_LINE
 from .checksum import ChecksumSidecar
+from .tree import TREE_MODES, IntegrityTree
 
 _LINE_SHIFT = CACHE_LINE.bit_length() - 1
 
@@ -49,10 +52,30 @@ _LINE_SHIFT = CACHE_LINE.bit_length() - 1
 class MediaFaultModel:
     """Fault state + injection API for one device's media."""
 
-    def __init__(self, device=None, seed: int = 0, protect: bool = True):
+    def __init__(
+        self,
+        device=None,
+        seed: int = 0,
+        protect: bool = True,
+        tree: Optional[str] = None,
+        bless: bool = False,
+    ):
+        if tree in ("off", ""):
+            tree = None
+        if tree is not None and tree not in TREE_MODES:
+            raise ValueError(f"unknown tree mode {tree!r}; expected {TREE_MODES}")
+        if tree is not None and not protect:
+            raise ValueError("integrity tree requires protect=True (it hangs "
+                             "off the checksum sidecar's leaf CRCs)")
+        if bless and not protect:
+            raise ValueError("bless-on-attach requires protect=True")
         self.device = device
         self.rng = random.Random(seed)
         self.sidecar: Optional[ChecksumSidecar] = ChecksumSidecar() if protect else None
+        #: integrity tree over the line CRCs (None = checksum-only)
+        self.tree: Optional[IntegrityTree] = None
+        self._tree_mode = tree
+        self._bless_on_attach = bless
         #: uncorrectable lines: reads raise UncorrectableMediaError
         self.dead: Set[int] = set()
         #: lines whose every copy is gone: reads raise BothCopiesLostError
@@ -64,12 +87,32 @@ class MediaFaultModel:
         self.tainted: Set[int] = set()
         #: quarantined lines remapped to spares (reads work again)
         self.retired: Set[int] = set()
+        if device is not None:
+            self.bind(device)
 
     # -- attachment ---------------------------------------------------------
 
     def bind(self, device) -> "MediaFaultModel":
         self.device = device
+        if self._tree_mode is not None and self.tree is None:
+            self.tree = IntegrityTree(device.size >> _LINE_SHIFT, mode=self._tree_mode)
+        if self.tree is not None and not self.tree._blessed:
+            # total coverage from the first instruction: every leaf holds
+            # the CRC of the line's current content, so corruption landing
+            # before a line's first persist is detectable (the sidecar's
+            # lazy-coverage window is closed by the tree).
+            self.tree.bless_all(device._durable)
+        if self._bless_on_attach and self.sidecar is not None:
+            # explicit alternative when running checksum-only: record
+            # every line's current CRC into the sidecar at attach time.
+            self._bless_all_sidecar()
         return self
+
+    def _bless_all_sidecar(self) -> None:
+        """Record every line's current content in the sidecar (eagerly
+        closing the lazy-coverage window without a tree)."""
+        n_lines = self.device.size >> _LINE_SHIFT
+        self.sidecar.record_span(0, n_lines - 1, self.device._durable)
 
     @property
     def protected(self) -> bool:
@@ -123,6 +166,10 @@ class MediaFaultModel:
             # touch their own line, so recording before the stuck pass is
             # byte-identical to the old interleaved per-line loop.
             sidecar.record_many(lines, durable)
+            if self.tree is not None:
+                # same hook, same CRCs: dirty leaves stream into the tree
+                # (queued in streamed mode, bubbled in eager mode).
+                self.tree.note_lines(lines, sidecar._crcs)
         for line in lines:
             faults = stuck.get(line)
             if faults:
@@ -145,6 +192,8 @@ class MediaFaultModel:
                 self.tainted.discard(line)
             if sidecar is not None and line not in self.tainted:
                 sidecar.record(line, durable)
+                if self.tree is not None:
+                    self.tree.note_line(line, sidecar._crcs[line])
             faults = self.stuck.get(line)
             if faults:
                 self._assert_stuck(line, faults)
@@ -287,20 +336,86 @@ class MediaFaultModel:
         self.lost.discard(line)
         if self.sidecar is not None:
             self.sidecar.record(line, durable)
+            if self.tree is not None:
+                # a controller repair is a legitimate persist: the leaf
+                # follows the repaired content.  Safety comes from the
+                # *source* side — the scrubber only repairs from copies
+                # that pass tree-aware verification (or from a peer), so
+                # a stale-replayed partner can never become the donor.
+                self.tree.note_line(line, self.sidecar._crcs[line])
         faults = self.stuck.get(line)
         if faults:
             self._assert_stuck(line, faults)
         self.device.stats.media_repaired += 1
 
+    # -- adversarial consistent corruption ----------------------------------
+
+    def snapshot_lines(
+        self, ranges: Sequence[Tuple[int, int]]
+    ) -> Dict[int, bytes]:
+        """Durable images of every line covered by the ``(start, length)``
+        byte spans — ammunition for a later :meth:`replay_stale`."""
+        durable = self.device._durable
+        images: Dict[int, bytes] = {}
+        for start, length in ranges:
+            if length <= 0:
+                continue
+            first = start >> _LINE_SHIFT
+            last = (start + length - 1) >> _LINE_SHIFT
+            blob = bytes(durable[first << _LINE_SHIFT : (last + 1) << _LINE_SHIFT])
+            for line in range(first, last + 1):
+                off = (line - first) << _LINE_SHIFT
+                images[line] = blob[off : off + CACHE_LINE]
+        return images
+
+    def replay_stale(
+        self, images: Dict[int, bytes], lines: Iterable[int]
+    ) -> List[int]:
+        """Adversarial *consistent* corruption: write each line's stale
+        image back to the media **and forge the matching stale CRC** in
+        the checksum sidecar, so per-line verification passes.
+
+        This models a firmware/controller replay (or a targeted attack)
+        that is internally consistent — old data with its old checksum.
+        The sidecar is fooled by construction; only the integrity tree,
+        whose leaves kept moving with every persist, still disputes the
+        line.  The tree is deliberately *not* told about the replay.
+        Returns the lines actually replayed (those present in ``images``).
+        """
+        durable = self.device._durable
+        replayed: List[int] = []
+        for line in lines:
+            image = images.get(line)
+            if image is None:
+                continue
+            base = line << _LINE_SHIFT
+            durable[base : base + CACHE_LINE] = image
+            if self.sidecar is not None:
+                self.sidecar._crcs[line] = zlib.crc32(image)
+            # no taint: taint models *detected-by-checksum* corruption and
+            # would let crash re-blessing keep the line detectable — the
+            # whole point here is that the sidecar verifies clean.
+            self.tainted.discard(line)
+            replayed.append(line)
+        if replayed:
+            self.device.stats.media_stale += len(replayed)
+        return replayed
+
     # -- verification -------------------------------------------------------
 
     def verify_line(self, line: int) -> bool:
-        """True when the line is readable and matches its checksum."""
+        """True when the line is readable and matches its checksum (and,
+        when an integrity tree is attached, the tree's expected leaf —
+        a stale-CRC replay that satisfies the sidecar still fails here)."""
         if line in self.dead or line in self.lost:
             return False
         if self.sidecar is None:
             return True
-        return self.sidecar.verify(line, self.device._durable)
+        if not self.sidecar.verify(line, self.device._durable):
+            return False
+        if self.tree is not None:
+            return self.tree.verify_line(line, self.device._durable)
+        return True
 
     def bad_lines(self, first: int = 0, last: Optional[int] = None) -> List[int]:
         """Every detectably bad line in the inclusive line range: dead,
@@ -312,6 +427,8 @@ class MediaFaultModel:
         }
         if self.sidecar is not None:
             bad.update(self.sidecar.scan(self.device._durable, first, last))
+        if self.tree is not None:
+            bad.update(self.tree.scan(self.device._durable, first, last))
         return sorted(bad)
 
     # -- state carried across clones / fingerprints -------------------------
@@ -333,6 +450,8 @@ class MediaFaultModel:
         other = MediaFaultModel(device, protect=False)
         other.rng.setstate(self.rng.getstate())
         other.sidecar = self.sidecar.clone() if self.sidecar is not None else None
+        other._tree_mode = self._tree_mode
+        other.tree = self.tree.clone() if self.tree is not None else None
         other.dead = set(self.dead)
         other.lost = set(self.lost)
         other.stuck = {ln: list(faults) for ln, faults in self.stuck.items()}

@@ -176,9 +176,12 @@ class Scrubber:
         if media is None:
             self.last_report = report
             return report
-        report.lines_covered = (
-            len(media.sidecar) if media.sidecar is not None else 0
-        ) or len(media.dead | media.lost)
+        if media.tree is not None:
+            report.lines_covered = media.tree.n_lines
+        else:
+            report.lines_covered = (
+                len(media.sidecar) if media.sidecar is not None else 0
+            ) or len(media.dead | media.lost)
         bad = media.bad_lines()
         report.bad_lines = len(bad)
         self.device.stats.media_detected += len(bad)
@@ -230,6 +233,13 @@ class Scrubber:
             report.repaired += 1
             return
         if heap is None and backup is None and line not in media.lost:
+            if media.tree is not None:
+                # the tree disputes the line and no copy can restore it:
+                # degrade typed (reads raise) rather than leave bytes the
+                # root disagrees with in service
+                media.mark_lost(line)
+                report.lost += 1
+                return
             # no mirror geometry at all: detection-only deployment
             report.unrepaired.append((line, "reported"))
             return
@@ -237,7 +247,15 @@ class Scrubber:
             r is not None and r.offset <= addr < r.offset + r.size
             for r in (heap, backup)
         )
-        if in_mirror or line in media.lost or line in media.retired:
+        if (
+            in_mirror
+            or line in media.lost
+            or line in media.retired
+            or media.tree is not None
+        ):
+            # with an integrity tree attached even unmirrored lines
+            # degrade typed: the root disputes them and self-validation
+            # cannot clear a consistent (stale-CRC) replay
             media.mark_lost(line)
             report.lost += 1
         else:

@@ -36,6 +36,10 @@ class NVMStats:
     media_dead: int = 0
     media_detected: int = 0
     media_repaired: int = 0
+    # adversarial stale-CRC replays injected (line + matching stale
+    # checksum rewritten together — consistent corruption the per-line
+    # sidecar cannot see; detection is the integrity tree's job)
+    media_stale: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""
@@ -53,6 +57,7 @@ class NVMStats:
         self.media_dead = 0
         self.media_detected = 0
         self.media_repaired = 0
+        self.media_stale = 0
 
     def snapshot(self) -> "NVMStats":
         """Return an independent copy of the current counters.
@@ -75,6 +80,7 @@ class NVMStats:
             self.media_dead,
             self.media_detected,
             self.media_repaired,
+            self.media_stale,
         )
 
     def delta(self, since: "NVMStats") -> "NVMStats":
@@ -94,6 +100,7 @@ class NVMStats:
             self.media_dead - since.media_dead,
             self.media_detected - since.media_detected,
             self.media_repaired - since.media_repaired,
+            self.media_stale - since.media_stale,
         )
 
     def simulated_ns(self, model: LatencyModel) -> float:

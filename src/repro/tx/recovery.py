@@ -40,6 +40,13 @@ def reopen_after_crash(device: NVMDevice, engine_factory: Callable[[], Atomicity
     media = getattr(device, "media", None)
     if media is not None:
         pool.load_quarantine(media)
+        if media.tree is not None:
+            # land on a verifiable integrity tree before any recovery
+            # copy consults it: replay the pending leaf log, rebuild the
+            # (volatile) interior, and check the rebuilt root against
+            # the published root — raises RootMismatchError rather than
+            # proceeding with a tree it cannot verify.
+            media.tree.recover(device._durable)
     heap = PersistentHeap.open(pool, engine)
     report = getattr(engine, "last_recovery_report", None)
     if report is None:

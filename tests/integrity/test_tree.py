@@ -1,0 +1,283 @@
+"""IntegrityTree: geometry, streamed/eager propagation, adversarial
+stale-replay detection, crash recovery, and the closed coverage window."""
+
+import zlib
+from array import array
+
+import pytest
+
+import repro
+from repro.errors import IntegrityTreeError, MediaError, RootMismatchError
+from repro.integrity import FANOUT, IntegrityTree, TREE_MODES
+from repro.integrity.tree import ZERO_LINE_CRC
+from repro.nvm import NVMDevice
+from repro.nvm.latency import CACHE_LINE
+
+SIZE = 1 << 16
+N_LINES = SIZE // CACHE_LINE
+
+
+def make_device(tree="streamed", seed=0, **kwargs):
+    device = NVMDevice(SIZE, seed=seed)
+    media = device.attach_media(seed=seed, tree=tree, **kwargs)
+    return device, media
+
+
+def persist(device, addr, data):
+    device.write(addr, data)
+    device.flush(addr, len(data))
+    device.fence()
+
+
+def brute_root(leaves):
+    """Reference dense bottom-up build."""
+    crc = zlib.crc32
+    lvl = leaves
+    while len(lvl) > 1:
+        m = (len(lvl) + FANOUT - 1) // FANOUT
+        nxt = array("I", bytes(4 * m))
+        for i in range(m):
+            nxt[i] = crc(lvl[i * FANOUT : (i + 1) * FANOUT].tobytes())
+        lvl = nxt
+    return lvl[0]
+
+
+class TestConstruction:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            IntegrityTree(64, mode="lazy")
+        assert set(TREE_MODES) == {"streamed", "eager"}
+
+    def test_bless_all_zero_device(self):
+        tree = IntegrityTree(N_LINES)
+        tree.bless_all(bytearray(SIZE))
+        assert tree.root_published == brute_root(tree.leaves)
+        assert all(v == ZERO_LINE_CRC for v in tree.leaves)
+        assert not tree._nonzero
+
+    def test_bless_covers_preexisting_content(self):
+        """Content written before attach is committed by the root — the
+        tree's coverage is total from the first instruction."""
+        device = NVMDevice(SIZE, seed=0)
+        persist(device, 512, b"pre-attach" * 6)
+        media = device.attach_media(seed=0, tree="streamed")
+        assert media.tree.scan(device._durable) == []
+        assert media.tree.root_published == brute_root(media.tree.leaves)
+
+    def test_errors_exported_from_repro_root(self):
+        assert repro.IntegrityTree is IntegrityTree
+        assert issubclass(repro.IntegrityTreeError, MediaError)
+        assert issubclass(repro.RootMismatchError, IntegrityTreeError)
+
+    def test_tree_requires_protection(self):
+        device = NVMDevice(SIZE, seed=0)
+        with pytest.raises(ValueError):
+            device.attach_media(seed=0, protect=False, tree="streamed")
+
+
+class TestSparseLevelBuild:
+    @pytest.mark.parametrize("n", [1, 2, 15, 16, 17, 255, 256, 257, 5000])
+    def test_sparse_build_matches_dense(self, n):
+        import random
+
+        rng = random.Random(n)
+        tree = IntegrityTree(n)
+        for _ in range(min(n, 40)):
+            tree._set_leaf(rng.randrange(n), rng.randrange(1 << 32))
+        assert tree._build_levels(tree.leaves)[-1][0] == brute_root(tree.leaves)
+
+    @pytest.mark.parametrize("n", [16, 100, 257])
+    def test_fully_written_build_matches_dense(self, n):
+        import random
+
+        rng = random.Random(n * 7)
+        tree = IntegrityTree(n)
+        for i in range(n):
+            tree._set_leaf(i, rng.randrange(1 << 32))
+        assert tree._build_levels(tree.leaves)[-1][0] == brute_root(tree.leaves)
+
+
+class TestModes:
+    def _noted(self, mode, notes):
+        tree = IntegrityTree(N_LINES, mode=mode)
+        tree.bless_all(bytearray(SIZE))
+        for line, value in notes:
+            tree.note_line(line, value)
+        tree.apply_pending()
+        return tree
+
+    def test_streamed_and_eager_agree_on_root(self):
+        notes = [(i * 7 % N_LINES, (i * 2654435761) & 0xFFFFFFFF)
+                 for i in range(200)]
+        streamed = self._noted("streamed", notes)
+        eager = self._noted("eager", notes)
+        assert streamed.root_published == eager.root_published
+        assert streamed.leaves == eager.leaves
+
+    def test_streamed_hashes_fewer_interior_nodes(self):
+        """The point of the coalesced batches: a dirty interior node is
+        re-hashed once per batch, not once per child update."""
+        notes = [(i % 64, i) for i in range(512)]  # hot, clustered lines
+        streamed = self._noted("streamed", notes)
+        eager = self._noted("eager", notes)
+        assert streamed.node_hashes < eager.node_hashes / 4
+        assert streamed.batches >= 1
+        assert eager.batches == 0
+
+    def test_watermark_triggers_auto_apply(self):
+        tree = IntegrityTree(N_LINES, mode="streamed", watermark=8)
+        tree.bless_all(bytearray(SIZE))
+        for line in range(7):
+            tree.note_line(line, line + 1)
+        assert len(tree.pending) == 7
+        tree.note_line(7, 8)  # hits the watermark
+        assert len(tree.pending) == 0
+        assert tree.batches == 1
+
+    def test_pending_is_latest_wins(self):
+        tree = IntegrityTree(N_LINES, mode="streamed")
+        tree.bless_all(bytearray(SIZE))
+        tree.note_line(3, 111)
+        tree.note_line(3, 222)
+        assert tree.expected_crc(3) == 222
+        tree.apply_pending()
+        assert tree.expected_crc(3) == 222
+
+
+class TestAdversarialReplay:
+    def test_stale_replay_fools_sidecar_but_not_tree(self):
+        device, media = make_device()
+        line_addr = 4 * CACHE_LINE
+        persist(device, line_addr, b"v1" * 32)
+        snap = media.snapshot_lines([(line_addr, CACHE_LINE)])
+        persist(device, line_addr, b"v2" * 32)
+        replayed = media.replay_stale(snap, [4])
+        assert replayed == [4]
+        # internally consistent: the per-line checksum verifies clean
+        assert media.sidecar.verify(4, device._durable)
+        # ...but the tree's leaf kept moving with the v2 persist
+        assert not media.verify_line(4)
+        assert 4 in media.bad_lines()
+        assert device.stats.media_stale == 1
+
+    def test_checksum_only_misses_the_replay(self):
+        """Regression pin for the failure class the tree closes: without
+        a tree the consistent replay is silent."""
+        device, media = make_device(tree=None)
+        line_addr = 4 * CACHE_LINE
+        persist(device, line_addr, b"v1" * 32)
+        snap = media.snapshot_lines([(line_addr, CACHE_LINE)])
+        persist(device, line_addr, b"v2" * 32)
+        media.replay_stale(snap, [4])
+        assert media.verify_line(4)  # silently wrong
+        assert media.bad_lines() == []
+        assert device.read(line_addr, 2) == b"v1"
+
+    def test_repair_restores_tree_agreement(self):
+        device, media = make_device()
+        persist(device, 0, b"new" * 21 + b"!")
+        snap_img = {0: b"\x00" * CACHE_LINE}
+        media.replay_stale(snap_img, [0])
+        assert not media.verify_line(0)
+        media.repair_line(0, b"new" * 21 + b"!")
+        assert media.verify_line(0)
+        assert media.bad_lines() == []
+
+    def test_replay_only_hits_snapshotted_lines(self):
+        device, media = make_device()
+        persist(device, 0, b"a" * 64)
+        assert media.replay_stale({}, [0, 1, 2]) == []
+        assert device.stats.media_stale == 0
+
+
+class TestCoverageWindow:
+    """Satellite: the sidecar's lazy-coverage window and how it closes."""
+
+    def _corrupt_silently(self, device):
+        # direct durable mutation: corruption no injector API blesses
+        device._durable[100] ^= 0xFF
+
+    def test_checksum_only_window_pinned(self):
+        """Old behavior, pinned: a line corrupted before its first
+        persist verifies clean under the lazy sidecar."""
+        device, media = make_device(tree=None)
+        self._corrupt_silently(device)
+        assert media.verify_line(100 // CACHE_LINE)
+        assert media.bad_lines() == []
+
+    def test_tree_closes_the_window(self):
+        device, media = make_device(tree="streamed")
+        self._corrupt_silently(device)
+        assert not media.verify_line(100 // CACHE_LINE)
+        assert 100 // CACHE_LINE in media.bad_lines()
+
+    def test_bless_on_attach_closes_it_checksum_only(self):
+        device = NVMDevice(SIZE, seed=0)
+        media = device.attach_media(seed=0, bless=True)
+        self._corrupt_silently(device)
+        assert not media.verify_line(100 // CACHE_LINE)
+        assert 100 // CACHE_LINE in media.bad_lines()
+
+
+class TestRecovery:
+    def test_clone_recover_round_trip(self):
+        device, media = make_device()
+        for i in range(40):
+            persist(device, i * CACHE_LINE, bytes([i + 1]) * CACHE_LINE)
+        tree = media.tree
+        twin = tree.clone()  # streamed clone drops the volatile interior
+        assert twin._levels is None
+        twin.recover(device._durable)
+        tree.apply_pending()
+        assert twin.root() == tree.root()
+        assert twin.scan(device._durable) == []
+
+    def test_recovery_publishes_replayed_pending(self):
+        tree = IntegrityTree(N_LINES, mode="streamed", watermark=10_000)
+        dur = bytearray(SIZE)
+        tree.bless_all(dur)
+        old_root = tree.root_published
+        dur[0:64] = b"x" * 64
+        tree.note_line(0, zlib.crc32(b"x" * 64))
+        assert tree.root_published == old_root  # not yet applied
+        tree.drop_interior()
+        tree.recover(dur)
+        assert tree.root_published != old_root
+        assert tree.scan(dur) == []
+
+    def test_root_mismatch_raises_typed(self):
+        tree = IntegrityTree(N_LINES)
+        tree.bless_all(bytearray(SIZE))
+        tree.root_published ^= 0xDEAD  # persist-domain corruption
+        tree.drop_interior()
+        with pytest.raises(RootMismatchError):
+            tree.recover()
+
+    def test_recover_before_bless_raises(self):
+        with pytest.raises(IntegrityTreeError):
+            IntegrityTree(N_LINES).recover()
+
+    def test_eager_clone_keeps_interior(self):
+        device, media = make_device(tree="eager")
+        persist(device, 0, b"e" * 64)
+        twin = media.tree.clone()
+        assert twin._levels is not None
+        assert twin.root() == media.tree.root()
+
+
+class TestScan:
+    def test_scan_bisects_into_untouched_space(self):
+        device, media = make_device()
+        tree = media.tree
+        device._durable[8000] = 0x5A  # corruption in never-written space
+        bad = tree.scan(device._durable)
+        assert bad == [8000 // CACHE_LINE]
+
+    def test_scan_range_bounds(self):
+        device, media = make_device()
+        device._durable[0] = 1
+        device._durable[SIZE - 1] = 1
+        tree = media.tree
+        assert tree.scan(device._durable, first=0, last=0) == [0]
+        assert tree.scan(device._durable, first=1, last=N_LINES - 2) == []
+        assert tree.scan(device._durable, first=N_LINES - 1) == [N_LINES - 1]
